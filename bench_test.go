@@ -1,0 +1,312 @@
+// Package connlab_test holds the benchmark harness that regenerates every
+// paper experiment (see DESIGN.md's experiment index and EXPERIMENTS.md
+// for recorded outputs): one BenchmarkE<n> per table/figure-equivalent,
+// plus micro-benchmarks of the substrates (emulator, DNS codec, gadget
+// scan, label encoding).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package connlab_test
+
+import (
+	"testing"
+
+	"connlab/internal/core"
+	"connlab/internal/dns"
+	"connlab/internal/exploit"
+	"connlab/internal/gadget"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+// benchLab returns a lab with the default reproducible seeds.
+func benchLab() *core.Lab { return core.NewLab() }
+
+// requireOutcome fails the benchmark if an attack stops reproducing.
+func requireOutcome(b *testing.B, r core.AttackResult, err error, want core.Outcome) {
+	b.Helper()
+	if err != nil {
+		b.Fatalf("attack: %v", err)
+	}
+	if r.Outcome != want {
+		b.Fatalf("%s: outcome %s, want %s", r.String(), r.Outcome, want)
+	}
+}
+
+// BenchmarkE1_DoSCrash regenerates E1: the §II denial of service against
+// the vulnerable parser (one full recon-free crash per iteration).
+func BenchmarkE1_DoSCrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := victim.NewDaemon(isa.ArchX86S, victim.BuildOpts{}, kernel.Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.FireAt(d, exploit.BuildDoS(isa.ArchX86S))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Crashed() {
+			b.Fatalf("no crash: %v", res)
+		}
+	}
+}
+
+// BenchmarkE2_X86CodeInjection regenerates E2 (§III-A1): recon + payload
+// + root shell, no protections.
+func BenchmarkE2_X86CodeInjection(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchX86S, exploit.KindCodeInjection, core.LevelNone)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE3_ARMCodeInjection regenerates E3 (§III-A2).
+func BenchmarkE3_ARMCodeInjection(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchARMS, exploit.KindCodeInjection, core.LevelNone)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE4_X86Ret2Libc regenerates E4 (§III-B1): W⊕X bypass.
+func BenchmarkE4_X86Ret2Libc(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchX86S, exploit.KindRet2Libc, core.LevelWX)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE5_ARMRopExeclp regenerates E5 (§III-B2, Listing 2).
+func BenchmarkE5_ARMRopExeclp(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchARMS, exploit.KindRopExeclp, core.LevelWX)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE6_X86RopMemcpyChain regenerates E6 (§III-C1, Listings 3-4):
+// the W⊕X+ASLR bypass.
+func BenchmarkE6_X86RopMemcpyChain(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchX86S, exploit.KindRopMemcpy, core.LevelWXASLR)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE7_ARMRopBlxChain regenerates E7 (§III-C2, Listing 5).
+func BenchmarkE7_ARMRopBlxChain(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchARMS, exploit.KindRopMemcpy, core.LevelWXASLR)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+}
+
+// BenchmarkE8_AttackMatrix regenerates E8: the full 30-cell §III matrix.
+func BenchmarkE8_AttackMatrix(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		results, err := lab.RunMatrix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != 30 {
+			b.Fatalf("matrix cells = %d", len(results))
+		}
+	}
+}
+
+// BenchmarkE9_PineappleRemote regenerates E9 (§III-D, Fig. 1): rogue AP,
+// DHCP hijack, remote exploit, end to end.
+func BenchmarkE9_PineappleRemote(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		rep, err := lab.RunPineapple(core.PineappleConfig{
+			Arch: isa.ArchARMS, Kind: exploit.KindRopMemcpy, Protection: core.LevelWXASLR,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Outcome != core.OutcomeShell {
+			b.Fatalf("outcome %s", rep.Outcome)
+		}
+	}
+}
+
+// BenchmarkE10_Mitigations regenerates E10: the §IV mitigation table
+// (3 diversity trials per iteration).
+func BenchmarkE10_Mitigations(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.EvaluateMitigations(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE11_OtherVulns regenerates E11 (§V): the dnsmasq-analog
+// retarget plus the HTTP-victim injection.
+func BenchmarkE11_OtherVulns(b *testing.B) {
+	lab := benchLab()
+	lab.Build.Variant = victim.VariantDnsmasq
+	for i := 0; i < b.N; i++ {
+		_, res, err := lab.AutoExploit(isa.ArchARMS, core.LevelWXASLR)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != core.OutcomeShell {
+			b.Fatalf("dnsmasq outcome %s", res.Outcome)
+		}
+		tgt, err := exploit.ReconHTTP(kernel.Config{Seed: lab.ReconSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req, err := exploit.BuildHTTPInjection(tgt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := victim.NewHTTPDaemon(kernel.Config{Seed: lab.TargetSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res2, err := d.HandleRequest(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res2.Status != kernel.StatusShell {
+			b.Fatalf("http outcome %v", res2)
+		}
+	}
+}
+
+// BenchmarkE12_AutoExploitGen regenerates E12 (§VII): the automated
+// generator across all six (arch, posture) combinations.
+func BenchmarkE12_AutoExploitGen(b *testing.B) {
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+			for _, p := range core.PaperLevels() {
+				_, res, err := lab.AutoExploit(arch, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Outcome != core.OutcomeShell {
+					b.Fatalf("%s/%s: %s", arch, p, res.Outcome)
+				}
+			}
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEmulatorThroughput measures emulated instructions per second
+// on the benign parse path (both architectures).
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		b.Run(string(arch), func(b *testing.B) {
+			d, err := victim.NewDaemon(arch, victim.BuildOpts{}, kernel.Config{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := dns.NewQuery(1, "bench.example", dns.TypeA)
+			resp := dns.NewResponse(q)
+			resp.Answers = []dns.RR{dns.A("bench.example", 60, [4]byte{1, 2, 3, 4})}
+			pkt, err := resp.Encode()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var instrs uint64
+			for i := 0; i < b.N; i++ {
+				res, err := d.HandleResponse(pkt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				instrs += res.Instructions
+			}
+			b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+		})
+	}
+}
+
+// BenchmarkDNSCodec measures wire-format encode+decode round trips.
+func BenchmarkDNSCodec(b *testing.B) {
+	q := dns.NewQuery(77, "a.long.name.for.the.codec.example.com", dns.TypeA)
+	resp := dns.NewResponse(q)
+	resp.Answers = []dns.RR{
+		dns.A(q.Questions[0].Name, 300, [4]byte{10, 0, 0, 1}),
+		dns.A(q.Questions[0].Name, 300, [4]byte{10, 0, 0, 2}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := resp.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dns.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGadgetScan measures a full ropper-style scan of the victim
+// image.
+func BenchmarkGadgetScan(b *testing.B) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		b.Run(string(arch), func(b *testing.B) {
+			u, err := victim.BuildProgram(arch, victim.BuildOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			img, err := image.Link(u, image.DefaultProgramLayout(arch), image.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := gadget.NewFinder(img)
+				if len(f.All()) == 0 {
+					b.Fatal("no gadgets")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLabelEncode measures the payload label-segmentation search for
+// the hardest chain (the x86 memcpy chain).
+func BenchmarkLabelEncode(b *testing.B) {
+	tgt, err := exploit.Recon(isa.ArchX86S, victim.BuildOpts{},
+		kernel.Config{WX: true, ASLR: true, Seed: 1001})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exploit.BuildRopMemcpyX86(tgt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVictimBuildLink measures compiling+linking the victim binary.
+func BenchmarkVictimBuildLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u, err := victim.BuildProgram(isa.ArchARMS, victim.BuildOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := image.Link(u, image.DefaultProgramLayout(isa.ArchARMS), image.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command attack builds one exploit for the Connman-analog victim and
+// fires it at a fresh instance under a chosen protection level.
+//
+// Usage:
+//
+//	attack -arch arms -kind rop-memcpy -wx -aslr
+//	attack -arch x86s -kind code-injection
+//	attack -arch x86s -auto -wx -aslr     # pick the strategy automatically
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"connlab/internal/core"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "x86s", "victim architecture: x86s or arms")
+	kindFlag := flag.String("kind", "dos",
+		"exploit kind: dos, code-injection, ret2libc, rop-execlp, rop-memcpy")
+	auto := flag.Bool("auto", false, "pick the strategy for the protections automatically")
+	wx := flag.Bool("wx", false, "enable W⊕X on the target")
+	aslr := flag.Bool("aslr", false, "enable ASLR on the target")
+	cfi := flag.Bool("cfi", false, "enable the CFI shadow stack mitigation")
+	canary := flag.Bool("canary", false, "build the victim with stack canaries")
+	diversity := flag.Int64("diversity", 0, "diversity seed (0 = off)")
+	patched := flag.Bool("patched", false, "run the patched (1.35) victim")
+	variant := flag.String("variant", "connman", "victim variant: connman or dnsmasq")
+	seed := flag.Int64("seed", 2002, "target machine seed")
+	flag.Parse()
+
+	arch := isa.Arch(*archFlag)
+	if arch != isa.ArchX86S && arch != isa.ArchARMS {
+		return fmt.Errorf("unknown arch %q", *archFlag)
+	}
+	lab := core.NewLab()
+	lab.TargetSeed = *seed
+	lab.Build.Patched = *patched
+	switch *variant {
+	case "connman":
+	case "dnsmasq":
+		lab.Build.Variant = victim.VariantDnsmasq
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	prot := core.Protection{
+		WX: *wx, ASLR: *aslr, CFI: *cfi, Canary: *canary, DiversitySeed: *diversity,
+	}
+
+	kind := exploit.Kind(*kindFlag)
+	if *auto {
+		kind = exploit.StrategyFor(arch, prot.WX, prot.ASLR)
+		fmt.Printf("auto-selected strategy: %s\n", kind)
+	}
+	res, err := lab.RunAttack(arch, kind, prot)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("arch:       %s\n", res.Arch)
+	fmt.Printf("attack:     %s\n", res.Kind)
+	fmt.Printf("protection: %s\n", res.Protection)
+	fmt.Printf("outcome:    %s\n", res.Outcome)
+	fmt.Printf("detail:     %s\n", res.Detail)
+	return nil
+}

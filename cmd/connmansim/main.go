@@ -1,0 +1,76 @@
+// Command connmansim loads the Connman-analog victim daemon and feeds it
+// DNS responses: a benign one by default, or an oversized malicious one
+// with -crash, printing what the emulated parser did. It is the
+// quickest way to watch CVE-2017-12865 fire.
+//
+// Usage:
+//
+//	connmansim -arch arms            # parse a benign response
+//	connmansim -arch arms -crash     # DoS the daemon
+//	connmansim -arch x86s -patched -crash   # 1.35 survives
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"connlab/internal/core"
+	"connlab/internal/dns"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "connmansim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "x86s", "architecture: x86s or arms")
+	patched := flag.Bool("patched", false, "run the patched (1.35) parser")
+	crash := flag.Bool("crash", false, "send the malicious oversized response")
+	wx := flag.Bool("wx", false, "enable W⊕X")
+	aslr := flag.Bool("aslr", false, "enable ASLR")
+	seed := flag.Int64("seed", 1, "machine seed")
+	flag.Parse()
+
+	arch := isa.Arch(*archFlag)
+	opts := victim.BuildOpts{Patched: *patched}
+	d, err := victim.NewDaemon(arch, opts, kernel.Config{WX: *wx, ASLR: *aslr, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connmansim %s on %s (W⊕X=%v ASLR=%v)\n", opts.Version(), arch, *wx, *aslr)
+
+	q := dns.NewQuery(0x2222, "pool.ntp.org", dns.TypeA)
+	var pkt []byte
+	if *crash {
+		pkt, err = exploit.BuildDoS(arch).Response(q)
+		fmt.Println("sending crafted oversized Type A response...")
+	} else {
+		resp := dns.NewResponse(q)
+		resp.Answers = []dns.RR{dns.A("pool.ntp.org", 300, [4]byte{162, 159, 200, 1})}
+		pkt, err = resp.Encode()
+		fmt.Println("sending benign Type A response...")
+	}
+	if err != nil {
+		return err
+	}
+	res, err := d.HandleResponse(pkt)
+	if err != nil {
+		return err
+	}
+	outcome, detail := core.Classify(res)
+	fmt.Printf("parser outcome: %s (%s), %d instructions\n", outcome, detail, res.Instructions)
+	if d.Crashed() {
+		fmt.Println("daemon state: CRASHED (denial of service)")
+	} else {
+		fmt.Println("daemon state: alive")
+	}
+	return nil
+}

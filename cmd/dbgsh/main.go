@@ -1,0 +1,212 @@
+// Command dbgsh is an interactive gdb-style shell over the emulated
+// victim: it stages a DNS response (benign or the DoS payload), parks the
+// CPU at parse_response, and accepts debugger commands.
+//
+// Usage:
+//
+//	dbgsh -arch arms -crash
+//
+// Commands:
+//
+//	b <symbol|hexaddr>   set a breakpoint
+//	c                    continue to breakpoint or terminal event
+//	s [n]                single-step n instructions (default 1)
+//	regs                 dump registers
+//	x <hexaddr> [n]      hex-dump n bytes (default 64)
+//	dis [hexaddr] [n]    disassemble n instructions (default 8, at pc)
+//	where                show pc and containing function
+//	q                    quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"connlab/internal/dbg"
+	"connlab/internal/dns"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbgsh:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "x86s", "architecture: x86s or arms")
+	crash := flag.Bool("crash", false, "stage the malicious oversized response")
+	wx := flag.Bool("wx", false, "enable W⊕X")
+	flag.Parse()
+
+	arch := isa.Arch(*archFlag)
+	proc, err := victim.Load(arch, victim.BuildOpts{}, kernel.Config{WX: *wx, Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	q := dns.NewQuery(0x5151, "debug.example", dns.TypeA)
+	var pkt []byte
+	if *crash {
+		pkt, err = exploit.BuildDoS(arch).Response(q)
+	} else {
+		resp := dns.NewResponse(q)
+		resp.Answers = []dns.RR{dns.A("debug.example", 60, [4]byte{10, 0, 0, 1})}
+		pkt, err = resp.Encode()
+	}
+	if err != nil {
+		return err
+	}
+	addr := proc.HeapBase()
+	if f := proc.Mem().WriteBytes(addr, pkt); f != nil {
+		return fmt.Errorf("stage packet: %w", f)
+	}
+	if err := proc.PrepareCall("parse_response", addr, uint32(len(pkt))); err != nil {
+		return err
+	}
+
+	d := dbg.New(proc)
+	fmt.Printf("dbgsh: %s victim, packet staged at %#x (%d bytes), pc at parse_response\n",
+		arch, addr, len(pkt))
+	return repl(d, proc)
+}
+
+// repl runs the command loop until quit or EOF.
+func repl(d *dbg.Debugger, proc *kernel.Process) error {
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(dbg) ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if done := command(d, proc, fields); done {
+			return nil
+		}
+	}
+}
+
+// command executes one debugger command; it reports true on quit.
+func command(d *dbg.Debugger, proc *kernel.Process, fields []string) bool {
+	arg := func(i int, def uint64) uint64 {
+		if i >= len(fields) {
+			return def
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(fields[i], "0x"), 16, 64)
+		if err != nil {
+			fmt.Println("bad number:", fields[i])
+			return def
+		}
+		return v
+	}
+	switch fields[0] {
+	case "q", "quit":
+		return true
+	case "b", "break":
+		if len(fields) < 2 {
+			fmt.Println("usage: b <symbol|hexaddr>")
+			return false
+		}
+		if err := d.BreakSym(fields[1]); err == nil {
+			fmt.Println("breakpoint at", fields[1])
+			return false
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+		if err != nil {
+			fmt.Println("no such symbol and not an address:", fields[1])
+			return false
+		}
+		d.Break(uint32(v))
+		fmt.Printf("breakpoint at %#x\n", v)
+	case "c", "continue":
+		stop := d.Continue(kernel.DefaultInstrBudget)
+		if stop.Breakpoint {
+			fmt.Printf("breakpoint hit at %s\n", d.FuncOf(stop.Addr))
+		} else if stop.Result != nil {
+			fmt.Printf("terminal: %v\n", *stop.Result)
+		}
+	case "s", "step":
+		n := int(arg(1, 1))
+		for i := 0; i < n; i++ {
+			if res := d.StepInstr(); res != nil {
+				fmt.Printf("terminal: %v\n", *res)
+				return false
+			}
+		}
+		lines, _ := d.Disasm(proc.CPU().PC(), 1)
+		if len(lines) > 0 {
+			fmt.Println(lines[0])
+		}
+	case "regs":
+		fmt.Print(d.Regs())
+	case "x":
+		if len(fields) < 2 {
+			fmt.Println("usage: x <hexaddr> [n]")
+			return false
+		}
+		a := uint32(arg(1, 0))
+		n := uint32(arg(2, 0x40))
+		b, err := d.ReadMem(a, n)
+		if err != nil {
+			fmt.Println("read:", err)
+			return false
+		}
+		hexdump(a, b)
+	case "dis":
+		a := uint32(arg(1, uint64(proc.CPU().PC())))
+		n := int(arg(2, 8))
+		lines, err := d.Disasm(a, n)
+		if err != nil {
+			fmt.Println("disasm:", err)
+			return false
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	case "where":
+		pc := proc.CPU().PC()
+		fmt.Printf("pc = %#08x (%s), sp = %#08x\n", pc, d.FuncOf(pc), proc.CPU().SP())
+	default:
+		fmt.Println("commands: b c s regs x dis where q")
+	}
+	return false
+}
+
+// hexdump prints a classic 16-byte-per-row dump.
+func hexdump(base uint32, b []byte) {
+	for i := 0; i < len(b); i += 16 {
+		end := i + 16
+		if end > len(b) {
+			end = len(b)
+		}
+		fmt.Printf("%08x  ", base+uint32(i))
+		for j := i; j < end; j++ {
+			fmt.Printf("%02x ", b[j])
+		}
+		for j := end; j < i+16; j++ {
+			fmt.Print("   ")
+		}
+		fmt.Print(" |")
+		for j := i; j < end; j++ {
+			c := b[j]
+			if c < 0x20 || c > 0x7E {
+				c = '.'
+			}
+			fmt.Printf("%c", c)
+		}
+		fmt.Println("|")
+	}
+}

@@ -1,0 +1,48 @@
+// Command experiments regenerates every paper experiment (E1–E12) and
+// prints the reports recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-exp e8] [-recon-seed N] [-target-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"connlab/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
+	reconSeed := flag.Int64("recon-seed", 1001, "attacker replica seed")
+	targetSeed := flag.Int64("target-seed", 2002, "target machine seed")
+	flag.Parse()
+
+	lab := core.NewLab()
+	lab.ReconSeed = *reconSeed
+	lab.TargetSeed = *targetSeed
+
+	if *exp == "all" {
+		out, err := lab.RunAllExperiments()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	out, err := lab.RunExperiment(*exp)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command gadgetfind is the lab's ropper/ROPgadget analog: it links the
+// victim binary and lists its code-reuse gadgets, or searches readable
+// memory for single characters (-memstr), the way the paper harvests
+// "/bin/sh" one byte at a time.
+//
+// Usage:
+//
+//	gadgetfind -arch arms
+//	gadgetfind -arch x86s -memstr /bin/sh
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"connlab/internal/gadget"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/victim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gadgetfind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "x86s", "victim architecture: x86s or arms")
+	memstr := flag.String("memstr", "", "search for each character of this string")
+	variant := flag.String("variant", "connman", "victim variant: connman or dnsmasq")
+	flag.Parse()
+
+	arch := isa.Arch(*archFlag)
+	opts := victim.BuildOpts{}
+	if *variant == "dnsmasq" {
+		opts.Variant = victim.VariantDnsmasq
+	}
+	u, err := victim.BuildProgram(arch, opts)
+	if err != nil {
+		return err
+	}
+	img, err := image.Link(u, image.DefaultProgramLayout(arch), image.Options{})
+	if err != nil {
+		return err
+	}
+	f := gadget.NewFinder(img)
+
+	if *memstr != "" {
+		for i := 0; i < len(*memstr); i++ {
+			c := (*memstr)[i]
+			addrs := f.MemStr(c)
+			if len(addrs) == 0 {
+				fmt.Printf("%q: not found\n", string(c))
+				continue
+			}
+			fmt.Printf("%q: %#08x (+%d more)\n", string(c), addrs[0], len(addrs)-1)
+		}
+		return nil
+	}
+
+	all := f.All()
+	fmt.Printf("%d gadgets in %s %s image\n", len(all), arch, *variant)
+	for _, g := range all {
+		fmt.Println(g)
+	}
+	return nil
+}

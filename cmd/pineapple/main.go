@@ -1,0 +1,61 @@
+// Command pineapple runs the §III-D remote scenario: a rogue access point
+// clones the victim's trusted SSID at a stronger signal, DHCP hands the
+// device a malicious resolver, and the next DNS lookups carry the
+// exploit.
+//
+// Usage:
+//
+//	pineapple -arch arms -kind rop-memcpy -wx -aslr -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"connlab/internal/core"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pineapple:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	archFlag := flag.String("arch", "arms", "victim architecture: x86s or arms")
+	kindFlag := flag.String("kind", "rop-memcpy", "exploit kind")
+	wx := flag.Bool("wx", true, "enable W⊕X on the device")
+	aslr := flag.Bool("aslr", true, "enable ASLR on the device")
+	legit := flag.Int("legit-signal", 50, "legitimate AP signal strength")
+	rogue := flag.Int("rogue-signal", 90, "pineapple signal strength")
+	verbose := flag.Bool("v", false, "print the network event log")
+	flag.Parse()
+
+	lab := core.NewLab()
+	rep, err := lab.RunPineapple(core.PineappleConfig{
+		Arch:        isa.Arch(*archFlag),
+		Kind:        exploit.Kind(*kindFlag),
+		Protection:  core.Protection{WX: *wx, ASLR: *aslr},
+		LegitSignal: *legit,
+		RogueSignal: *rogue,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline lookup worked: %v\n", rep.BaselineWorked)
+	fmt.Printf("re-associated to rogue: %v\n", rep.Reassociated)
+	fmt.Printf("victim resolver:        %s\n", rep.VictimDNS)
+	fmt.Printf("lookups hijacked:       %d\n", rep.Hijacked)
+	fmt.Printf("device outcome:         %s (%s)\n", rep.Outcome, rep.Detail)
+	if *verbose {
+		fmt.Println("--- network events ---")
+		for _, e := range rep.Events {
+			fmt.Println(" ", e)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Mitigation-eval: measure the paper's §IV suggested defenses (CFI
+// shadow stack, stack canaries, full PIE, compile-time software
+// diversity) against the six working exploits from §III.
+//
+//	go run ./examples/mitigation-eval
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"connlab/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lab := core.NewLab()
+	results, err := lab.EvaluateMitigations(5)
+	if err != nil {
+		return err
+	}
+	fmt.Println("mitigation x exploit block rates (5 diversity trials each):")
+	for _, m := range results {
+		fmt.Println(" ", m.String())
+	}
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println("  - CFI and canaries stop every control-flow hijack deterministically;")
+	fmt.Println("  - full PIE removes the fixed PLT/.bss surface the ASLR bypass needs;")
+	fmt.Println("  - layout diversity kills code-reuse chains but, notably, NOT code")
+	fmt.Println("    injection or ret2libc, which never touch the diversified binary's")
+	fmt.Println("    own addresses — a limitation the paper's §IV does not spell out.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module connlab
+
+go 1.22

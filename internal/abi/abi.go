@@ -1,0 +1,43 @@
+// Package abi defines the system-call interface between emulated programs
+// and the simulated kernel, shared by the libc builders (which emit the
+// syscall stubs) and the kernel (which services them).
+//
+// Calling conventions follow the 32-bit Linux style of each architecture:
+//
+//   - x86s: int 0x80 with the number in eax and arguments in ebx, ecx, edx;
+//     the result is returned in eax.
+//   - arms: svc #0 with the number in r7 and arguments in r0, r1, r2; the
+//     result is returned in r0.
+package abi
+
+// System call numbers. The low numbers match 32-bit Linux; the 1000-range
+// numbers are lab pseudo-syscalls that model libc services whose real
+// implementations (fork+exec dances) are irrelevant to the exploits.
+const (
+	// SysExit terminates the process with the status in arg0.
+	SysExit = 1
+	// SysWrite writes arg2 bytes from the buffer at arg1 to fd arg0.
+	SysWrite = 4
+	// SysExecve replaces the process image: arg0 is the path pointer, arg1
+	// an argv array pointer (NULL-terminated, may be 0), arg2 envp.
+	// Spawning a shell this way is the success criterion of the paper's
+	// code-injection exploits.
+	SysExecve = 11
+	// SysSystem backs libc system(): arg0 points to the command string.
+	SysSystem = 1001
+	// SysExeclp backs libc execlp(): arg0 points to the file string (which,
+	// unlike execve, may be a relative name resolved against PATH — the
+	// property the paper's ARM ASLR exploit depends on to exec a two-byte
+	// "sh"), arg1 points to the first vararg cell.
+	SysExeclp = 1002
+	// SysAbort backs __stack_chk_fail: the process dies with "stack
+	// smashing detected" and no code execution.
+	SysAbort = 1003
+)
+
+// ShellPath is the absolute shell path; RelShell is the PATH-relative name
+// execlp resolves to the same shell.
+const (
+	ShellPath = "/bin/sh"
+	RelShell  = "sh"
+)

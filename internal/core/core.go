@@ -1,0 +1,292 @@
+// Package core orchestrates the paper's experiments end to end: it builds
+// victims under configurable protection levels, generates the matching
+// exploits from attacker-side reconnaissance, fires them, and classifies
+// outcomes. It is the library's top-level API: the §III attack matrix
+// (RunMatrix), the §III-D Wi-Fi Pineapple remote scenario (RunPineapple),
+// the §IV mitigation evaluation (EvaluateMitigations), and the §VII
+// future-work automated exploit generator (AutoExploit).
+package core
+
+import (
+	"fmt"
+
+	"connlab/internal/defense"
+	"connlab/internal/dns"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+// Protection is one protection environment for a victim.
+type Protection struct {
+	// WX enables W⊕X; ASLR randomizes libc and stack.
+	WX, ASLR bool
+	// CFI installs the shadow-stack mitigation (§IV).
+	CFI bool
+	// Canary builds the victim with stack protectors.
+	Canary bool
+	// DiversitySeed, when non-zero, links the victim with layout diversity
+	// and equivalent-instruction substitution (§IV).
+	DiversitySeed int64
+	// PIE additionally randomizes the program image (beyond the paper).
+	PIE bool
+}
+
+// The paper's three §III protection levels.
+var (
+	LevelNone   = Protection{}
+	LevelWX     = Protection{WX: true}
+	LevelWXASLR = Protection{WX: true, ASLR: true}
+)
+
+// PaperLevels is the §III protection ladder in order.
+func PaperLevels() []Protection { return []Protection{LevelNone, LevelWX, LevelWXASLR} }
+
+// String renders the protection compactly.
+func (p Protection) String() string {
+	if p == (Protection{}) {
+		return "none"
+	}
+	out := ""
+	add := func(on bool, s string) {
+		if !on {
+			return
+		}
+		if out != "" {
+			out += "+"
+		}
+		out += s
+	}
+	add(p.WX, "W⊕X")
+	add(p.ASLR, "ASLR")
+	add(p.PIE, "PIE")
+	add(p.CFI, "CFI")
+	add(p.Canary, "canary")
+	add(p.DiversitySeed != 0, "diversity")
+	if out == "" {
+		out = "none"
+	}
+	return out
+}
+
+// Outcome classifies what an attack achieved.
+type Outcome string
+
+// Attack outcomes.
+const (
+	// OutcomeShell is remote code execution: a root shell spawned.
+	OutcomeShell Outcome = "SHELL"
+	// OutcomeCrash is denial of service: the daemon died without giving
+	// the attacker execution.
+	OutcomeCrash Outcome = "CRASH"
+	// OutcomeBlocked means a mitigation detected and stopped the attack
+	// (CFI veto or canary abort).
+	OutcomeBlocked Outcome = "BLOCKED"
+	// OutcomeNoEffect means the victim survived unharmed.
+	OutcomeNoEffect Outcome = "NO-EFFECT"
+	// OutcomeBuildFail means no payload could be constructed for the
+	// combination (e.g. ret2libc on a register-argument architecture).
+	OutcomeBuildFail Outcome = "NO-PAYLOAD"
+)
+
+// AttackResult is one cell of the experiment matrix.
+type AttackResult struct {
+	Arch       isa.Arch
+	Kind       exploit.Kind
+	Protection Protection
+	Outcome    Outcome
+	// Detail is a one-line explanation (fault, shell syscall, veto reason).
+	Detail string
+	// Run is the raw kernel result when the attack fired.
+	Run kernel.RunResult
+}
+
+// String renders a matrix row.
+func (r AttackResult) String() string {
+	return fmt.Sprintf("%-5s %-15s %-12s %-10s %s",
+		r.Arch, r.Kind, r.Protection, r.Outcome, r.Detail)
+}
+
+// Lab runs attack experiments with reproducible seeds.
+type Lab struct {
+	// ReconSeed seeds the attacker's replica; TargetSeed seeds the real
+	// target. Distinct seeds mean distinct ASLR samples, as in reality.
+	ReconSeed, TargetSeed int64
+	// Build selects the victim variant (vulnerable 1.34 by default).
+	Build victim.BuildOpts
+
+	reconBuild *victim.BuildOpts
+}
+
+// NewLab returns a lab with the default seeds.
+func NewLab() *Lab { return &Lab{ReconSeed: 1001, TargetSeed: 2002} }
+
+// SetReconBuild makes the attacker replicate a different firmware than
+// the deployed one — e.g. the attacker recons vulnerable 1.34 while the
+// real target runs patched 1.35.
+func (l *Lab) SetReconBuild(b victim.BuildOpts) { l.reconBuild = &b }
+
+// reconOpts returns the firmware the attacker's replica runs.
+func (l *Lab) reconOpts() victim.BuildOpts {
+	if l.reconBuild != nil {
+		return *l.reconBuild
+	}
+	return l.Build
+}
+
+// targetConfig renders a Protection into a kernel config plus the hooks
+// that must be armed after load.
+func (l *Lab) targetConfig(arch isa.Arch, p Protection) (kernel.Config, victim.BuildOpts, *defense.ShadowStack, error) {
+	cfg := kernel.Config{WX: p.WX, ASLR: p.ASLR, PIE: p.PIE, Seed: l.TargetSeed}
+	opts := l.Build
+	opts.Canary = opts.Canary || p.Canary
+	var ss *defense.ShadowStack
+	if p.CFI {
+		ss = defense.NewShadowStack()
+		cfg.Hooks = ss
+	}
+	if p.DiversitySeed != 0 {
+		u, err := victim.BuildProgram(arch, opts)
+		if err != nil {
+			return cfg, opts, nil, err
+		}
+		if _, err := defense.EquivSubstitute(u, p.DiversitySeed); err != nil {
+			return cfg, opts, nil, err
+		}
+		cfg.LinkOpts = defense.DiversityOptions(u, p.DiversitySeed)
+	}
+	return cfg, opts, ss, nil
+}
+
+// newTargetDaemon loads a victim daemon under a protection level.
+func (l *Lab) newTargetDaemon(arch isa.Arch, p Protection) (*victim.Daemon, error) {
+	cfg, opts, ss, err := l.targetConfig(arch, p)
+	if err != nil {
+		return nil, err
+	}
+	d, err := victim.NewDaemon(arch, opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if ss != nil {
+		ss.Arm(d.Process())
+	}
+	return d, nil
+}
+
+// Recon performs the attacker-side reconnaissance for an architecture,
+// assuming the target's W⊕X/ASLR posture (the attacker replicates the
+// environment; CFI/diversity are invisible to recon, which is the point
+// of measuring them).
+func (l *Lab) Recon(arch isa.Arch, p Protection) (*exploit.Target, error) {
+	replicaCfg := kernel.Config{WX: p.WX, ASLR: p.ASLR, Seed: l.ReconSeed}
+	return exploit.Recon(arch, l.reconOpts(), replicaCfg)
+}
+
+// RunAttack recons, builds one exploit kind, and fires it at a fresh
+// victim under the protection level.
+func (l *Lab) RunAttack(arch isa.Arch, kind exploit.Kind, p Protection) (AttackResult, error) {
+	out := AttackResult{Arch: arch, Kind: kind, Protection: p}
+	tgt, err := l.Recon(arch, p)
+	if err != nil {
+		return out, fmt.Errorf("recon %s: %w", arch, err)
+	}
+	ex, err := exploit.Build(tgt, kind)
+	if err != nil {
+		out.Outcome = OutcomeBuildFail
+		out.Detail = err.Error()
+		return out, nil
+	}
+	d, err := l.newTargetDaemon(arch, p)
+	if err != nil {
+		return out, err
+	}
+	res, err := FireAt(d, ex)
+	if err != nil {
+		return out, err
+	}
+	out.Run = res
+	out.Outcome, out.Detail = Classify(res)
+	return out, nil
+}
+
+// FireAt delivers an exploit to a daemon as a well-formed DNS response to
+// a synthetic query.
+func FireAt(d *victim.Daemon, ex *exploit.Exploit) (kernel.RunResult, error) {
+	pkt, err := ex.Response(attackQuery())
+	if err != nil {
+		return kernel.RunResult{}, err
+	}
+	return d.HandleResponse(pkt)
+}
+
+// Classify maps a kernel run result to an attack outcome.
+func Classify(res kernel.RunResult) (Outcome, string) {
+	switch res.Status {
+	case kernel.StatusShell:
+		return OutcomeShell, res.String()
+	case kernel.StatusFault, kernel.StatusTimeout:
+		return OutcomeCrash, res.String()
+	case kernel.StatusCFI, kernel.StatusAborted:
+		return OutcomeBlocked, res.String()
+	case kernel.StatusReturned, kernel.StatusExited:
+		return OutcomeNoEffect, res.String()
+	default:
+		return OutcomeNoEffect, res.String()
+	}
+}
+
+// RunMatrix reproduces the §III experiment matrix (experiment E8): every
+// exploit kind against every paper protection level on both
+// architectures. The diagonal of working exploits and the off-diagonal
+// failures (injection vs W⊕X, ret2libc vs ASLR) are the paper's central
+// result.
+func (l *Lab) RunMatrix() ([]AttackResult, error) {
+	kinds := []exploit.Kind{
+		exploit.KindDoS,
+		exploit.KindCodeInjection,
+		exploit.KindRet2Libc,
+		exploit.KindRopExeclp,
+		exploit.KindRopMemcpy,
+	}
+	var out []AttackResult
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		for _, p := range PaperLevels() {
+			for _, kind := range kinds {
+				r, err := l.RunAttack(arch, kind, p)
+				if err != nil {
+					return out, fmt.Errorf("matrix %s/%s/%s: %w", arch, kind, p, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AutoExploit is the §VII future-work automated generator: given only the
+// architecture and the believed protection posture, it performs recon,
+// picks the paper's strategy for that posture, builds the payload, and
+// verifies it against a staging victim.
+func (l *Lab) AutoExploit(arch isa.Arch, p Protection) (*exploit.Exploit, AttackResult, error) {
+	kind := exploit.StrategyFor(arch, p.WX, p.ASLR)
+	res, err := l.RunAttack(arch, kind, p)
+	if err != nil {
+		return nil, res, err
+	}
+	tgt, err := l.Recon(arch, p)
+	if err != nil {
+		return nil, res, err
+	}
+	ex, err := exploit.Build(tgt, kind)
+	if err != nil {
+		return nil, res, err
+	}
+	return ex, res, nil
+}
+
+// attackQuery is the lookup the victim believes it forwarded upstream.
+func attackQuery() *dns.Message {
+	return dns.NewQuery(0x1337, "time.iot-vendor.example", dns.TypeA)
+}

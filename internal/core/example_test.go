@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"connlab/internal/core"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+)
+
+// Example_attack shows the one-call path from protection posture to
+// attack outcome.
+func Example_attack() {
+	lab := core.NewLab()
+	r, err := lab.RunAttack(isa.ArchARMS, exploit.KindRopMemcpy, core.LevelWXASLR)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(r.Outcome)
+	// Output: SHELL
+}
+
+// Example_autoExploit shows the automated generator choosing the paper's
+// strategy for a posture.
+func Example_autoExploit() {
+	lab := core.NewLab()
+	ex, res, err := lab.AutoExploit(isa.ArchX86S, core.LevelWX)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(ex.Kind, res.Outcome)
+	// Output: ret2libc SHELL
+}
+
+// Example_pineapple runs the remote man-in-the-middle delivery.
+func Example_pineapple() {
+	lab := core.NewLab()
+	rep, err := lab.RunPineapple(core.PineappleConfig{
+		Arch: isa.ArchARMS, Kind: exploit.KindRopMemcpy, Protection: core.LevelWXASLR,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rep.Reassociated, rep.Outcome)
+	// Output: true SHELL
+}
+
+// Example_mitigation shows a CFI-protected device surviving the same
+// chain as a blocked attack.
+func Example_mitigation() {
+	lab := core.NewLab()
+	p := core.LevelWXASLR
+	p.CFI = true
+	r, err := lab.RunAttack(isa.ArchARMS, exploit.KindRopMemcpy, p)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(r.Outcome)
+	// Output: BLOCKED
+}

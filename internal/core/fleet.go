@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"connlab/internal/dnsserver"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/netsim"
+	"connlab/internal/victim"
+)
+
+// FleetConfig parameterizes the mass-compromise scenario the paper
+// sketches in §III-D: "exploit code designed to create a botnet could be
+// sent to visitors, allowing a recreation of the Mirai attack".
+type FleetConfig struct {
+	Arch       isa.Arch
+	Kind       exploit.Kind
+	Protection Protection
+	// Devices is the fleet size; every Patched-th device runs the fixed
+	// 1.35 firmware (0 = none patched).
+	Devices      int
+	PatchedEvery int
+}
+
+// DeviceOutcome is one fleet member's fate.
+type DeviceOutcome struct {
+	Name    string
+	Patched bool
+	Outcome Outcome
+}
+
+// FleetReport summarizes a fleet sweep.
+type FleetReport struct {
+	Devices []DeviceOutcome
+	// Owned counts shells, Crashed pure DoS, Survived unharmed devices.
+	Owned, Crashed, Survived int
+	// Hijacked counts DNS lookups the rogue resolver answered.
+	Hijacked int
+}
+
+// String renders a summary line.
+func (r *FleetReport) String() string {
+	return fmt.Sprintf("fleet: %d devices -> %d owned, %d crashed, %d survived (%d lookups hijacked)",
+		len(r.Devices), r.Owned, r.Crashed, r.Survived, r.Hijacked)
+}
+
+// RunFleet deploys one rogue AP against a whole fleet of identical IoT
+// devices: each device re-associates to the stronger clone, resolves a
+// name through the attacker's resolver, and receives the same exploit —
+// one payload, many victims, which is exactly why the paper worries about
+// Mirai-style recreation. Patched devices parse the response safely and
+// survive.
+func (l *Lab) RunFleet(cfg FleetConfig) (*FleetReport, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 8
+	}
+	rep := &FleetReport{}
+
+	net := netsim.New()
+	net.AddAP(&netsim.AccessPoint{
+		Name: "home-router", SSID: trustedSSID, Signal: 50,
+		PoolBase: legitPool, Gateway: legitGW, DNS: resolverIP,
+	})
+	resolverHost, err := net.AddHost("resolver", resolverIP)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dnsserver.RunResolver(resolverHost, map[string][4]byte{
+		"time.iot-vendor.example": {93, 184, 216, 34},
+	}); err != nil {
+		return nil, err
+	}
+
+	// Attacker: one recon, one payload, one pineapple.
+	tgt, err := l.Recon(cfg.Arch, cfg.Protection)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := exploit.Build(tgt, cfg.Kind)
+	if err != nil {
+		return nil, err
+	}
+	pineHost, err := net.AddHost("pineapple", pineappleIP)
+	if err != nil {
+		return nil, err
+	}
+	mitm, err := dnsserver.RunMITM(pineHost, ex.Response)
+	if err != nil {
+		return nil, err
+	}
+	net.AddAP(&netsim.AccessPoint{
+		Name: "pineapple", SSID: trustedSSID, Signal: 95,
+		PoolBase: roguePool, Gateway: pineappleIP, DNS: pineappleIP,
+	})
+
+	// The fleet: identical devices, some running patched firmware.
+	for i := 0; i < cfg.Devices; i++ {
+		name := fmt.Sprintf("iot-%02d", i)
+		patched := cfg.PatchedEvery > 0 && i%cfg.PatchedEvery == 0
+		host, err := net.AddHost(name, netsim.IP{})
+		if err != nil {
+			return nil, err
+		}
+		tcfg, opts, ss, err := l.targetConfig(cfg.Arch, cfg.Protection)
+		if err != nil {
+			return nil, err
+		}
+		opts.Patched = patched
+		tcfg.Seed = l.TargetSeed + int64(100+i) // every device its own ASLR sample
+		daemon, err := victim.NewDaemon(cfg.Arch, opts, tcfg)
+		if err != nil {
+			return nil, err
+		}
+		if ss != nil {
+			ss.Arm(daemon.Process())
+		}
+		if _, err := dnsserver.RunProxy(host, daemon); err != nil {
+			return nil, err
+		}
+		client, err := dnsserver.NewClient(host)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := host.Station(trustedSSID).Associate(); err != nil {
+			return nil, err
+		}
+		// The device phones home; the rogue resolver answers.
+		if _, err := client.Lookup(netsim.Addr{IP: host.IP, Port: dnsserver.DNSPort},
+			"time.iot-vendor.example"); err != nil {
+			return nil, err
+		}
+		net.Run(64)
+
+		out := DeviceOutcome{Name: name, Patched: patched}
+		switch {
+		case len(daemon.Shells()) > 0:
+			out.Outcome = OutcomeShell
+			rep.Owned++
+		case daemon.Crashed():
+			out.Outcome = OutcomeCrash
+			rep.Crashed++
+		default:
+			out.Outcome = OutcomeNoEffect
+			rep.Survived++
+		}
+		rep.Devices = append(rep.Devices, out)
+	}
+	rep.Hijacked = mitm.Queries
+	return rep, nil
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+)
+
+// TestFleetSweepOwnsUnpatchedOnly: one payload against a mixed fleet —
+// every unpatched device falls to its own fresh ASLR sample (the chain
+// only uses non-randomized addresses), every patched device survives.
+func TestFleetSweepOwnsUnpatchedOnly(t *testing.T) {
+	lab := NewLab()
+	rep, err := lab.RunFleet(FleetConfig{
+		Arch: isa.ArchARMS, Kind: exploit.KindRopMemcpy, Protection: LevelWXASLR,
+		Devices: 10, PatchedEvery: 3,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if len(rep.Devices) != 10 {
+		t.Fatalf("devices = %d", len(rep.Devices))
+	}
+	for _, d := range rep.Devices {
+		if d.Patched && d.Outcome != OutcomeNoEffect {
+			t.Errorf("%s (patched): %s, want NO-EFFECT", d.Name, d.Outcome)
+		}
+		if !d.Patched && d.Outcome != OutcomeShell {
+			t.Errorf("%s (vulnerable): %s, want SHELL", d.Name, d.Outcome)
+		}
+	}
+	wantPatched := 4 // i = 0, 3, 6, 9
+	if rep.Survived != wantPatched || rep.Owned != 10-wantPatched {
+		t.Errorf("owned=%d survived=%d, want %d/%d", rep.Owned, rep.Survived,
+			10-wantPatched, wantPatched)
+	}
+	if rep.Hijacked != 10 {
+		t.Errorf("hijacked = %d, want 10", rep.Hijacked)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}
+
+// TestFleetAllPatchedSurvives: a fully-updated fleet shrugs the campaign
+// off — the paper's first suggested mitigation (patching) at scale.
+func TestFleetAllPatchedSurvives(t *testing.T) {
+	lab := NewLab()
+	rep, err := lab.RunFleet(FleetConfig{
+		Arch: isa.ArchX86S, Kind: exploit.KindRopMemcpy, Protection: LevelWXASLR,
+		Devices: 4, PatchedEvery: 1,
+	})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	if rep.Owned != 0 || rep.Crashed != 0 || rep.Survived != 4 {
+		t.Errorf("report = %s", rep)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+)
+
+// MitigationResult is one row of the §IV evaluation: how a mitigation
+// fares against one exploit kind.
+type MitigationResult struct {
+	Mitigation string
+	Arch       isa.Arch
+	Kind       exploit.Kind
+	// Trials and Blocked give the block rate (diversity is probabilistic;
+	// the others are deterministic, evaluated with Trials == 1).
+	Trials  int
+	Blocked int
+	// Outcomes tallies what happened per trial.
+	Outcomes map[Outcome]int
+}
+
+// Rate returns the blocked fraction.
+func (m MitigationResult) Rate() float64 {
+	if m.Trials == 0 {
+		return 0
+	}
+	return float64(m.Blocked) / float64(m.Trials)
+}
+
+// String renders a table row.
+func (m MitigationResult) String() string {
+	return fmt.Sprintf("%-10s %-5s %-15s blocked %d/%d (%.0f%%) %v",
+		m.Mitigation, m.Arch, m.Kind, m.Blocked, m.Trials, 100*m.Rate(), m.Outcomes)
+}
+
+// mitigationAttacks are the working per-level exploits the mitigations
+// are measured against.
+func mitigationAttacks() []struct {
+	arch isa.Arch
+	kind exploit.Kind
+	base Protection
+} {
+	return []struct {
+		arch isa.Arch
+		kind exploit.Kind
+		base Protection
+	}{
+		{isa.ArchX86S, exploit.KindCodeInjection, LevelNone},
+		{isa.ArchARMS, exploit.KindCodeInjection, LevelNone},
+		{isa.ArchX86S, exploit.KindRet2Libc, LevelWX},
+		{isa.ArchARMS, exploit.KindRopExeclp, LevelWX},
+		{isa.ArchX86S, exploit.KindRopMemcpy, LevelWXASLR},
+		{isa.ArchARMS, exploit.KindRopMemcpy, LevelWXASLR},
+	}
+}
+
+// EvaluateMitigations runs experiment E10: every working exploit from the
+// §III matrix against each §IV mitigation added on top of the protection
+// level that exploit defeats. divTrials sets how many diversity seeds to
+// sample (diversity gives probabilistic, per-build protection).
+func (l *Lab) EvaluateMitigations(divTrials int) ([]MitigationResult, error) {
+	if divTrials <= 0 {
+		divTrials = 5
+	}
+	var out []MitigationResult
+
+	addDeterministic := func(name string, mutate func(Protection) Protection) error {
+		for _, a := range mitigationAttacks() {
+			p := mutate(a.base)
+			r, err := l.RunAttack(a.arch, a.kind, p)
+			if err != nil {
+				return fmt.Errorf("%s %s/%s: %w", name, a.arch, a.kind, err)
+			}
+			m := MitigationResult{
+				Mitigation: name, Arch: a.arch, Kind: a.kind, Trials: 1,
+				Outcomes: map[Outcome]int{r.Outcome: 1},
+			}
+			if r.Outcome != OutcomeShell {
+				m.Blocked = 1
+			}
+			out = append(out, m)
+		}
+		return nil
+	}
+
+	if err := addDeterministic("cfi", func(p Protection) Protection {
+		p.CFI = true
+		return p
+	}); err != nil {
+		return out, err
+	}
+	if err := addDeterministic("canary", func(p Protection) Protection {
+		p.Canary = true
+		return p
+	}); err != nil {
+		return out, err
+	}
+	if err := addDeterministic("full-pie", func(p Protection) Protection {
+		p.PIE = true
+		p.ASLR = true
+		return p
+	}); err != nil {
+		return out, err
+	}
+
+	// Diversity: the exploit is harvested from the stock build; each trial
+	// deploys a differently-diversified target.
+	for _, a := range mitigationAttacks() {
+		m := MitigationResult{
+			Mitigation: "diversity", Arch: a.arch, Kind: a.kind,
+			Trials: divTrials, Outcomes: make(map[Outcome]int),
+		}
+		for trial := 0; trial < divTrials; trial++ {
+			p := a.base
+			p.DiversitySeed = int64(1000 + trial)
+			r, err := l.RunAttack(a.arch, a.kind, p)
+			if err != nil {
+				return out, fmt.Errorf("diversity %s/%s: %w", a.arch, a.kind, err)
+			}
+			m.Outcomes[r.Outcome]++
+			if r.Outcome != OutcomeShell {
+				m.Blocked++
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

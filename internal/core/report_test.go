@@ -1,0 +1,143 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+)
+
+// TestEveryExperimentReportRuns smoke-tests all report generators.
+func TestEveryExperimentReportRuns(t *testing.T) {
+	lab := NewLab()
+	for _, id := range ExperimentIDs() {
+		t.Run(id, func(t *testing.T) {
+			out, err := lab.RunExperiment(id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(out) < 40 {
+				t.Errorf("%s: suspiciously short report: %q", id, out)
+			}
+		})
+	}
+	if _, err := lab.RunExperiment("e99"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestReportContentSpotChecks(t *testing.T) {
+	lab := NewLab()
+	e8, err := lab.RunExperiment("e8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SHELL", "CRASH", "rop-memcpy", "W⊕X+ASLR"} {
+		if !strings.Contains(e8, want) {
+			t.Errorf("e8 report missing %q", want)
+		}
+	}
+	e10, err := lab.RunExperiment("e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e10, "diversity") || !strings.Contains(e10, "cfi") {
+		t.Error("e10 report missing mitigation rows")
+	}
+}
+
+func TestProtectionString(t *testing.T) {
+	cases := map[string]Protection{
+		"none":                              {},
+		"W⊕X":                               {WX: true},
+		"W⊕X+ASLR":                          {WX: true, ASLR: true},
+		"ASLR+CFI":                          {ASLR: true, CFI: true},
+		"canary":                            {Canary: true},
+		"W⊕X+ASLR+PIE+CFI+canary+diversity": {WX: true, ASLR: true, PIE: true, CFI: true, Canary: true, DiversitySeed: 3},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestClassifyMapping(t *testing.T) {
+	cases := []struct {
+		status kernel.Status
+		want   Outcome
+	}{
+		{kernel.StatusShell, OutcomeShell},
+		{kernel.StatusFault, OutcomeCrash},
+		{kernel.StatusTimeout, OutcomeCrash},
+		{kernel.StatusCFI, OutcomeBlocked},
+		{kernel.StatusAborted, OutcomeBlocked},
+		{kernel.StatusReturned, OutcomeNoEffect},
+		{kernel.StatusExited, OutcomeNoEffect},
+	}
+	for _, c := range cases {
+		res := kernel.RunResult{Status: c.status}
+		if c.status == kernel.StatusShell {
+			res.Shell = &kernel.ShellSpawn{Via: "execve"}
+		}
+		got, detail := Classify(res)
+		if got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.status, got, c.want)
+		}
+		if detail == "" {
+			t.Errorf("Classify(%v): empty detail", c.status)
+		}
+	}
+}
+
+func TestStrategyForMatchesPaper(t *testing.T) {
+	cases := []struct {
+		arch     isa.Arch
+		wx, aslr bool
+		want     exploit.Kind
+	}{
+		{isa.ArchX86S, false, false, exploit.KindCodeInjection},
+		{isa.ArchARMS, false, false, exploit.KindCodeInjection},
+		{isa.ArchX86S, true, false, exploit.KindRet2Libc},
+		{isa.ArchARMS, true, false, exploit.KindRopExeclp},
+		{isa.ArchX86S, true, true, exploit.KindRopMemcpy},
+		{isa.ArchARMS, true, true, exploit.KindRopMemcpy},
+	}
+	for _, c := range cases {
+		if got := exploit.StrategyFor(c.arch, c.wx, c.aslr); got != c.want {
+			t.Errorf("StrategyFor(%s, %v, %v) = %s, want %s", c.arch, c.wx, c.aslr, got, c.want)
+		}
+	}
+}
+
+// TestMatrixDeterminism: identical seeds produce identical outcomes.
+func TestMatrixDeterminism(t *testing.T) {
+	run := func() []AttackResult {
+		lab := NewLab()
+		res, err := lab.RunMatrix()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i].Outcome != b[i].Outcome {
+			t.Errorf("cell %d: %s vs %s", i, a[i].Outcome, b[i].Outcome)
+		}
+	}
+}
+
+func TestAttackResultString(t *testing.T) {
+	r := AttackResult{Arch: isa.ArchX86S, Kind: exploit.KindRet2Libc,
+		Protection: LevelWX, Outcome: OutcomeShell, Detail: "x"}
+	s := r.String()
+	if !strings.Contains(s, "ret2libc") || !strings.Contains(s, "SHELL") {
+		t.Errorf("rendering = %q", s)
+	}
+}

@@ -1,0 +1,176 @@
+package dbg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/x86s"
+	"connlab/internal/kernel"
+)
+
+// loadToy builds a two-function x86 program for debugger tests.
+func loadToy(t *testing.T) *kernel.Process {
+	t.Helper()
+	u := image.NewUnit(isa.ArchX86S)
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.MovRM(x86s.EAX, x86s.EBP, 8)
+	a.CallSym("double")
+	a.AddRI(x86s.EAX, 1)
+	a.PopR(x86s.EBP).Ret()
+	u.AddFuncX86("main", a)
+
+	b := x86s.NewAsm()
+	b.AddRR(x86s.EAX, x86s.EAX)
+	b.Ret()
+	u.AddFuncX86("double", b)
+
+	libc, err := image.BuildLibc(isa.ArchX86S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kernel.Load(u, libc, kernel.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBreakpointAndContinue(t *testing.T) {
+	p := loadToy(t)
+	if err := p.PrepareCall("main", 21); err != nil {
+		t.Fatal(err)
+	}
+	d := New(p)
+	if err := d.BreakSym("double"); err != nil {
+		t.Fatal(err)
+	}
+	stop := d.Continue(1_000_000)
+	if !stop.Breakpoint {
+		t.Fatalf("stop = %+v, want breakpoint", stop)
+	}
+	if got, _ := p.Prog.Lookup("double"); got != stop.Addr {
+		t.Errorf("stopped at %#x, want double", stop.Addr)
+	}
+	if fn := d.FuncOf(stop.Addr); !strings.HasPrefix(fn, "double") {
+		t.Errorf("FuncOf = %q", fn)
+	}
+	// Resume to completion: 21*2+1 = 43.
+	d.Clear(stop.Addr)
+	// Step one instruction first (we are parked on the breakpoint).
+	if res := d.StepInstr(); res != nil {
+		t.Fatalf("unexpected terminal: %v", res)
+	}
+	stop = d.Continue(1_000_000)
+	if stop.Result == nil || stop.Result.Status != kernel.StatusReturned {
+		t.Fatalf("final stop = %+v", stop)
+	}
+	if stop.Result.RetVal != 43 {
+		t.Errorf("retval = %d, want 43", stop.Result.RetVal)
+	}
+}
+
+func TestContinueBudget(t *testing.T) {
+	p := loadToy(t)
+	if err := p.PrepareCall("main", 1); err != nil {
+		t.Fatal(err)
+	}
+	d := New(p)
+	stop := d.Continue(2)
+	if stop.Result == nil || stop.Result.Status != kernel.StatusTimeout {
+		t.Fatalf("stop = %+v, want timeout", stop)
+	}
+}
+
+func TestBreakSymUnknown(t *testing.T) {
+	p := loadToy(t)
+	d := New(p)
+	if err := d.BreakSym("nope"); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+}
+
+func TestRegsAndDisasmAndReadMem(t *testing.T) {
+	p := loadToy(t)
+	if err := p.PrepareCall("main", 5); err != nil {
+		t.Fatal(err)
+	}
+	d := New(p)
+	regs := d.Regs()
+	if !strings.Contains(regs, "esp") || !strings.Contains(regs, "eip") {
+		t.Errorf("regs rendering:\n%s", regs)
+	}
+	mainAddr, _ := p.Prog.Lookup("main")
+	dis, err := d.Disasm(mainAddr, 3)
+	if err != nil || len(dis) != 3 {
+		t.Fatalf("disasm: %v, %v", dis, err)
+	}
+	if !strings.Contains(dis[0], "push ebp") {
+		t.Errorf("disasm[0] = %q", dis[0])
+	}
+	if _, err := d.ReadMem(0x1, 4); err == nil {
+		t.Error("ReadMem unmapped succeeded")
+	}
+	b, err := d.ReadMem(mainAddr, 1)
+	if err != nil || b[0] != 0x55 {
+		t.Errorf("ReadMem = %v, %v", b, err)
+	}
+}
+
+func TestCyclicWindowsUnique(t *testing.T) {
+	const n = 8192
+	pat := Cyclic(n)
+	if len(pat) != n {
+		t.Fatalf("len = %d", len(pat))
+	}
+	seen := make(map[[4]byte]int, n)
+	for i := 0; i+4 <= n; i++ {
+		var w [4]byte
+		copy(w[:], pat[i:])
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("window %q at %d and %d", w, prev, i)
+		}
+		seen[w] = i
+	}
+}
+
+func TestCyclicFind(t *testing.T) {
+	pat := Cyclic(4096)
+	for _, off := range []int{0, 1, 100, 1027, 4090} {
+		v := uint32(pat[off]) | uint32(pat[off+1])<<8 |
+			uint32(pat[off+2])<<16 | uint32(pat[off+3])<<24
+		if got := CyclicFind(pat, v); got != off {
+			t.Errorf("CyclicFind(window@%d) = %d", off, got)
+		}
+	}
+	if CyclicFind(pat, 0xDEADBEEF) != -1 {
+		t.Error("found a value not in the pattern")
+	}
+}
+
+// TestQuickCyclicOffsetsRoundTrip: for arbitrary offsets, the value read
+// from the pattern locates itself.
+func TestQuickCyclicOffsetsRoundTrip(t *testing.T) {
+	pat := Cyclic(16384)
+	prop := func(off uint16) bool {
+		i := int(off) % (len(pat) - 4)
+		v := uint32(pat[i]) | uint32(pat[i+1])<<8 | uint32(pat[i+2])<<16 | uint32(pat[i+3])<<24
+		return CyclicFind(pat, v) == i
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclicAlphabetIsLabelSafe(t *testing.T) {
+	// Pattern bytes must never collide with DNS length bytes (1..63) or
+	// compression tags (>= 0xC0) so discovery streams stay unambiguous.
+	for _, b := range Cyclic(1000) {
+		if b <= 63 || b >= 0xC0 {
+			t.Fatalf("pattern byte %#x is not label-safe", b)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package dns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// decoder walks a wire-format message.
+type decoder struct {
+	b   []byte
+	pos int
+}
+
+func (d *decoder) u16() (uint16, error) {
+	if d.pos+2 > len(d.b) {
+		return 0, ErrTruncatedMsg
+	}
+	v := uint16(d.b[d.pos])<<8 | uint16(d.b[d.pos+1])
+	d.pos += 2
+	return v, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.b) {
+		return 0, ErrTruncatedMsg
+	}
+	v := uint32(d.b[d.pos])<<24 | uint32(d.b[d.pos+1])<<16 |
+		uint32(d.b[d.pos+2])<<8 | uint32(d.b[d.pos+3])
+	d.pos += 4
+	return v, nil
+}
+
+// name decodes a possibly-compressed name starting at the cursor. This is
+// the SAFE decompressor: bounded output, bounded pointer hops — the checks
+// whose absence in Connman's get_name is the whole story of the lab.
+func (d *decoder) name() (string, error) {
+	var sb strings.Builder
+	pos := d.pos
+	hops := 0
+	jumped := false
+	total := 0
+	for {
+		if pos >= len(d.b) {
+			return "", ErrTruncatedMsg
+		}
+		c := d.b[pos]
+		switch {
+		case c == 0:
+			if !jumped {
+				d.pos = pos + 1
+			}
+			return sb.String(), nil
+		case c&0xC0 == 0xC0:
+			if pos+1 >= len(d.b) {
+				return "", ErrTruncatedMsg
+			}
+			if hops++; hops > maxPointerHops {
+				return "", ErrPointerLoop
+			}
+			target := int(c&0x3F)<<8 | int(d.b[pos+1])
+			if !jumped {
+				d.pos = pos + 2
+				jumped = true
+			}
+			if target >= pos {
+				// Forward pointers enable trivial loops; refuse them.
+				return "", ErrPointerLoop
+			}
+			pos = target
+		case c&0xC0 != 0:
+			return "", fmt.Errorf("%w: reserved label type %#x", ErrBadFormat, c)
+		default:
+			l := int(c)
+			if l > maxLabelLen {
+				return "", ErrLabelTooLong
+			}
+			if pos+1+l > len(d.b) {
+				return "", ErrTruncatedMsg
+			}
+			if total += l + 1; total > maxNameLen {
+				return "", ErrNameTooLong
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(d.b[pos+1 : pos+1+l])
+			pos += 1 + l
+			if !jumped {
+				d.pos = pos
+			}
+		}
+	}
+}
+
+func (d *decoder) question() (Question, error) {
+	n, err := d.name()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: n, Type: Type(t), Class: Class(c)}, nil
+}
+
+func (d *decoder) rr() (RR, error) {
+	n, err := d.name()
+	if err != nil {
+		return RR{}, err
+	}
+	t, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	c, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.u32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.u16()
+	if err != nil {
+		return RR{}, err
+	}
+	if d.pos+int(rdlen) > len(d.b) {
+		return RR{}, ErrTruncatedMsg
+	}
+	data := make([]byte, rdlen)
+	copy(data, d.b[d.pos:d.pos+int(rdlen)])
+	d.pos += int(rdlen)
+	return RR{Name: n, Type: Type(t), Class: Class(c), TTL: ttl, Data: data}, nil
+}
+
+// Decode parses a wire-format message with full validation. It rejects
+// oversized names, pointer loops, and truncated sections — everything the
+// vulnerable emulated parser does not.
+func Decode(b []byte) (*Message, error) {
+	d := &decoder{b: b}
+	id, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	fl, err := d.u16()
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]uint16, 4)
+	for i := range counts {
+		if counts[i], err = d.u16(); err != nil {
+			return nil, err
+		}
+		if counts[i] > maxSectionCount {
+			return nil, fmt.Errorf("%w: section count %d", ErrBadFormat, counts[i])
+		}
+	}
+	m := &Message{ID: id}
+	setFlagWord(m, fl)
+	for i := 0; i < int(counts[0]); i++ {
+		q, err := d.question()
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	secs := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
+	for s, sec := range secs {
+		for i := 0; i < int(counts[s+1]); i++ {
+			r, err := d.rr()
+			if err != nil {
+				return nil, fmt.Errorf("record %d/%d: %w", s, i, err)
+			}
+			*sec = append(*sec, r)
+		}
+	}
+	return m, nil
+}
+
+// Header is the fixed 12-byte message header, parsed without touching the
+// variable-length sections. The victim daemon uses it for the cheap
+// pre-checks real Connman performs before name expansion.
+type Header struct {
+	ID                                 uint16
+	Response                           bool
+	Opcode                             Opcode
+	AA, TC, RD, RA                     bool
+	RCode                              RCode
+	QDCount, ANCount, NSCount, ARCount uint16
+}
+
+// ParseHeader decodes just the header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, ErrTruncatedMsg
+	}
+	var h Header
+	h.ID = uint16(b[0])<<8 | uint16(b[1])
+	w := uint16(b[2])<<8 | uint16(b[3])
+	var m Message
+	setFlagWord(&m, w)
+	h.Response, h.Opcode, h.AA, h.TC, h.RD, h.RA, h.RCode =
+		m.Response, m.Opcode, m.AA, m.TC, m.RD, m.RA, m.RCode
+	h.QDCount = uint16(b[4])<<8 | uint16(b[5])
+	h.ANCount = uint16(b[6])<<8 | uint16(b[7])
+	h.NSCount = uint16(b[8])<<8 | uint16(b[9])
+	h.ARCount = uint16(b[10])<<8 | uint16(b[11])
+	return h, nil
+}
+
+// SkipName advances past one (possibly compressed) encoded name starting
+// at off, returning the offset just after it. It validates only framing,
+// not semantics; the victim daemon uses it to find section boundaries.
+func SkipName(b []byte, off int) (int, error) {
+	for {
+		if off >= len(b) {
+			return 0, ErrTruncatedMsg
+		}
+		c := b[off]
+		switch {
+		case c == 0:
+			return off + 1, nil
+		case c&0xC0 == 0xC0:
+			if off+2 > len(b) {
+				return 0, ErrTruncatedMsg
+			}
+			return off + 2, nil
+		case c&0xC0 != 0:
+			return 0, ErrBadFormat
+		default:
+			off += 1 + int(c)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package dns implements the RFC 1035 wire format used throughout the lab:
+// the benign resolver, the attacker's man-in-the-middle server, and the
+// packet-crafting side of the exploits all speak it.
+//
+// The package provides a strict, safe parser (the lab's own code paths) and
+// low-level crafting primitives — including answers whose NAME field is an
+// arbitrary attacker-controlled label stream, which is how CVE-2017-12865
+// payloads travel. The *vulnerable* name decompression lives in emulated
+// victim code (internal/victim), not here.
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Type is a resource-record type.
+type Type uint16
+
+// Record types used by the lab. TypeA is what the paper's exploits ride on
+// ("We select Type A for its universality").
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a resource-record class; the lab only uses IN.
+type Class uint16
+
+// ClassIN is the Internet class.
+const ClassIN Class = 1
+
+// RCode is a response code.
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeOK       RCode = 0
+	RCodeFormat   RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeRefused  RCode = 5
+)
+
+// Opcode is a query opcode; the lab only uses standard queries.
+type Opcode uint8
+
+// OpcodeQuery is a standard query.
+const OpcodeQuery Opcode = 0
+
+// Question is one query entry.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// RR is one resource record. If RawName is non-nil it is emitted verbatim
+// (an already-encoded label stream) instead of encoding Name — the hook
+// the exploit payloads use.
+type RR struct {
+	Name    string
+	RawName []byte
+	Type    Type
+	Class   Class
+	TTL     uint32
+	Data    []byte
+}
+
+// A constructs an address record for the dotted name.
+func A(name string, ttl uint32, ip [4]byte) RR {
+	return RR{Name: name, Type: TypeA, Class: ClassIN, TTL: ttl, Data: ip[:]}
+}
+
+// AAAA constructs an IPv6 address record.
+func AAAA(name string, ttl uint32, ip [16]byte) RR {
+	return RR{Name: name, Type: TypeAAAA, Class: ClassIN, TTL: ttl, Data: ip[:]}
+}
+
+// Message is a DNS query or response.
+type Message struct {
+	ID       uint16
+	Response bool
+	Opcode   Opcode
+	// AA, TC, RD, RA are the standard header flag bits.
+	AA, TC, RD, RA bool
+	RCode          RCode
+
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// HeaderSize is the fixed DNS header length.
+const HeaderSize = 12
+
+// Limits enforced by the safe parser.
+const (
+	maxNameLen      = 255
+	maxLabelLen     = 63
+	maxPointerHops  = 16
+	maxSectionCount = 64
+)
+
+// Parse and encode errors.
+var (
+	ErrTruncatedMsg = errors.New("dns: truncated message")
+	ErrNameTooLong  = errors.New("dns: name exceeds 255 bytes")
+	ErrLabelTooLong = errors.New("dns: label exceeds 63 bytes")
+	ErrPointerLoop  = errors.New("dns: compression pointer loop")
+	ErrBadFormat    = errors.New("dns: malformed message")
+)
+
+// NewQuery builds a standard recursive query for one name.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		ID: id, RD: true,
+		Questions: []Question{{Name: name, Type: t, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton echoing the query ID and question,
+// as a legitimate (or legitimate-looking) server must: the paper notes that
+// Connman "dumps the packet as a bad response" unless the reply mirrors the
+// query.
+func NewResponse(q *Message) *Message {
+	resp := &Message{
+		ID: q.ID, Response: true, RD: q.RD, RA: true,
+		Questions: append([]Question(nil), q.Questions...),
+	}
+	return resp
+}
+
+// header flag word layout.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagTC = 1 << 9
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+func (m *Message) flagWord() uint16 {
+	var w uint16
+	if m.Response {
+		w |= flagQR
+	}
+	w |= uint16(m.Opcode&0xF) << 11
+	if m.AA {
+		w |= flagAA
+	}
+	if m.TC {
+		w |= flagTC
+	}
+	if m.RD {
+		w |= flagRD
+	}
+	if m.RA {
+		w |= flagRA
+	}
+	w |= uint16(m.RCode & 0xF)
+	return w
+}
+
+func setFlagWord(m *Message, w uint16) {
+	m.Response = w&flagQR != 0
+	m.Opcode = Opcode(w >> 11 & 0xF)
+	m.AA = w&flagAA != 0
+	m.TC = w&flagTC != 0
+	m.RD = w&flagRD != 0
+	m.RA = w&flagRA != 0
+	m.RCode = RCode(w & 0xF)
+}
+
+// SplitName splits a dotted name into validated labels.
+func SplitName(name string) ([]string, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil, nil
+	}
+	labels := strings.Split(name, ".")
+	total := 0
+	for _, l := range labels {
+		if l == "" {
+			return nil, fmt.Errorf("%w: empty label in %q", ErrBadFormat, name)
+		}
+		if len(l) > maxLabelLen {
+			return nil, fmt.Errorf("%w: %q", ErrLabelTooLong, l)
+		}
+		total += len(l) + 1
+	}
+	if total+1 > maxNameLen {
+		return nil, fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	return labels, nil
+}

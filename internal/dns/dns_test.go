@@ -1,0 +1,333 @@
+package dns
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0xABCD, "www.example.com", TypeA)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0xABCD || got.Response || !got.RD {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0].Name != "www.example.com" ||
+		got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Errorf("question = %+v", got.Questions)
+	}
+}
+
+func TestResponseRoundTripAllSections(t *testing.T) {
+	q := NewQuery(7, "host.iot.lan", TypeA)
+	r := NewResponse(q)
+	r.AA = true
+	r.Answers = []RR{
+		A("host.iot.lan", 300, [4]byte{10, 1, 2, 3}),
+		AAAA("host.iot.lan", 600, [16]byte{0x20, 0x01, 0x0d, 0xb8}),
+	}
+	r.Authority = []RR{{Name: "iot.lan", Type: TypeNS, Class: ClassIN, TTL: 60, Data: []byte{2, 'n', 's', 0}}}
+	r.Additional = []RR{{Name: "ns.iot.lan", Type: TypeTXT, Class: ClassIN, TTL: 60, Data: []byte("x")}}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Response || !got.AA || !got.RA {
+		t.Errorf("flags = %+v", got)
+	}
+	if len(got.Answers) != 2 || len(got.Authority) != 1 || len(got.Additional) != 1 {
+		t.Fatalf("sections = %d/%d/%d", len(got.Answers), len(got.Authority), len(got.Additional))
+	}
+	if got.Answers[0].Type != TypeA || !bytes.Equal(got.Answers[0].Data, []byte{10, 1, 2, 3}) {
+		t.Errorf("answer = %+v", got.Answers[0])
+	}
+	if got.Answers[1].Type != TypeAAAA || len(got.Answers[1].Data) != 16 {
+		t.Errorf("aaaa = %+v", got.Answers[1])
+	}
+}
+
+func TestCompressionSavesSpaceAndDecodes(t *testing.T) {
+	q := NewQuery(1, "a.very.long.domain.example.com", TypeA)
+	r := NewResponse(q)
+	for i := 0; i < 4; i++ {
+		r.Answers = append(r.Answers, A("a.very.long.domain.example.com", 60, [4]byte{byte(i)}))
+	}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compression: repeated names must be pointers, not repeated labels.
+	if n := bytes.Count(wire, []byte("example")); n != 1 {
+		t.Errorf("'example' appears %d times on the wire, want 1 (compression)", n)
+	}
+	got, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ans := range got.Answers {
+		if ans.Name != "a.very.long.domain.example.com" {
+			t.Errorf("decompressed name = %q", ans.Name)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	q := NewQuery(1, "x.y", TypeA)
+	wire, _ := q.Encode()
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated-header", func(b []byte) []byte { return b[:8] }, ErrTruncatedMsg},
+		{"truncated-question", func(b []byte) []byte { return b[:HeaderSize+2] }, ErrTruncatedMsg},
+		{"oversized-label", func(b []byte) []byte {
+			b = append([]byte{}, b...)
+			b[HeaderSize] = 0x40 // label length 64
+			return b
+		}, nil /* any error */},
+		{"reserved-label-type", func(b []byte) []byte {
+			b = append([]byte{}, b...)
+			b[HeaderSize] = 0x80
+			return b
+		}, ErrBadFormat},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode(c.mutate(wire))
+			if err == nil {
+				t.Fatal("malformed message decoded")
+			}
+			if c.wantErr != nil && !errors.Is(err, c.wantErr) {
+				t.Errorf("err = %v, want %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsPointerLoops(t *testing.T) {
+	// Header + a name that is a pointer to itself.
+	b := make([]byte, HeaderSize)
+	b[5] = 1 // qdcount = 1
+	b = append(b, 0xC0, byte(HeaderSize))
+	b = append(b, 0, 1, 0, 1) // qtype/qclass
+	if _, err := Decode(b); !errors.Is(err, ErrPointerLoop) {
+		t.Errorf("err = %v, want pointer loop", err)
+	}
+}
+
+func TestSafeDecoderBoundsNameLength(t *testing.T) {
+	// A 300-byte name via many labels must be rejected (max 255) — the
+	// check whose absence in the victim is the CVE.
+	var raw []byte
+	for i := 0; i < 6; i++ {
+		raw = append(raw, 60)
+		raw = append(raw, bytes.Repeat([]byte{'a'}, 60)...)
+	}
+	raw = append(raw, 0)
+	b := make([]byte, HeaderSize)
+	b[5] = 1
+	b = append(b, raw...)
+	b = append(b, 0, 1, 0, 1)
+	if _, err := Decode(b); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("err = %v, want name too long", err)
+	}
+}
+
+func TestRawNameBypassesValidation(t *testing.T) {
+	// The exploit hook: a RawName larger than any legal name encodes fine.
+	q := NewQuery(3, "q.example", TypeA)
+	r := NewResponse(q)
+	raw := bytes.Repeat(append([]byte{63}, bytes.Repeat([]byte{'x'}, 63)...), 20)
+	raw = append(raw, 0)
+	r.Answers = []RR{{RawName: raw, Type: TypeA, Class: ClassIN, TTL: 1, Data: []byte{1, 2, 3, 4}}}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) < len(raw) {
+		t.Errorf("wire %d bytes, raw name %d", len(wire), len(raw))
+	}
+	// The safe decoder refuses it, as a hardened peer would.
+	if _, err := Decode(wire); err == nil {
+		t.Error("safe decoder accepted the oversized raw name")
+	}
+	// The lightweight header parse still works — which is why the victim's
+	// pre-checks pass.
+	h, err := ParseHeader(wire)
+	if err != nil || !h.Response || h.ANCount != 1 {
+		t.Errorf("header = %+v, %v", h, err)
+	}
+}
+
+func TestParseHeaderFields(t *testing.T) {
+	m := &Message{ID: 0x1234, Response: true, AA: true, TC: true, RD: true, RA: true,
+		RCode: RCodeNXDomain}
+	m.Questions = []Question{{Name: "a", Type: TypeA, Class: ClassIN}}
+	wire, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID != 0x1234 || !h.Response || !h.AA || !h.TC || !h.RD || !h.RA ||
+		h.RCode != RCodeNXDomain || h.QDCount != 1 {
+		t.Errorf("header = %+v", h)
+	}
+	if _, err := ParseHeader([]byte{1}); !errors.Is(err, ErrTruncatedMsg) {
+		t.Errorf("short header err = %v", err)
+	}
+}
+
+func TestSkipName(t *testing.T) {
+	b, err := AppendRawName(nil, "ab.cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	end, err := SkipName(b, 0)
+	if err != nil || end != len(b) {
+		t.Errorf("SkipName = %d, %v; want %d", end, err, len(b))
+	}
+	// Pointer form: two bytes.
+	end, err = SkipName([]byte{0xC0, 0x0C}, 0)
+	if err != nil || end != 2 {
+		t.Errorf("SkipName ptr = %d, %v", end, err)
+	}
+	if _, err := SkipName([]byte{5, 'a'}, 0); err == nil {
+		t.Error("truncated name skipped")
+	}
+	if _, err := SkipName([]byte{0x80, 0}, 0); err == nil {
+		t.Error("reserved label type skipped")
+	}
+}
+
+func TestSplitNameValidation(t *testing.T) {
+	if _, err := SplitName(strings.Repeat("a", 64) + ".com"); err == nil {
+		t.Error("63+ label accepted")
+	}
+	if _, err := SplitName("a..b"); err == nil {
+		t.Error("empty label accepted")
+	}
+	long := strings.Repeat("abcdefg.", 40) // > 255 bytes total
+	if _, err := SplitName(long); err == nil {
+		t.Error("overlong name accepted")
+	}
+	labels, err := SplitName("trailing.dot.")
+	if err != nil || len(labels) != 2 {
+		t.Errorf("trailing dot: %v, %v", labels, err)
+	}
+	labels, err = SplitName("")
+	if err != nil || labels != nil {
+		t.Errorf("root name: %v, %v", labels, err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || Type(999).String() != "TYPE999" {
+		t.Error("Type.String broken")
+	}
+}
+
+func TestEncodeRejectsHugeSections(t *testing.T) {
+	m := NewQuery(1, "x.y", TypeA)
+	for i := 0; i < 100; i++ {
+		m.Questions = append(m.Questions, Question{Name: "x.y", Type: TypeA, Class: ClassIN})
+	}
+	if _, err := m.Encode(); err == nil {
+		t.Error("oversized section encoded")
+	}
+}
+
+// randomName builds a random valid dotted name.
+func randomName(rng *rand.Rand) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	n := 1 + rng.Intn(4)
+	var parts []string
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(20)
+		var sb strings.Builder
+		for j := 0; j < l; j++ {
+			sb.WriteByte(alpha[rng.Intn(len(alpha))])
+		}
+		parts = append(parts, sb.String())
+	}
+	return strings.Join(parts, ".")
+}
+
+// TestQuickMessageRoundTrip: random well-formed messages encode and
+// decode back to themselves (names compared case-preserved, sections by
+// content).
+func TestQuickMessageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		m := &Message{
+			ID:       uint16(rng.Uint32()),
+			Response: rng.Intn(2) == 1,
+			RD:       rng.Intn(2) == 1,
+			RA:       rng.Intn(2) == 1,
+			AA:       rng.Intn(2) == 1,
+			RCode:    RCode(rng.Intn(6)),
+		}
+		m.Questions = []Question{{Name: randomName(rng), Type: TypeA, Class: ClassIN}}
+		for i := 0; i < rng.Intn(4); i++ {
+			data := make([]byte, 4)
+			rng.Read(data)
+			m.Answers = append(m.Answers, RR{
+				Name: randomName(rng), Type: TypeA, Class: ClassIN,
+				TTL: rng.Uint32(), Data: data,
+			})
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got.ID != m.ID || got.Response != m.Response || got.RCode != m.RCode {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+		if len(got.Answers) != len(m.Answers) {
+			t.Fatalf("trial %d: answers %d != %d", trial, len(got.Answers), len(m.Answers))
+		}
+		for i := range m.Answers {
+			if got.Answers[i].Name != m.Answers[i].Name ||
+				got.Answers[i].TTL != m.Answers[i].TTL ||
+				!bytes.Equal(got.Answers[i].Data, m.Answers[i].Data) {
+				t.Fatalf("trial %d: answer %d mismatch: %+v vs %+v",
+					trial, i, got.Answers[i], m.Answers[i])
+			}
+		}
+	}
+}
+
+// TestQuickDecodeNeverPanics: arbitrary bytes never panic the decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	prop := func(b []byte) bool {
+		_, _ = Decode(b)
+		_, _ = ParseHeader(b)
+		_, _ = SkipName(b, 0)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

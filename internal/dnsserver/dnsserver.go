@@ -1,0 +1,201 @@
+// Package dnsserver provides the DNS-speaking services of the remote
+// experiments: a benign recursive resolver, the attacker's
+// man-in-the-middle server ("A simple Python DNS server is created to
+// perform this function" — here, Go over the simulated network), and the
+// victim-side DNS proxy glue that feeds upstream responses through the
+// Connman-analog daemon.
+package dnsserver
+
+import (
+	"fmt"
+
+	"connlab/internal/dns"
+	"connlab/internal/netsim"
+	"connlab/internal/victim"
+)
+
+// DNSPort is the well-known DNS port.
+const DNSPort = 53
+
+// Resolver is a benign authoritative/recursive stand-in with a static
+// zone.
+type Resolver struct {
+	Zone map[string][4]byte
+	// Queries counts requests served.
+	Queries int
+	sock    *netsim.UDPSocket
+}
+
+// RunResolver binds a resolver on the host's port 53.
+func RunResolver(h *netsim.Host, zone map[string][4]byte) (*Resolver, error) {
+	r := &Resolver{Zone: zone}
+	sock, err := h.Bind(DNSPort, r.handle)
+	if err != nil {
+		return nil, fmt.Errorf("resolver on %s: %w", h.Name, err)
+	}
+	r.sock = sock
+	return r, nil
+}
+
+func (r *Resolver) handle(dg netsim.Datagram) {
+	q, err := dns.Decode(dg.Payload)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return // drop garbage, like a real server
+	}
+	r.Queries++
+	resp := dns.NewResponse(q)
+	if ip, ok := r.Zone[q.Questions[0].Name]; ok && q.Questions[0].Type == dns.TypeA {
+		resp.Answers = []dns.RR{dns.A(q.Questions[0].Name, 300, ip)}
+	} else {
+		resp.RCode = dns.RCodeNXDomain
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return
+	}
+	r.sock.SendTo(dg.Src, out)
+}
+
+// Crafter turns a decoded query into a malicious response. The exploit
+// package's payloads plug in here.
+type Crafter func(q *dns.Message) ([]byte, error)
+
+// MITM is the attacker's server: it answers every query it sees with a
+// crafted response that mirrors the query (ID, question, flags) and
+// carries the exploit in the answer record.
+type MITM struct {
+	Craft Crafter
+	// Queries counts hijacked lookups; Errors counts craft failures.
+	Queries int
+	Errors  int
+	sock    *netsim.UDPSocket
+}
+
+// RunMITM binds the malicious server on the host's port 53.
+func RunMITM(h *netsim.Host, craft Crafter) (*MITM, error) {
+	m := &MITM{Craft: craft}
+	sock, err := h.Bind(DNSPort, m.handle)
+	if err != nil {
+		return nil, fmt.Errorf("mitm on %s: %w", h.Name, err)
+	}
+	m.sock = sock
+	return m, nil
+}
+
+func (m *MITM) handle(dg netsim.Datagram) {
+	q, err := dns.Decode(dg.Payload)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return
+	}
+	m.Queries++
+	out, err := m.Craft(q)
+	if err != nil {
+		m.Errors++
+		return
+	}
+	m.sock.SendTo(dg.Src, out)
+}
+
+// Proxy is the victim-side glue: it exposes the daemon's DNS proxy on the
+// host, forwarding client queries to the host's configured upstream DNS
+// and running every upstream response through the emulated parser before
+// relaying it — Connman's dnsproxy behaviour.
+type Proxy struct {
+	Daemon *victim.Daemon
+	// Forwarded counts relayed responses; client queries awaiting an
+	// upstream answer are tracked by transaction ID.
+	Forwarded int
+	host      *netsim.Host
+	clientSk  *netsim.UDPSocket
+	upSk      *netsim.UDPSocket
+	pending   map[uint16]netsim.Addr
+}
+
+// RunProxy binds the proxy on the host's port 53 plus an upstream socket.
+func RunProxy(h *netsim.Host, d *victim.Daemon) (*Proxy, error) {
+	p := &Proxy{Daemon: d, host: h, pending: make(map[uint16]netsim.Addr)}
+	var err error
+	if p.clientSk, err = h.Bind(DNSPort, p.handleClient); err != nil {
+		return nil, fmt.Errorf("proxy on %s: %w", h.Name, err)
+	}
+	if p.upSk, err = h.BindEphemeral(p.handleUpstream); err != nil {
+		return nil, fmt.Errorf("proxy on %s: %w", h.Name, err)
+	}
+	return p, nil
+}
+
+func (p *Proxy) handleClient(dg netsim.Datagram) {
+	if p.Daemon.Crashed() {
+		return // the daemon is dead; DoS achieved
+	}
+	h, err := dns.ParseHeader(dg.Payload)
+	if err != nil || h.Response {
+		return
+	}
+	p.pending[h.ID] = dg.Src
+	p.upSk.SendTo(netsim.Addr{IP: p.host.DNS, Port: DNSPort}, dg.Payload)
+}
+
+func (p *Proxy) handleUpstream(dg netsim.Datagram) {
+	if p.Daemon.Crashed() {
+		return
+	}
+	h, err := dns.ParseHeader(dg.Payload)
+	if err != nil {
+		return
+	}
+	// Responses that carry answers go through the emulated parser for
+	// caching — a malicious one kills or hijacks the daemon right here.
+	// Empty responses (NXDomain etc.) have nothing to cache and are
+	// relayed directly.
+	if h.ANCount > 0 {
+		if _, err := p.Daemon.HandleResponse(dg.Payload); err != nil {
+			return // pre-checks rejected the packet
+		}
+		if p.Daemon.Crashed() {
+			return
+		}
+	}
+	client, ok := p.pending[h.ID]
+	if !ok {
+		return
+	}
+	delete(p.pending, h.ID)
+	p.Forwarded++
+	p.clientSk.SendTo(client, dg.Payload)
+}
+
+// Client is a minimal stub resolver on a host, for driving lookups
+// through a proxy.
+type Client struct {
+	sock    *netsim.UDPSocket
+	nextID  uint16
+	Replies []*dns.Message
+}
+
+// NewClient binds a client on an ephemeral port.
+func NewClient(h *netsim.Host) (*Client, error) {
+	c := &Client{nextID: 0x1000}
+	sock, err := h.BindEphemeral(func(dg netsim.Datagram) {
+		if m, err := dns.Decode(dg.Payload); err == nil {
+			c.Replies = append(c.Replies, m)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.sock = sock
+	return c, nil
+}
+
+// Lookup sends an A query for name to the given server.
+func (c *Client) Lookup(server netsim.Addr, name string) (uint16, error) {
+	c.nextID++
+	q := dns.NewQuery(c.nextID, name, dns.TypeA)
+	b, err := q.Encode()
+	if err != nil {
+		return 0, err
+	}
+	c.sock.SendTo(server, b)
+	return c.nextID, nil
+}

@@ -1,0 +1,305 @@
+// Package gadget finds code-reuse gadgets in linked images, playing the
+// role ropper and ROPgadget play in the paper (§III-B2, §III-C): it scans
+// executable sections for short instruction sequences ending in a control
+// transfer an attacker can steer — `ret` on x86s; `pop {…, pc}`, `blx rN`
+// or `bx rN` on arms — and it searches readable sections for single
+// characters (ROPgadget's -memstr), which the ASLR exploit uses to
+// assemble "/bin/sh" in .bss one byte at a time.
+//
+// Like the real tools, the finder works on the binary image, not a live
+// process: for a non-PIE binary those addresses hold at runtime even under
+// ASLR, which is exactly the bypass surface of §III-C.
+package gadget
+
+import (
+	"fmt"
+	"sort"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/isa/x86s"
+	"connlab/internal/mem"
+)
+
+// Kind classifies what terminates a gadget.
+type Kind uint8
+
+// Gadget kinds.
+const (
+	// KindRet ends in x86s ret.
+	KindRet Kind = iota + 1
+	// KindPopPC ends in arms pop {…, pc}.
+	KindPopPC
+	// KindBlxReg is an arms blx rN.
+	KindBlxReg
+	// KindBxReg is an arms bx rN.
+	KindBxReg
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRet:
+		return "ret"
+	case KindPopPC:
+		return "pop-pc"
+	case KindBlxReg:
+		return "blx-reg"
+	case KindBxReg:
+		return "bx-reg"
+	default:
+		return "unknown"
+	}
+}
+
+// Gadget is one usable instruction sequence.
+type Gadget struct {
+	Addr   uint32
+	Kind   Kind
+	Instrs []string
+	// Pops lists the registers popped before control leaves, in pop order
+	// (x86s: the pop run before ret; arms: the pop reglist minus pc).
+	Pops []int
+	// Reg is the register a blx/bx gadget branches through.
+	Reg int
+}
+
+// String renders the gadget ropper-style.
+func (g Gadget) String() string {
+	out := fmt.Sprintf("%#08x:", g.Addr)
+	for i, in := range g.Instrs {
+		if i > 0 {
+			out += " ;"
+		}
+		out += " " + in
+	}
+	return out
+}
+
+// maxGadgetInstrs bounds the sequence length reported.
+const maxGadgetInstrs = 6
+
+// Finder scans one linked image.
+type Finder struct {
+	img     *image.Image
+	gadgets []Gadget
+}
+
+// NewFinder scans the image's executable sections and returns a finder
+// over the discovered gadgets.
+func NewFinder(img *image.Image) *Finder {
+	f := &Finder{img: img}
+	for _, sec := range img.Sections {
+		if sec.Perm&mem.PermExec == 0 {
+			continue
+		}
+		if img.Arch == isa.ArchARMS {
+			f.scanARM(sec)
+		} else {
+			f.scanX86(sec)
+		}
+	}
+	sort.Slice(f.gadgets, func(i, j int) bool { return f.gadgets[i].Addr < f.gadgets[j].Addr })
+	return f
+}
+
+// scanX86 finds every decodable suffix ending exactly on a ret byte.
+func (f *Finder) scanX86(sec image.Section) {
+	const lookback = 24
+	for i, b := range sec.Data {
+		if b != 0xC3 {
+			continue
+		}
+		retOff := i
+		// Try each start within lookback: keep sequences that decode
+		// cleanly and land exactly on the ret.
+		for start := retOff - lookback; start <= retOff; start++ {
+			if start < 0 {
+				continue
+			}
+			instrs, pops, ok := decodeRunX86(sec.Data[start : retOff+1])
+			if !ok || len(instrs) > maxGadgetInstrs {
+				continue
+			}
+			f.gadgets = append(f.gadgets, Gadget{
+				Addr:   sec.Addr + uint32(start),
+				Kind:   KindRet,
+				Instrs: instrs,
+				Pops:   pops,
+			})
+		}
+	}
+}
+
+// decodeRunX86 decodes b as consecutive instructions that must end with
+// ret at the last byte. It also extracts the trailing pop-run registers.
+func decodeRunX86(b []byte) (instrs []string, pops []int, ok bool) {
+	off := 0
+	var decoded []x86s.Instr
+	for off < len(b) {
+		in, err := x86s.Decode(b[off:])
+		if err != nil {
+			return nil, nil, false
+		}
+		decoded = append(decoded, in)
+		off += int(in.Size)
+	}
+	if off != len(b) || len(decoded) == 0 || decoded[len(decoded)-1].Op != x86s.OpRet {
+		return nil, nil, false
+	}
+	// A useful gadget must not transfer control before its ret.
+	for _, in := range decoded[:len(decoded)-1] {
+		switch in.Op {
+		case x86s.OpRet, x86s.OpJmpRel, x86s.OpJcc, x86s.OpJecxz,
+			x86s.OpCallRel, x86s.OpCallInd, x86s.OpJmpInd, x86s.OpInt, x86s.OpHlt:
+			return nil, nil, false
+		}
+	}
+	// Trailing run of pops immediately before ret.
+	for _, in := range decoded[:len(decoded)-1] {
+		if in.Op == x86s.OpPopR {
+			pops = append(pops, in.R1)
+		} else {
+			pops = nil
+		}
+	}
+	// Only count the pops if the whole body is pops (pure pop-ret gadget);
+	// otherwise report the gadget without a pop summary.
+	pure := true
+	for _, in := range decoded[:len(decoded)-1] {
+		if in.Op != x86s.OpPopR {
+			pure = false
+			break
+		}
+	}
+	if !pure {
+		pops = nil
+	}
+	for _, in := range decoded {
+		instrs = append(instrs, in.String())
+	}
+	return instrs, pops, true
+}
+
+// scanARM inspects every 4-aligned word.
+func (f *Finder) scanARM(sec image.Section) {
+	for off := 0; off+4 <= len(sec.Data); off += 4 {
+		w := uint32(sec.Data[off]) | uint32(sec.Data[off+1])<<8 |
+			uint32(sec.Data[off+2])<<16 | uint32(sec.Data[off+3])<<24
+		in, err := arms.Decode(w)
+		if err != nil {
+			continue
+		}
+		addr := sec.Addr + uint32(off)
+		switch in.Op {
+		case arms.OpPop:
+			if in.RegList&(1<<arms.PC) == 0 {
+				continue
+			}
+			var pops []int
+			for r := 0; r < 15; r++ {
+				if in.RegList&(1<<r) != 0 {
+					pops = append(pops, r)
+				}
+			}
+			f.gadgets = append(f.gadgets, Gadget{
+				Addr: addr, Kind: KindPopPC, Instrs: []string{in.String()}, Pops: pops,
+			})
+		case arms.OpBLX:
+			f.gadgets = append(f.gadgets, Gadget{
+				Addr: addr, Kind: KindBlxReg, Instrs: []string{in.String()}, Reg: in.Rd,
+			})
+		case arms.OpBX:
+			f.gadgets = append(f.gadgets, Gadget{
+				Addr: addr, Kind: KindBxReg, Instrs: []string{in.String()}, Reg: in.Rd,
+			})
+		}
+	}
+}
+
+// All returns every discovered gadget, sorted by address.
+func (f *Finder) All() []Gadget {
+	out := make([]Gadget, len(f.gadgets))
+	copy(out, f.gadgets)
+	return out
+}
+
+// FindPopRet returns an x86s gadget that pops exactly n registers then
+// rets (n=0 is a bare ret).
+func (f *Finder) FindPopRet(n int) (Gadget, bool) {
+	for _, g := range f.gadgets {
+		if g.Kind != KindRet {
+			continue
+		}
+		if len(g.Instrs) == n+1 && len(g.Pops) == n {
+			return g, true
+		}
+		if n == 0 && len(g.Instrs) == 1 {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// FindPopPC returns an arms pop gadget whose register list (excluding pc)
+// is exactly regs.
+func (f *Finder) FindPopPC(regs ...int) (Gadget, bool) {
+	want := make(map[int]bool, len(regs))
+	for _, r := range regs {
+		want[r] = true
+	}
+	for _, g := range f.gadgets {
+		if g.Kind != KindPopPC || len(g.Pops) != len(regs) {
+			continue
+		}
+		match := true
+		for _, r := range g.Pops {
+			if !want[r] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// FindBlxReg returns an arms blx gadget through the given register.
+func (f *Finder) FindBlxReg(reg int) (Gadget, bool) {
+	for _, g := range f.gadgets {
+		if g.Kind == KindBlxReg && g.Reg == reg {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}
+
+// MemStr searches the image's readable sections for a byte value and
+// returns every address holding it — ROPgadget's -memstr, used to harvest
+// "/bin/sh" characters from a binary that never contains the whole string.
+func (f *Finder) MemStr(c byte) []uint32 {
+	var out []uint32
+	for _, sec := range f.img.Sections {
+		for i, b := range sec.Data {
+			if b == c {
+				out = append(out, sec.Addr+uint32(i))
+			}
+		}
+	}
+	return out
+}
+
+// MemStrFirst returns the first address holding byte c.
+func (f *Finder) MemStrFirst(c byte) (uint32, bool) {
+	for _, sec := range f.img.Sections {
+		for i, b := range sec.Data {
+			if b == c {
+				return sec.Addr + uint32(i), true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,100 @@
+package gadget
+
+import (
+	"testing"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/victim"
+)
+
+func linkVictim(t *testing.T, arch isa.Arch) *image.Image {
+	t.Helper()
+	u, err := victim.BuildProgram(arch, victim.BuildOpts{})
+	if err != nil {
+		t.Fatalf("build victim: %v", err)
+	}
+	img, err := image.Link(u, image.DefaultProgramLayout(arch), image.Options{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return img
+}
+
+func TestX86VictimHasPopPopPopRet(t *testing.T) {
+	f := NewFinder(linkVictim(t, isa.ArchX86S))
+	g, ok := f.FindPopRet(3)
+	if !ok {
+		t.Fatalf("no pop;pop;pop;ret gadget found; gadgets:\n%v", f.All())
+	}
+	if len(g.Pops) != 3 {
+		t.Errorf("pops = %v, want 3 registers", g.Pops)
+	}
+	if _, ok := f.FindPopRet(0); !ok {
+		t.Error("no bare ret gadget found")
+	}
+	if _, ok := f.FindPopRet(1); !ok {
+		t.Error("no pop;ret gadget found")
+	}
+}
+
+func TestARMVictimHasPaperGadgets(t *testing.T) {
+	f := NewFinder(linkVictim(t, isa.ArchARMS))
+
+	// The register-loading gadget of Listing 2/5.
+	g, ok := f.FindPopPC(arms.R0, arms.R1, arms.R2, arms.R3, arms.R5, arms.R6, arms.R7)
+	if !ok {
+		t.Fatalf("no pop {r0,r1,r2,r3,r5,r6,r7,pc} gadget; gadgets:\n%v", f.All())
+	}
+	if g.Kind != KindPopPC {
+		t.Errorf("kind = %v, want pop-pc", g.Kind)
+	}
+
+	// The branch-link gadget of §III-C2.
+	if _, ok := f.FindBlxReg(arms.R3); !ok {
+		t.Error("no blx r3 gadget found")
+	}
+}
+
+func TestMemStrCoversBinSh(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		t.Run(string(arch), func(t *testing.T) {
+			f := NewFinder(linkVictim(t, arch))
+			for _, c := range []byte("/bin/sh") {
+				addrs := f.MemStr(c)
+				if len(addrs) == 0 {
+					t.Errorf("no occurrence of %q in the victim image", string(c))
+				}
+			}
+			if _, ok := f.MemStrFirst('/'); !ok {
+				t.Error("MemStrFirst('/') found nothing")
+			}
+		})
+	}
+}
+
+func TestGadgetsSortedAndRenderable(t *testing.T) {
+	f := NewFinder(linkVictim(t, isa.ArchX86S))
+	all := f.All()
+	if len(all) == 0 {
+		t.Fatal("no gadgets at all")
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Addr < all[i-1].Addr {
+			t.Fatalf("gadgets not sorted at %d", i)
+		}
+	}
+	for _, g := range all[:min(5, len(all))] {
+		if g.String() == "" {
+			t.Error("empty gadget rendering")
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

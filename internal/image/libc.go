@@ -1,0 +1,266 @@
+package image
+
+import (
+	"fmt"
+
+	"connlab/internal/abi"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/isa/x86s"
+)
+
+// Libc symbol names exported to programs and exploits.
+const (
+	// SymBinSh is the "/bin/sh" string inside libc — the classic
+	// ret-to-libc ingredient whose address is stable only without ASLR.
+	SymBinSh = "str_bin_sh"
+	// SymSh is a PATH-relative "sh" string, also in libc.
+	SymSh = "str_sh"
+)
+
+// BuildLibc returns the emulated C library for the given architecture. It
+// provides the functions the victim imports (memcpy, memset, strlen,
+// execlp, exit, write) plus the ret-to-libc targets (system, execve) and
+// the "/bin/sh" string.
+func BuildLibc(arch isa.Arch) (*Unit, error) {
+	var u *Unit
+	if arch == isa.ArchARMS {
+		u = buildLibcARM()
+	} else {
+		u = buildLibcX86()
+	}
+	if err := u.Err(); err != nil {
+		return nil, fmt.Errorf("build libc: %w", err)
+	}
+	u.AddRodata(SymBinSh, []byte(abi.ShellPath+"\x00"))
+	u.AddRodata(SymSh, []byte(abi.RelShell+"\x00"))
+	return u, nil
+}
+
+// buildLibcX86 emits the x86s (cdecl, stack-passed arguments) libc.
+func buildLibcX86() *Unit {
+	u := NewUnit(isa.ArchX86S)
+
+	// memcpy(dst, src, n) -> dst. Classic byte loop with movsb.
+	{
+		a := x86s.NewAsm()
+		a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+		a.PushR(x86s.ESI).PushR(x86s.EDI)
+		a.MovRM(x86s.EDI, x86s.EBP, 8)
+		a.MovRM(x86s.ESI, x86s.EBP, 12)
+		a.MovRM(x86s.ECX, x86s.EBP, 16)
+		a.Label("loop")
+		a.Jecxz("done")
+		a.Movsb()
+		a.DecR(x86s.ECX)
+		a.Jmp("loop")
+		a.Label("done")
+		a.MovRM(x86s.EAX, x86s.EBP, 8)
+		a.PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
+		u.AddFuncX86("memcpy", a)
+	}
+
+	// memset(dst, c, n) -> dst.
+	{
+		a := x86s.NewAsm()
+		a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+		a.MovRM(x86s.EDX, x86s.EBP, 8)
+		a.MovRM(x86s.EAX, x86s.EBP, 12)
+		a.MovRM(x86s.ECX, x86s.EBP, 16)
+		a.Label("loop")
+		a.Jecxz("done")
+		a.MovMR8(x86s.EDX, 0, x86s.EAX) // [edx] = al
+		a.IncR(x86s.EDX)
+		a.DecR(x86s.ECX)
+		a.Jmp("loop")
+		a.Label("done")
+		a.MovRM(x86s.EAX, x86s.EBP, 8)
+		a.PopR(x86s.EBP).Ret()
+		u.AddFuncX86("memset", a)
+	}
+
+	// strlen(s) -> len.
+	{
+		a := x86s.NewAsm()
+		a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+		a.MovRM(x86s.EDX, x86s.EBP, 8)
+		a.XorRR(x86s.EAX, x86s.EAX)
+		a.Label("loop")
+		a.Movzx8M(x86s.ECX, x86s.EDX, 0)
+		a.TestRR(x86s.ECX, x86s.ECX)
+		a.Jcc(x86s.CondE, "done")
+		a.IncR(x86s.EAX)
+		a.IncR(x86s.EDX)
+		a.Jmp("loop")
+		a.Label("done")
+		a.PopR(x86s.EBP).Ret()
+		u.AddFuncX86("strlen", a)
+	}
+
+	// system(cmd): arguments read straight off the stack — which is
+	// precisely why a ret-to-libc chain can call it with a forged frame.
+	{
+		a := x86s.NewAsm()
+		a.MovRI(x86s.EAX, abi.SysSystem)
+		a.MovRM(x86s.EBX, x86s.ESP, 4)
+		a.IntN(0x80)
+		a.Ret()
+		u.AddFuncX86("system", a)
+	}
+
+	// execlp(file, arg0, ..., NULL).
+	{
+		a := x86s.NewAsm()
+		a.MovRI(x86s.EAX, abi.SysExeclp)
+		a.MovRM(x86s.EBX, x86s.ESP, 4)
+		a.MovRM(x86s.ECX, x86s.ESP, 8)
+		a.IntN(0x80)
+		a.Ret()
+		u.AddFuncX86("execlp", a)
+	}
+
+	// execve(path, argv, envp).
+	{
+		a := x86s.NewAsm()
+		a.MovRI(x86s.EAX, abi.SysExecve)
+		a.MovRM(x86s.EBX, x86s.ESP, 4)
+		a.MovRM(x86s.ECX, x86s.ESP, 8)
+		a.MovRM(x86s.EDX, x86s.ESP, 12)
+		a.IntN(0x80)
+		a.Ret()
+		u.AddFuncX86("execve", a)
+	}
+
+	// exit(status).
+	{
+		a := x86s.NewAsm()
+		a.MovRI(x86s.EAX, abi.SysExit)
+		a.MovRM(x86s.EBX, x86s.ESP, 4)
+		a.IntN(0x80)
+		a.Label("spin") // unreachable: exit does not return
+		a.Jmp("spin")
+		u.AddFuncX86("exit", a)
+	}
+
+	// write(fd, buf, n).
+	{
+		a := x86s.NewAsm()
+		a.MovRI(x86s.EAX, abi.SysWrite)
+		a.MovRM(x86s.EBX, x86s.ESP, 4)
+		a.MovRM(x86s.ECX, x86s.ESP, 8)
+		a.MovRM(x86s.EDX, x86s.ESP, 12)
+		a.IntN(0x80)
+		a.Ret()
+		u.AddFuncX86("write", a)
+	}
+
+	return u
+}
+
+// buildLibcARM emits the arms (register-argument) libc. Arguments arrive
+// in r0-r2; that register passing is exactly why the paper needs
+// register-loading gadgets on ARM where x86 gets by with stack frames.
+func buildLibcARM() *Unit {
+	u := NewUnit(isa.ArchARMS)
+
+	// memcpy(dst r0, src r1, n r2) -> r0.
+	{
+		a := arms.NewAsm()
+		a.MovR(arms.R12, arms.R0)
+		a.Label("loop")
+		a.CmpI(arms.R2, 0)
+		a.B(arms.CondEQ, "done")
+		a.Ldrb(arms.R3, arms.R1, 0)
+		a.Strb(arms.R3, arms.R0, 0)
+		a.AddI(arms.R0, arms.R0, 1)
+		a.AddI(arms.R1, arms.R1, 1)
+		a.SubI(arms.R2, arms.R2, 1)
+		a.BAlways("loop")
+		a.Label("done")
+		a.MovR(arms.R0, arms.R12)
+		a.BX(arms.LR)
+		u.AddFuncARM("memcpy", a)
+	}
+
+	// memset(dst r0, c r1, n r2) -> r0.
+	{
+		a := arms.NewAsm()
+		a.MovR(arms.R12, arms.R0)
+		a.Label("loop")
+		a.CmpI(arms.R2, 0)
+		a.B(arms.CondEQ, "done")
+		a.Strb(arms.R1, arms.R0, 0)
+		a.AddI(arms.R0, arms.R0, 1)
+		a.SubI(arms.R2, arms.R2, 1)
+		a.BAlways("loop")
+		a.Label("done")
+		a.MovR(arms.R0, arms.R12)
+		a.BX(arms.LR)
+		u.AddFuncARM("memset", a)
+	}
+
+	// strlen(s r0) -> r0.
+	{
+		a := arms.NewAsm()
+		a.MovR(arms.R1, arms.R0)
+		a.MovW(arms.R0, 0)
+		a.Label("loop")
+		a.Ldrb(arms.R2, arms.R1, 0)
+		a.CmpI(arms.R2, 0)
+		a.B(arms.CondEQ, "done")
+		a.AddI(arms.R0, arms.R0, 1)
+		a.AddI(arms.R1, arms.R1, 1)
+		a.BAlways("loop")
+		a.Label("done")
+		a.BX(arms.LR)
+		u.AddFuncARM("strlen", a)
+	}
+
+	// system(cmd r0).
+	{
+		a := arms.NewAsm()
+		a.MovImm32(arms.R7, abi.SysSystem)
+		a.Svc(0)
+		a.BX(arms.LR)
+		u.AddFuncARM("system", a)
+	}
+
+	// execlp(file r0, arg0 r1, ...).
+	{
+		a := arms.NewAsm()
+		a.MovImm32(arms.R7, abi.SysExeclp)
+		a.Svc(0)
+		a.BX(arms.LR)
+		u.AddFuncARM("execlp", a)
+	}
+
+	// execve(path r0, argv r1, envp r2).
+	{
+		a := arms.NewAsm()
+		a.MovImm32(arms.R7, abi.SysExecve)
+		a.Svc(0)
+		a.BX(arms.LR)
+		u.AddFuncARM("execve", a)
+	}
+
+	// exit(status r0).
+	{
+		a := arms.NewAsm()
+		a.MovImm32(arms.R7, abi.SysExit)
+		a.Svc(0)
+		a.Label("spin")
+		a.BAlways("spin")
+		u.AddFuncARM("exit", a)
+	}
+
+	// write(fd r0, buf r1, n r2).
+	{
+		a := arms.NewAsm()
+		a.MovImm32(arms.R7, abi.SysWrite)
+		a.Svc(0)
+		a.BX(arms.LR)
+		u.AddFuncARM("write", a)
+	}
+
+	return u
+}

@@ -1,0 +1,310 @@
+// Package arms implements the lab's 32-bit ARM-flavoured simulated CPU:
+// fixed 4-byte little-endian instructions, register-passed call arguments,
+// a link register, and no ret instruction — returns happen through
+// `bx lr` or `pop {…, pc}`. It is the "Raspberry Pi 3 / ARMv7 running
+// Ubuntu Mate" target of the paper's experiments.
+//
+// The encoding is the lab's own (documented below), but the semantics
+// reproduce every ARM property the paper's exploits hinge on:
+//
+//   - there is no single-byte NOP; the no-op is a full-width `mov r1, r1`;
+//   - function arguments travel in r0–r3, so return-to-libc cannot pass
+//     arguments from the stack and a register-loading gadget such as
+//     `pop {r0, r1, r2, r3, r5, r6, r7, pc}` is required;
+//   - chained calls need a branch-link gadget (`blx rN`) because `pop pc`
+//     alone does not set up a return path.
+//
+// # Instruction encoding
+//
+// Every instruction is one little-endian 32-bit word:
+//
+//	bits 31..26  opcode
+//	bits 25..22  condition (B only; 0 = always)
+//	bits 21..18  rd   (or rn for CMP/TST, rm for BX/BLX)
+//	bits 17..14  rn
+//	bits 13..10  rm
+//	bits 13..0   imm14 (signed for LDR/STR/CMP, unsigned for ADD/SUB/AND/LSL)
+//	bits 15..0   imm16 (MOVW/MOVT) or register list (PUSH/POP)
+//	bits 21..0   rel22 (B/BL, signed word offset from pc+4)
+package arms
+
+import "fmt"
+
+// Register indices. r13 is the stack pointer, r14 the link register, r15
+// the program counter.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP
+	LR
+	PC
+	numRegs
+)
+
+// FP is the conventional frame pointer (r11) used by the victim programs.
+const FP = R11
+
+var regNames = [numRegs]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "sp", "lr", "pc",
+}
+
+// RegName returns the conventional name for a register index.
+func RegName(i int) string {
+	if i < 0 || i >= numRegs {
+		return "r?"
+	}
+	return regNames[i]
+}
+
+// Cond is a branch condition.
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondAL Cond = iota // always
+	CondEQ
+	CondNE
+	CondLT // signed <
+	CondGE // signed >=
+	CondGT // signed >
+	CondLE // signed <=
+	CondLO // unsigned <
+	CondHS // unsigned >=
+	CondMI // negative
+	CondPL // non-negative
+	numConds
+)
+
+var condNames = [numConds]string{"", "eq", "ne", "lt", "ge", "gt", "le", "lo", "hs", "mi", "pl"}
+
+// String implements fmt.Stringer.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return "cc?"
+}
+
+// Op is an arms opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	OpMovR Op = iota + 1 // mov rd, rn
+	OpMovW               // movw rd, #imm16 (zero-extends)
+	OpMovT               // movt rd, #imm16 (top half)
+	OpAddR               // add rd, rn, rm
+	OpAddI               // add rd, rn, #imm14
+	OpSubR               // sub rd, rn, rm
+	OpSubI               // sub rd, rn, #imm14
+	OpAndI               // and rd, rn, #imm14
+	OpOrrR               // orr rd, rn, rm
+	OpLslI               // lsl rd, rn, #imm
+	OpLsrI               // lsr rd, rn, #imm
+	OpLdr                // ldr rd, [rn, #simm14]
+	OpStr                // str rd, [rn, #simm14]
+	OpLdrb               // ldrb rd, [rn, #simm14]
+	OpStrb               // strb rd, [rn, #simm14]
+	OpCmpR               // cmp rd, rn
+	OpCmpI               // cmp rd, #simm14
+	OpTstI               // tst rd, #imm14
+	OpB                  // b<cond> rel22
+	OpBL                 // bl rel22
+	OpBLX                // blx rd (register)
+	OpBX                 // bx rd (register)
+	OpPush               // push {reglist}
+	OpPop                // pop {reglist}
+	OpSvc                // svc #imm
+	maxOp
+)
+
+// InstrSize is the fixed instruction width in bytes.
+const InstrSize = 4
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op      Op
+	Cond    Cond
+	Rd      int
+	Rn      int
+	Rm      int
+	Imm     int32  // imm14 (sign or zero extended per op) / imm16 / svc imm
+	Rel     int32  // rel22 word offset (B/BL)
+	RegList uint16 // push/pop
+}
+
+// Word encodes the instruction into its 32-bit word.
+func (in Instr) Word() uint32 {
+	w := uint32(in.Op) << 26
+	switch in.Op {
+	case OpMovR, OpAddR, OpSubR, OpOrrR:
+		w |= uint32(in.Rd)<<18 | uint32(in.Rn)<<14 | uint32(in.Rm)<<10
+	case OpMovW, OpMovT:
+		w |= uint32(in.Rd)<<18 | uint32(uint16(in.Imm))
+	case OpAddI, OpSubI, OpAndI, OpLslI, OpLsrI:
+		w |= uint32(in.Rd)<<18 | uint32(in.Rn)<<14 | uint32(in.Imm)&0x3FFF
+	case OpLdr, OpStr, OpLdrb, OpStrb:
+		w |= uint32(in.Rd)<<18 | uint32(in.Rn)<<14 | uint32(in.Imm)&0x3FFF
+	case OpCmpR:
+		w |= uint32(in.Rd)<<18 | uint32(in.Rn)<<14
+	case OpCmpI, OpTstI:
+		w |= uint32(in.Rd)<<18 | uint32(in.Imm)&0x3FFF
+	case OpB, OpBL:
+		w |= uint32(in.Cond)<<22 | uint32(in.Rel)&0x3FFFFF
+	case OpBLX, OpBX:
+		w |= uint32(in.Rd) << 18
+	case OpPush, OpPop:
+		w |= uint32(in.RegList)
+	case OpSvc:
+		w |= uint32(in.Imm) & 0x3FFFFF
+	}
+	return w
+}
+
+// signExtend extends an n-bit two's-complement value.
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode decodes a 32-bit word. It reports an error for unknown opcodes or
+// malformed fields, which the CPU surfaces as an illegal instruction —
+// this is what makes "executing garbage" crash, as on real hardware.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 26)
+	if op == 0 || op >= maxOp {
+		return Instr{}, fmt.Errorf("arms: illegal opcode %#x in word %#08x", uint8(op), w)
+	}
+	in := Instr{
+		Op:   op,
+		Cond: Cond(w >> 22 & 0xF),
+		Rd:   int(w >> 18 & 0xF),
+		Rn:   int(w >> 14 & 0xF),
+		Rm:   int(w >> 10 & 0xF),
+	}
+	switch op {
+	case OpMovR, OpCmpR:
+		in.Rm = 0
+	case OpMovW, OpMovT:
+		in.Imm = int32(w & 0xFFFF)
+		in.Rn, in.Rm = 0, 0
+	case OpAddI, OpSubI, OpAndI, OpLslI, OpLsrI, OpTstI:
+		in.Imm = int32(w & 0x3FFF) // unsigned
+		in.Rm = 0
+	case OpLdr, OpStr, OpLdrb, OpStrb, OpCmpI:
+		in.Imm = signExtend(w&0x3FFF, 14)
+		in.Rm = 0
+	case OpB, OpBL:
+		in.Rel = signExtend(w&0x3FFFFF, 22)
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	case OpBLX, OpBX:
+		in.Rn, in.Rm = 0, 0
+	case OpPush, OpPop:
+		in.RegList = uint16(w)
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	case OpSvc:
+		in.Imm = int32(w & 0x3FFFFF)
+		in.Rd, in.Rn, in.Rm = 0, 0, 0
+	}
+	if op != OpB && op != OpBL && in.Cond != CondAL {
+		return Instr{}, fmt.Errorf("arms: condition on non-branch in word %#08x", w)
+	}
+	if in.Cond >= numConds {
+		return Instr{}, fmt.Errorf("arms: illegal condition %#x in word %#08x", uint8(in.Cond), w)
+	}
+	// Canonical encoding check: don't-care bits must be zero, so that
+	// Decode(Word(in)) == in exactly and random words rarely masquerade
+	// as instructions (matching real fixed-width ISAs' undefined-bit
+	// traps).
+	if in.Word() != w {
+		return Instr{}, fmt.Errorf("arms: non-canonical word %#08x", w)
+	}
+	return in, nil
+}
+
+// regListString renders a push/pop register list.
+func regListString(list uint16) string {
+	out := "{"
+	first := true
+	for i := 0; i < 16; i++ {
+		if list&(1<<i) == 0 {
+			continue
+		}
+		if !first {
+			out += ", "
+		}
+		out += RegName(i)
+		first = false
+	}
+	return out + "}"
+}
+
+// String renders the instruction in ARM-style syntax.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpMovR:
+		return fmt.Sprintf("mov %s, %s", RegName(in.Rd), RegName(in.Rn))
+	case OpMovW:
+		return fmt.Sprintf("movw %s, #%#x", RegName(in.Rd), uint16(in.Imm))
+	case OpMovT:
+		return fmt.Sprintf("movt %s, #%#x", RegName(in.Rd), uint16(in.Imm))
+	case OpAddR:
+		return fmt.Sprintf("add %s, %s, %s", RegName(in.Rd), RegName(in.Rn), RegName(in.Rm))
+	case OpAddI:
+		return fmt.Sprintf("add %s, %s, #%d", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpSubR:
+		return fmt.Sprintf("sub %s, %s, %s", RegName(in.Rd), RegName(in.Rn), RegName(in.Rm))
+	case OpSubI:
+		return fmt.Sprintf("sub %s, %s, #%d", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpAndI:
+		return fmt.Sprintf("and %s, %s, #%#x", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpOrrR:
+		return fmt.Sprintf("orr %s, %s, %s", RegName(in.Rd), RegName(in.Rn), RegName(in.Rm))
+	case OpLslI:
+		return fmt.Sprintf("lsl %s, %s, #%d", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpLsrI:
+		return fmt.Sprintf("lsr %s, %s, #%d", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpLdr:
+		return fmt.Sprintf("ldr %s, [%s, #%d]", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpStr:
+		return fmt.Sprintf("str %s, [%s, #%d]", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpLdrb:
+		return fmt.Sprintf("ldrb %s, [%s, #%d]", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpStrb:
+		return fmt.Sprintf("strb %s, [%s, #%d]", RegName(in.Rd), RegName(in.Rn), in.Imm)
+	case OpCmpR:
+		return fmt.Sprintf("cmp %s, %s", RegName(in.Rd), RegName(in.Rn))
+	case OpCmpI:
+		return fmt.Sprintf("cmp %s, #%d", RegName(in.Rd), in.Imm)
+	case OpTstI:
+		return fmt.Sprintf("tst %s, #%#x", RegName(in.Rd), in.Imm)
+	case OpB:
+		return fmt.Sprintf("b%s %+d", in.Cond, in.Rel*InstrSize)
+	case OpBL:
+		return fmt.Sprintf("bl %+d", in.Rel*InstrSize)
+	case OpBLX:
+		return "blx " + RegName(in.Rd)
+	case OpBX:
+		return "bx " + RegName(in.Rd)
+	case OpPush:
+		return "push " + regListString(in.RegList)
+	case OpPop:
+		return "pop " + regListString(in.RegList)
+	case OpSvc:
+		return fmt.Sprintf("svc #%d", in.Imm)
+	default:
+		return "(bad)"
+	}
+}

@@ -1,0 +1,420 @@
+package arms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+func newCPU(t *testing.T, code []byte) *CPU {
+	t.Helper()
+	m := mem.New()
+	text, err := m.Map("text", 0x10000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code)
+	if _, err := m.Map("stack", 0x80000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x40000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.SetPC(0x10000)
+	c.SetSP(0x80F00)
+	c.SetReg(LR, 0xDEAD0000)
+	return c
+}
+
+func runAsm(t *testing.T, build func(a *Asm)) (*CPU, isa.Event) {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := newCPU(t, code.Bytes)
+	var ev isa.Event
+	for i := 0; i < 10000; i++ {
+		ev = c.Step()
+		if ev.Kind != isa.EventRetired || ev.PC == 0xDEAD0000 {
+			return c, ev
+		}
+	}
+	t.Fatal("run did not terminate")
+	return nil, isa.Event{}
+}
+
+func TestMovAndALU(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovImm32(R0, 0xDEADBEEF)
+		a.MovW(R1, 10)
+		a.AddI(R2, R1, 5)    // 15
+		a.SubI(R3, R2, 3)    // 12
+		a.AddR(R4, R2, R3)   // 27
+		a.SubR(R5, R4, R1)   // 17
+		a.AndI(R6, R4, 0x18) // 27 & 0x18 = 0x18
+		a.OrrR(R7, R6, R1)   // 0x18 | 10 = 0x1A
+		a.LslI(R8, R1, 4)    // 160
+		a.LsrI(R9, R8, 2)    // 40
+		a.BX(LR)
+	})
+	want := map[int]uint32{
+		R0: 0xDEADBEEF, R2: 15, R3: 12, R4: 27, R5: 17,
+		R6: 0x18, R7: 0x1A, R8: 160, R9: 40,
+	}
+	for r, w := range want {
+		if got := c.Reg(r); got != w {
+			t.Errorf("%s = %#x, want %#x", RegName(r), got, w)
+		}
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b int32
+		cond Cond
+		take bool
+	}{
+		{"eq", 5, 5, CondEQ, true},
+		{"ne", 5, 6, CondNE, true},
+		{"lt-signed", -1, 0, CondLT, true},
+		{"ge", 3, 3, CondGE, true},
+		{"gt", 4, 3, CondGT, true},
+		{"le", 3, 4, CondLE, true},
+		{"lo-unsigned", 1, 2, CondLO, true},
+		{"hs", 2, 2, CondHS, true},
+		{"mi", -5, 0, CondMI, true},
+		{"pl", 5, 0, CondPL, true},
+		{"eq-not", 1, 2, CondEQ, false},
+		{"lo-not-for-neg", -1, 0, CondLO, false}, // unsigned -1 is huge
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := runAsm(t, func(a *Asm) {
+				a.MovImm32(R0, uint32(tc.a))
+				a.MovImm32(R1, uint32(tc.b))
+				a.CmpR(R0, R1)
+				a.MovW(R2, 0)
+				a.B(tc.cond, "yes")
+				a.BAlways("out")
+				a.Label("yes")
+				a.MovW(R2, 1)
+				a.Label("out")
+				a.BX(LR)
+			})
+			if got := c.Reg(R2) == 1; got != tc.take {
+				t.Errorf("taken = %v, want %v", got, tc.take)
+			}
+		})
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	// ARM semantics: lowest register at lowest address.
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovW(R0, 0x11)
+		a.MovW(R1, 0x22)
+		a.MovW(R4, 0x44)
+		a.Push(R0, R1, R4)
+		a.MovR(R6, SP) // save for inspection
+		a.Pop(R7, R8, R9)
+		a.BX(LR)
+	})
+	base := c.Reg(R6)
+	v0, _ := c.Mem().ReadU32(base)
+	v1, _ := c.Mem().ReadU32(base + 4)
+	v2, _ := c.Mem().ReadU32(base + 8)
+	if v0 != 0x11 || v1 != 0x22 || v2 != 0x44 {
+		t.Errorf("stack layout = %#x %#x %#x, want 11 22 44", v0, v1, v2)
+	}
+	if c.Reg(R7) != 0x11 || c.Reg(R8) != 0x22 || c.Reg(R9) != 0x44 {
+		t.Errorf("pop = %#x %#x %#x", c.Reg(R7), c.Reg(R8), c.Reg(R9))
+	}
+	if c.SP() != 0x80F00 {
+		t.Errorf("sp = %#x, want balanced", c.SP())
+	}
+}
+
+func TestPopPCReturns(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.Push(LR)
+		a.MovW(R0, 7)
+		a.Pop(PC) // return via pop {pc}
+		a.MovW(R0, 99)
+	})
+	if got := c.Reg(R0); got != 7 {
+		t.Errorf("r0 = %d, want 7 (pop pc must return)", got)
+	}
+}
+
+func TestBLSetsLinkRegister(t *testing.T) {
+	// The caller saves LR around the BL (which clobbers it), the callee
+	// returns with bx lr.
+	c2, _ := runAsm(t, func(a *Asm) {
+		a.Push(LR)
+		a.MovW(R0, 0)
+		a.BLLabel("fn")
+		a.AddI(R0, R0, 100)
+		a.Pop(PC)
+		a.Label("fn")
+		a.AddI(R0, R0, 1)
+		a.BX(LR)
+	})
+	if got := c2.Reg(R0); got != 101 {
+		t.Errorf("r0 = %d, want 101", got)
+	}
+}
+
+func TestBLXThroughRegister(t *testing.T) {
+	a := NewAsm()
+	a.Push(LR)        // 0x10000
+	a.BLX(R3)         // 0x10004: call through r3, lr = 0x10008
+	a.Pop(PC)         // 0x10008: return to sentinel
+	a.AddI(R0, R0, 5) // 0x1000C: callee
+	a.BX(LR)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCPU(t, code.Bytes)
+	c.SetReg(R3, 0x1000C)
+	c.SetReg(R0, 10)
+	for i := 0; i < 100; i++ {
+		ev := c.Step()
+		if ev.PC == 0xDEAD0000 || ev.Kind != isa.EventRetired {
+			break
+		}
+	}
+	if got := c.Reg(R0); got != 15 {
+		t.Errorf("r0 = %d, want 15 (blx call + bx lr return)", got)
+	}
+}
+
+func TestLoadStoreBytesAndWords(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovImm32(R0, 0x40000)
+		a.MovImm32(R1, 0xCAFEBABE)
+		a.Str(R1, R0, 0)
+		a.Ldr(R2, R0, 0)
+		a.Ldrb(R3, R0, 1) // 0xBA
+		a.MovW(R4, 0x5A)
+		a.Strb(R4, R0, 8)
+		a.Ldrb(R5, R0, 8)
+		a.BX(LR)
+	})
+	if c.Reg(R2) != 0xCAFEBABE {
+		t.Errorf("ldr = %#x", c.Reg(R2))
+	}
+	if c.Reg(R3) != 0xBA {
+		t.Errorf("ldrb = %#x, want 0xBA (little endian)", c.Reg(R3))
+	}
+	if c.Reg(R5) != 0x5A {
+		t.Errorf("strb/ldrb = %#x", c.Reg(R5))
+	}
+}
+
+func TestPCReadsAsNextInstruction(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovR(R0, PC) // at 0x10000: r0 = 0x10004
+		a.BX(LR)
+	})
+	if got := c.Reg(R0); got != 0x10004 {
+		t.Errorf("mov r0, pc = %#x, want 0x10004", got)
+	}
+}
+
+func TestTstSetsZ(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovW(R0, 0x80)
+		a.TstI(R0, 0x80)
+		a.MovW(R1, 0)
+		a.B(CondNE, "set")
+		a.BAlways("out")
+		a.Label("set")
+		a.MovW(R1, 1)
+		a.Label("out")
+		a.TstI(R0, 0x40)
+		a.MovW(R2, 0)
+		a.B(CondEQ, "zero")
+		a.BAlways("end")
+		a.Label("zero")
+		a.MovW(R2, 1)
+		a.Label("end")
+		a.BX(LR)
+	})
+	if c.Reg(R1) != 1 || c.Reg(R2) != 1 {
+		t.Errorf("tst results = %d, %d, want 1, 1", c.Reg(R1), c.Reg(R2))
+	}
+}
+
+func TestSvcEvent(t *testing.T) {
+	a := NewAsm()
+	a.Svc(0)
+	code, _ := a.Assemble()
+	c := newCPU(t, code.Bytes)
+	ev := c.Step()
+	if ev.Kind != isa.EventSyscall {
+		t.Fatalf("event = %v", ev.Kind)
+	}
+	if c.PC() != 0x10004 {
+		t.Errorf("pc = %#x, want advanced past svc", c.PC())
+	}
+}
+
+func TestIllegalWordFaults(t *testing.T) {
+	c := newCPU(t, []byte{0, 0, 0, 0}) // opcode 0
+	if ev := c.Step(); ev.Kind != isa.EventFault || !ev.Illegal {
+		t.Errorf("event = %+v, want illegal fault", ev)
+	}
+	// Condition bits on a non-branch are illegal.
+	w := Instr{Op: OpMovR, Rd: R0, Rn: R1}.Word() | uint32(CondEQ)<<22
+	if _, err := Decode(w); err == nil {
+		t.Error("conditional mov decoded")
+	}
+}
+
+// TestQuickEncodeDecodeRoundTrip: every well-formed instruction survives
+// Word() -> Decode() intact.
+func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randInstr := func() Instr {
+		ops := []Op{
+			OpMovR, OpMovW, OpMovT, OpAddR, OpAddI, OpSubR, OpSubI, OpAndI,
+			OpOrrR, OpLslI, OpLsrI, OpLdr, OpStr, OpLdrb, OpStrb, OpCmpR,
+			OpCmpI, OpTstI, OpB, OpBL, OpBLX, OpBX, OpPush, OpPop, OpSvc,
+		}
+		in := Instr{Op: ops[rng.Intn(len(ops))]}
+		switch in.Op {
+		case OpMovR, OpCmpR:
+			in.Rd, in.Rn = rng.Intn(16), rng.Intn(16)
+		case OpMovW, OpMovT:
+			in.Rd, in.Imm = rng.Intn(16), int32(rng.Intn(0x10000))
+		case OpAddR, OpSubR, OpOrrR:
+			in.Rd, in.Rn, in.Rm = rng.Intn(16), rng.Intn(16), rng.Intn(16)
+		case OpAddI, OpSubI, OpAndI, OpLslI, OpLsrI, OpTstI:
+			in.Rd, in.Rn, in.Imm = rng.Intn(16), rng.Intn(16), int32(rng.Intn(0x4000))
+			if in.Op == OpTstI {
+				in.Rn = 0
+			}
+		case OpLdr, OpStr, OpLdrb, OpStrb, OpCmpI:
+			in.Rd, in.Rn, in.Imm = rng.Intn(16), rng.Intn(16), int32(rng.Intn(0x4000)-0x2000)
+			if in.Op == OpCmpI {
+				in.Rn = 0
+			}
+		case OpB:
+			in.Cond, in.Rel = Cond(rng.Intn(int(numConds))), int32(rng.Intn(0x400000)-0x200000)
+		case OpBL:
+			in.Rel = int32(rng.Intn(0x400000) - 0x200000)
+		case OpBLX, OpBX:
+			in.Rd = rng.Intn(16)
+		case OpPush, OpPop:
+			in.RegList = uint16(rng.Uint32())
+		case OpSvc:
+			in.Imm = int32(rng.Intn(0x400000))
+		}
+		return in
+	}
+	for trial := 0; trial < 3000; trial++ {
+		in := randInstr()
+		got, err := Decode(in.Word())
+		if err != nil {
+			t.Fatalf("trial %d: %v for %+v", trial, err, in)
+		}
+		if got.Op != in.Op || got.Rd != in.Rd || got.Rn != in.Rn || got.Rm != in.Rm ||
+			got.Imm != in.Imm || got.Rel != in.Rel || got.RegList != in.RegList ||
+			got.Cond != in.Cond {
+			t.Fatalf("trial %d: round trip %+v -> %+v", trial, in, got)
+		}
+		if got.String() == "(bad)" {
+			t.Fatalf("trial %d: bad rendering for %+v", trial, in)
+		}
+	}
+}
+
+// TestQuickSignExtend: the rel22/imm14 sign extension is exact.
+func TestQuickSignExtend(t *testing.T) {
+	prop := func(v int32) bool {
+		r := v % (1 << 21)
+		in := Instr{Op: OpBL, Rel: r}
+		got, err := Decode(in.Word())
+		return err == nil && got.Rel == r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssemblerRangeChecks(t *testing.T) {
+	a := NewAsm()
+	a.AddI(R0, R1, 0x4000) // out of imm14 range
+	if _, err := a.Assemble(); err == nil {
+		t.Error("oversized add imm accepted")
+	}
+	b := NewAsm()
+	b.Ldr(R0, R1, 9000)
+	if _, err := b.Assemble(); err == nil {
+		t.Error("oversized ldr offset accepted")
+	}
+	c := NewAsm()
+	c.BAlways("missing")
+	if _, err := c.Assemble(); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestPatchHelpers(t *testing.T) {
+	a := NewAsm()
+	a.MovSym(R0, "x", 0)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PatchMovWT(code.Bytes, 0, 0x12345678); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := Decode(word(code.Bytes, 0))
+	hi, _ := Decode(word(code.Bytes, 4))
+	if uint16(lo.Imm) != 0x5678 || uint16(hi.Imm) != 0x1234 {
+		t.Errorf("patched pair = %#x %#x", lo.Imm, hi.Imm)
+	}
+	if err := PatchMovWT(code.Bytes, 4, 1); err == nil {
+		t.Error("patch on non-pair accepted")
+	}
+
+	b := NewAsm()
+	b.BL("fn")
+	bc, _ := b.Assemble()
+	if err := PatchBranch(bc.Bytes, 0, 0x10000, 0x10100); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := Decode(word(bc.Bytes, 0))
+	if in.Rel != (0x10100-0x10004)/4 {
+		t.Errorf("patched rel = %d", in.Rel)
+	}
+	if err := PatchBranch(bc.Bytes, 0, 0x10000, 0x10001); err == nil {
+		t.Error("misaligned branch target accepted")
+	}
+}
+
+func word(b []byte, off int) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func TestDisassemblerInterface(t *testing.T) {
+	a := NewAsm()
+	a.Nop()
+	code, _ := a.Assemble()
+	c := newCPU(t, code.Bytes)
+	var d isa.Disassembler = Disasm{}
+	text, size, err := d.DisasmAt(c.Mem(), 0x10000)
+	if err != nil || text != "mov r1, r1" || size != 4 {
+		t.Errorf("DisasmAt = %q, %d, %v", text, size, err)
+	}
+}

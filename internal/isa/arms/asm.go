@@ -1,0 +1,361 @@
+package arms
+
+import (
+	"fmt"
+)
+
+// RelocKind is how the linker patches an arms symbol reference.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelocMovWT patches a movw/movt instruction pair (8 bytes at Off) with
+	// the low and high halves of the symbol address.
+	RelocMovWT RelocKind = iota + 1
+	// RelocBranch patches the rel22 field of a b/bl at Off with the word
+	// offset to the symbol.
+	RelocBranch
+	// RelocWord32 patches a literal 32-bit data word with the symbol
+	// address (literal pools, jump tables).
+	RelocWord32
+)
+
+// Reloc is an unresolved arms symbol reference.
+type Reloc struct {
+	Off    int
+	Kind   RelocKind
+	Symbol string
+	Addend int32
+}
+
+// Code is the output of Asm.Assemble.
+type Code struct {
+	Bytes  []byte
+	Relocs []Reloc
+}
+
+type labelFixup struct {
+	off   int // word offset of the branch instruction
+	label string
+}
+
+// Asm is a builder-style assembler for one arms function.
+type Asm struct {
+	words  []uint32
+	labels map[string]int // word index
+	lfix   []labelFixup
+	relocs []Reloc
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm { return &Asm{labels: make(map[string]int)} }
+
+func (a *Asm) emit(in Instr) *Asm {
+	a.words = append(a.words, in.Word())
+	return a
+}
+
+func (a *Asm) setErr(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Nop emits the conventional no-op, mov r1, r1 — arms has no dedicated
+// single-byte NOP, exactly the property the paper works around.
+func (a *Asm) Nop() *Asm { return a.MovR(R1, R1) }
+
+// MovR emits mov rd, rn.
+func (a *Asm) MovR(rd, rn int) *Asm { return a.emit(Instr{Op: OpMovR, Rd: rd, Rn: rn}) }
+
+// MovW emits movw rd, #imm16.
+func (a *Asm) MovW(rd int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpMovW, Rd: rd, Imm: int32(imm)})
+}
+
+// MovT emits movt rd, #imm16.
+func (a *Asm) MovT(rd int, imm uint16) *Asm {
+	return a.emit(Instr{Op: OpMovT, Rd: rd, Imm: int32(imm)})
+}
+
+// MovImm32 emits a movw/movt pair loading a full 32-bit constant.
+func (a *Asm) MovImm32(rd int, v uint32) *Asm {
+	a.MovW(rd, uint16(v))
+	return a.MovT(rd, uint16(v>>16))
+}
+
+// MovSym emits a movw/movt pair loading the address of sym+addend, patched
+// by the linker.
+func (a *Asm) MovSym(rd int, sym string, addend int32) *Asm {
+	a.relocs = append(a.relocs, Reloc{
+		Off: len(a.words) * InstrSize, Kind: RelocMovWT, Symbol: sym, Addend: addend,
+	})
+	a.MovW(rd, 0)
+	return a.MovT(rd, 0)
+}
+
+// AddR emits add rd, rn, rm.
+func (a *Asm) AddR(rd, rn, rm int) *Asm {
+	return a.emit(Instr{Op: OpAddR, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// AddI emits add rd, rn, #imm (0..16383).
+func (a *Asm) AddI(rd, rn int, imm int32) *Asm {
+	if imm < 0 || imm > 0x3FFF {
+		a.setErr("arms asm: add imm %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpAddI, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// SubR emits sub rd, rn, rm.
+func (a *Asm) SubR(rd, rn, rm int) *Asm {
+	return a.emit(Instr{Op: OpSubR, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// SubI emits sub rd, rn, #imm (0..16383).
+func (a *Asm) SubI(rd, rn int, imm int32) *Asm {
+	if imm < 0 || imm > 0x3FFF {
+		a.setErr("arms asm: sub imm %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpSubI, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// AndI emits and rd, rn, #imm.
+func (a *Asm) AndI(rd, rn int, imm int32) *Asm {
+	if imm < 0 || imm > 0x3FFF {
+		a.setErr("arms asm: and imm %#x out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpAndI, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// OrrR emits orr rd, rn, rm.
+func (a *Asm) OrrR(rd, rn, rm int) *Asm {
+	return a.emit(Instr{Op: OpOrrR, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// LslI emits lsl rd, rn, #imm.
+func (a *Asm) LslI(rd, rn int, imm int32) *Asm {
+	return a.emit(Instr{Op: OpLslI, Rd: rd, Rn: rn, Imm: imm & 31})
+}
+
+// LsrI emits lsr rd, rn, #imm.
+func (a *Asm) LsrI(rd, rn int, imm int32) *Asm {
+	return a.emit(Instr{Op: OpLsrI, Rd: rd, Rn: rn, Imm: imm & 31})
+}
+
+func immOffsetOK(imm int32) bool { return imm >= -8192 && imm <= 8191 }
+
+// Ldr emits ldr rd, [rn, #imm].
+func (a *Asm) Ldr(rd, rn int, imm int32) *Asm {
+	if !immOffsetOK(imm) {
+		a.setErr("arms asm: ldr offset %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpLdr, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Str emits str rd, [rn, #imm].
+func (a *Asm) Str(rd, rn int, imm int32) *Asm {
+	if !immOffsetOK(imm) {
+		a.setErr("arms asm: str offset %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpStr, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Ldrb emits ldrb rd, [rn, #imm].
+func (a *Asm) Ldrb(rd, rn int, imm int32) *Asm {
+	if !immOffsetOK(imm) {
+		a.setErr("arms asm: ldrb offset %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpLdrb, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Strb emits strb rd, [rn, #imm].
+func (a *Asm) Strb(rd, rn int, imm int32) *Asm {
+	if !immOffsetOK(imm) {
+		a.setErr("arms asm: strb offset %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpStrb, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// CmpR emits cmp ra, rb.
+func (a *Asm) CmpR(ra, rb int) *Asm { return a.emit(Instr{Op: OpCmpR, Rd: ra, Rn: rb}) }
+
+// CmpI emits cmp ra, #imm.
+func (a *Asm) CmpI(ra int, imm int32) *Asm {
+	if !immOffsetOK(imm) {
+		a.setErr("arms asm: cmp imm %d out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpCmpI, Rd: ra, Imm: imm})
+}
+
+// TstI emits tst ra, #imm.
+func (a *Asm) TstI(ra int, imm int32) *Asm {
+	if imm < 0 || imm > 0x3FFF {
+		a.setErr("arms asm: tst imm %#x out of range", imm)
+		return a
+	}
+	return a.emit(Instr{Op: OpTstI, Rd: ra, Imm: imm})
+}
+
+// Label defines a local label at the current offset.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.setErr("arms asm: duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.words)
+	return a
+}
+
+// B emits b<cond> to a local label.
+func (a *Asm) B(cond Cond, label string) *Asm {
+	a.lfix = append(a.lfix, labelFixup{off: len(a.words), label: label})
+	return a.emit(Instr{Op: OpB, Cond: cond})
+}
+
+// BAlways emits an unconditional branch to a local label.
+func (a *Asm) BAlways(label string) *Asm { return a.B(CondAL, label) }
+
+// BL emits bl to an external symbol.
+func (a *Asm) BL(sym string) *Asm {
+	a.relocs = append(a.relocs, Reloc{
+		Off: len(a.words) * InstrSize, Kind: RelocBranch, Symbol: sym,
+	})
+	return a.emit(Instr{Op: OpBL})
+}
+
+// BLLabel emits bl to a local label.
+func (a *Asm) BLLabel(label string) *Asm {
+	a.lfix = append(a.lfix, labelFixup{off: len(a.words), label: label})
+	return a.emit(Instr{Op: OpBL})
+}
+
+// BLX emits blx rd.
+func (a *Asm) BLX(rd int) *Asm { return a.emit(Instr{Op: OpBLX, Rd: rd}) }
+
+// BX emits bx rd. BX LR is the conventional leaf return.
+func (a *Asm) BX(rd int) *Asm { return a.emit(Instr{Op: OpBX, Rd: rd}) }
+
+// Push emits push {regs}.
+func (a *Asm) Push(regs ...int) *Asm {
+	var list uint16
+	for _, r := range regs {
+		list |= 1 << r
+	}
+	return a.emit(Instr{Op: OpPush, RegList: list})
+}
+
+// Pop emits pop {regs}. Including PC makes it a return.
+func (a *Asm) Pop(regs ...int) *Asm {
+	var list uint16
+	for _, r := range regs {
+		list |= 1 << r
+	}
+	return a.emit(Instr{Op: OpPop, RegList: list})
+}
+
+// Svc emits svc #imm.
+func (a *Asm) Svc(imm int32) *Asm { return a.emit(Instr{Op: OpSvc, Imm: imm}) }
+
+// Word emits a literal data word (for inline literal pools).
+func (a *Asm) Word(v uint32) *Asm {
+	a.words = append(a.words, v)
+	return a
+}
+
+// WordSym emits a literal data word holding the address of sym+addend.
+func (a *Asm) WordSym(sym string, addend int32) *Asm {
+	a.relocs = append(a.relocs, Reloc{
+		Off: len(a.words) * InstrSize, Kind: RelocWord32, Symbol: sym, Addend: addend,
+	})
+	return a.Word(0)
+}
+
+// Len returns the current code length in bytes.
+func (a *Asm) Len() int { return len(a.words) * InstrSize }
+
+// Assemble resolves label fixups and returns the encoded function.
+func (a *Asm) Assemble() (Code, error) {
+	if a.err != nil {
+		return Code{}, a.err
+	}
+	for _, f := range a.lfix {
+		tgt, ok := a.labels[f.label]
+		if !ok {
+			return Code{}, fmt.Errorf("arms asm: undefined label %q", f.label)
+		}
+		rel := int32(tgt - (f.off + 1))
+		if rel < -(1<<21) || rel >= 1<<21 {
+			return Code{}, fmt.Errorf("arms asm: label %q out of range", f.label)
+		}
+		a.words[f.off] = a.words[f.off]&^uint32(0x3FFFFF) | uint32(rel)&0x3FFFFF
+	}
+	out := make([]byte, len(a.words)*InstrSize)
+	for i, w := range a.words {
+		out[i*4] = byte(w)
+		out[i*4+1] = byte(w >> 8)
+		out[i*4+2] = byte(w >> 16)
+		out[i*4+3] = byte(w >> 24)
+	}
+	relocs := make([]Reloc, len(a.relocs))
+	copy(relocs, a.relocs)
+	return Code{Bytes: out, Relocs: relocs}, nil
+}
+
+// PatchMovWT rewrites the movw/movt pair at byte offset off in code with
+// value v. Used by the linker to apply RelocMovWT.
+func PatchMovWT(code []byte, off int, v uint32) error {
+	if off+8 > len(code) {
+		return fmt.Errorf("arms: movw/movt patch at %d out of bounds", off)
+	}
+	lo := uint32(code[off]) | uint32(code[off+1])<<8 | uint32(code[off+2])<<16 | uint32(code[off+3])<<24
+	hi := uint32(code[off+4]) | uint32(code[off+5])<<8 | uint32(code[off+6])<<16 | uint32(code[off+7])<<24
+	if Op(lo>>26) != OpMovW || Op(hi>>26) != OpMovT {
+		return fmt.Errorf("arms: movw/movt patch at %d does not cover a movw/movt pair", off)
+	}
+	lo = lo&^uint32(0xFFFF) | v&0xFFFF
+	hi = hi&^uint32(0xFFFF) | v>>16
+	putWord(code[off:], lo)
+	putWord(code[off+4:], hi)
+	return nil
+}
+
+// PatchBranch rewrites the rel22 field of the b/bl at byte offset off so it
+// targets absolute address target, given the instruction's absolute
+// address site.
+func PatchBranch(code []byte, off int, site, target uint32) error {
+	if off+4 > len(code) {
+		return fmt.Errorf("arms: branch patch at %d out of bounds", off)
+	}
+	w := uint32(code[off]) | uint32(code[off+1])<<8 | uint32(code[off+2])<<16 | uint32(code[off+3])<<24
+	if op := Op(w >> 26); op != OpB && op != OpBL {
+		return fmt.Errorf("arms: branch patch at %d is not a branch", off)
+	}
+	diff := int64(target) - int64(site+InstrSize)
+	if diff%InstrSize != 0 {
+		return fmt.Errorf("arms: branch target %#x misaligned", target)
+	}
+	rel := diff / InstrSize
+	if rel < -(1<<21) || rel >= 1<<21 {
+		return fmt.Errorf("arms: branch target %#x out of range from %#x", target, site)
+	}
+	w = w&^uint32(0x3FFFFF) | uint32(rel)&0x3FFFFF
+	putWord(code[off:], w)
+	return nil
+}
+
+func putWord(b []byte, w uint32) {
+	b[0] = byte(w)
+	b[1] = byte(w >> 8)
+	b[2] = byte(w >> 16)
+	b[3] = byte(w >> 24)
+}

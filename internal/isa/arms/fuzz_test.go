@@ -1,0 +1,22 @@
+package arms
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeNeverPanics: any 32-bit word either decodes or errors;
+// whatever decodes re-encodes to a word that decodes identically.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	prop := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		again, err := Decode(in.Word())
+		return err == nil && again == in && in.String() != ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,436 @@
+package x86s
+
+import (
+	"fmt"
+)
+
+// RelocKind is how a linker patches a symbol reference.
+type RelocKind uint8
+
+// Relocation kinds.
+const (
+	// RelocAbs32 patches the absolute 32-bit address of the symbol.
+	RelocAbs32 RelocKind = iota + 1
+	// RelocRel32 patches symbol - (site + 4), the call/jmp rel32 form.
+	RelocRel32
+)
+
+// Reloc is an unresolved reference to an external symbol, to be patched by
+// the image linker once final addresses are known.
+type Reloc struct {
+	Off    int // offset of the 32-bit patch site within the code
+	Kind   RelocKind
+	Symbol string
+	Addend int32
+}
+
+// Code is the output of Asm.Assemble: position-dependent bytes plus the
+// relocations the linker must apply.
+type Code struct {
+	Bytes  []byte
+	Relocs []Reloc
+}
+
+type labelFixup struct {
+	off   int // patch site offset
+	size  int // 1 or 4
+	next  int // offset of the following instruction (rel base)
+	label string
+}
+
+// Asm is a builder-style assembler for one x86s function. Label references
+// are intra-function; symbol references are resolved later by the linker.
+type Asm struct {
+	buf    []byte
+	labels map[string]int
+	lfix   []labelFixup
+	relocs []Reloc
+	err    error
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[string]int)}
+}
+
+func (a *Asm) emit(b ...byte) { a.buf = append(a.buf, b...) }
+
+func (a *Asm) emit32(v uint32) {
+	a.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (a *Asm) setErr(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf(format, args...)
+	}
+}
+
+// emitModRM emits a ModRM (+SIB/disp) for a memory operand [base+disp], or
+// an absolute [disp32] when base == MemAbs.
+func (a *Asm) emitModRM(reg, base int, disp int32) {
+	if base == MemAbs {
+		a.emit(byte(reg<<3 | 5))
+		a.emit32(uint32(disp))
+		return
+	}
+	var mod byte
+	switch {
+	case disp == 0 && base != EBP:
+		mod = 0
+	case disp >= -128 && disp <= 127:
+		mod = 1
+	default:
+		mod = 2
+	}
+	a.emit(mod<<6 | byte(reg<<3) | byte(base&7))
+	if base == ESP {
+		a.emit(0x24) // SIB: no index, base=esp
+	}
+	switch mod {
+	case 1:
+		a.emit(byte(int8(disp)))
+	case 2:
+		a.emit32(uint32(disp))
+	}
+}
+
+// emitModRMReg emits a register-direct ModRM.
+func (a *Asm) emitModRMReg(reg, rm int) {
+	a.emit(0xC0 | byte(reg<<3) | byte(rm&7))
+}
+
+// Raw emits literal bytes.
+func (a *Asm) Raw(b ...byte) *Asm { a.emit(b...); return a }
+
+// Nop emits nop (0x90).
+func (a *Asm) Nop() *Asm { a.emit(0x90); return a }
+
+// Ret emits ret.
+func (a *Asm) Ret() *Asm { a.emit(0xC3); return a }
+
+// Leave emits leave.
+func (a *Asm) Leave() *Asm { a.emit(0xC9); return a }
+
+// Movsb emits movsb.
+func (a *Asm) Movsb() *Asm { a.emit(0xA4); return a }
+
+// PushR emits push r32.
+func (a *Asm) PushR(r int) *Asm { a.emit(0x50 + byte(r)); return a }
+
+// PopR emits pop r32.
+func (a *Asm) PopR(r int) *Asm { a.emit(0x58 + byte(r)); return a }
+
+// IncR emits inc r32.
+func (a *Asm) IncR(r int) *Asm { a.emit(0x40 + byte(r)); return a }
+
+// DecR emits dec r32.
+func (a *Asm) DecR(r int) *Asm { a.emit(0x48 + byte(r)); return a }
+
+// PushI emits push imm32.
+func (a *Asm) PushI(v uint32) *Asm { a.emit(0x68); a.emit32(v); return a }
+
+// PushISym emits push imm32 whose value is the address of sym+addend.
+func (a *Asm) PushISym(sym string, addend int32) *Asm {
+	a.emit(0x68)
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym, Addend: addend})
+	a.emit32(0)
+	return a
+}
+
+// MovRI emits mov r32, imm32.
+func (a *Asm) MovRI(r int, v uint32) *Asm { a.emit(0xB8 + byte(r)); a.emit32(v); return a }
+
+// MovRISym emits mov r32, imm32 with the address of sym+addend.
+func (a *Asm) MovRISym(r int, sym string, addend int32) *Asm {
+	a.emit(0xB8 + byte(r))
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym, Addend: addend})
+	a.emit32(0)
+	return a
+}
+
+// MovRR emits mov dst, src (0x89 reg form).
+func (a *Asm) MovRR(dst, src int) *Asm { a.emit(0x89); a.emitModRMReg(src, dst); return a }
+
+// MovRM emits mov dst, [base+disp].
+func (a *Asm) MovRM(dst, base int, disp int32) *Asm {
+	a.emit(0x8B)
+	a.emitModRM(dst, base, disp)
+	return a
+}
+
+// MovRMAbsSym emits mov dst, [sym+addend].
+func (a *Asm) MovRMAbsSym(dst int, sym string, addend int32) *Asm {
+	a.emit(0x8B)
+	a.emit(byte(dst<<3 | 5))
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym, Addend: addend})
+	a.emit32(0)
+	return a
+}
+
+// MovMR emits mov [base+disp], src.
+func (a *Asm) MovMR(base int, disp int32, src int) *Asm {
+	a.emit(0x89)
+	a.emitModRM(src, base, disp)
+	return a
+}
+
+// MovMRAbsSym emits mov [sym+addend], src.
+func (a *Asm) MovMRAbsSym(sym string, addend int32, src int) *Asm {
+	a.emit(0x89)
+	a.emit(byte(src<<3 | 5))
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym, Addend: addend})
+	a.emit32(0)
+	return a
+}
+
+// MovMI emits mov dword [base+disp], imm32.
+func (a *Asm) MovMI(base int, disp int32, v uint32) *Asm {
+	a.emit(0xC7)
+	a.emitModRM(0, base, disp)
+	a.emit32(v)
+	return a
+}
+
+// MovMI8 emits mov byte [base+disp], imm8.
+func (a *Asm) MovMI8(base int, disp int32, v uint8) *Asm {
+	a.emit(0xC6)
+	a.emitModRM(0, base, disp)
+	a.emit(v)
+	return a
+}
+
+// MovRM8 emits mov r8, byte [base+disp].
+func (a *Asm) MovRM8(dst8, base int, disp int32) *Asm {
+	a.emit(0x8A)
+	a.emitModRM(dst8, base, disp)
+	return a
+}
+
+// MovMR8 emits mov byte [base+disp], r8.
+func (a *Asm) MovMR8(base int, disp int32, src8 int) *Asm {
+	a.emit(0x88)
+	a.emitModRM(src8, base, disp)
+	return a
+}
+
+// Movzx8M emits movzx dst, byte [base+disp].
+func (a *Asm) Movzx8M(dst, base int, disp int32) *Asm {
+	a.emit(0x0F, 0xB6)
+	a.emitModRM(dst, base, disp)
+	return a
+}
+
+// Movzx8R emits movzx dst, src8.
+func (a *Asm) Movzx8R(dst, src8 int) *Asm {
+	a.emit(0x0F, 0xB6)
+	a.emitModRMReg(dst, src8)
+	return a
+}
+
+// Lea emits lea dst, [base+disp].
+func (a *Asm) Lea(dst, base int, disp int32) *Asm {
+	a.emit(0x8D)
+	a.emitModRM(dst, base, disp)
+	return a
+}
+
+var aluRROpcode = map[Alu]byte{
+	AluAdd: 0x01, AluOr: 0x09, AluAnd: 0x21,
+	AluSub: 0x29, AluXor: 0x31, AluCmp: 0x39,
+}
+
+// AluRR emits "<alu> dst, src" in the r/m32,r32 form.
+func (a *Asm) AluRR(op Alu, dst, src int) *Asm {
+	oc, ok := aluRROpcode[op]
+	if !ok {
+		a.setErr("x86s asm: unsupported alu %v", op)
+		return a
+	}
+	a.emit(oc)
+	a.emitModRMReg(src, dst)
+	return a
+}
+
+// AddRR emits add dst, src.
+func (a *Asm) AddRR(dst, src int) *Asm { return a.AluRR(AluAdd, dst, src) }
+
+// SubRR emits sub dst, src.
+func (a *Asm) SubRR(dst, src int) *Asm { return a.AluRR(AluSub, dst, src) }
+
+// XorRR emits xor dst, src.
+func (a *Asm) XorRR(dst, src int) *Asm { return a.AluRR(AluXor, dst, src) }
+
+// CmpRR emits cmp aReg, bReg.
+func (a *Asm) CmpRR(x, y int) *Asm { return a.AluRR(AluCmp, x, y) }
+
+// AluRI emits "<alu> r32, imm", picking the short imm8 form when possible.
+func (a *Asm) AluRI(op Alu, r int, v int32) *Asm {
+	if _, ok := aluNames[op]; !ok {
+		a.setErr("x86s asm: unsupported alu %v", op)
+		return a
+	}
+	if v >= -128 && v <= 127 {
+		a.emit(0x83)
+		a.emitModRMReg(int(op), r)
+		a.emit(byte(int8(v)))
+		return a
+	}
+	a.emit(0x81)
+	a.emitModRMReg(int(op), r)
+	a.emit32(uint32(v))
+	return a
+}
+
+// AddRI emits add r, imm.
+func (a *Asm) AddRI(r int, v int32) *Asm { return a.AluRI(AluAdd, r, v) }
+
+// SubRI emits sub r, imm.
+func (a *Asm) SubRI(r int, v int32) *Asm { return a.AluRI(AluSub, r, v) }
+
+// AndRI emits and r, imm.
+func (a *Asm) AndRI(r int, v int32) *Asm { return a.AluRI(AluAnd, r, v) }
+
+// CmpRI emits cmp r, imm.
+func (a *Asm) CmpRI(r int, v int32) *Asm { return a.AluRI(AluCmp, r, v) }
+
+// TestRR emits test x, y.
+func (a *Asm) TestRR(x, y int) *Asm {
+	a.emit(0x85)
+	a.emitModRMReg(y, x)
+	return a
+}
+
+// IntN emits int imm8.
+func (a *Asm) IntN(n uint8) *Asm { a.emit(0xCD, n); return a }
+
+// ShlRI emits shl r32, imm8.
+func (a *Asm) ShlRI(r int, n uint8) *Asm {
+	a.emit(0xC1)
+	a.emitModRMReg(4, r)
+	a.emit(n)
+	return a
+}
+
+// ShrRI emits shr r32, imm8.
+func (a *Asm) ShrRI(r int, n uint8) *Asm {
+	a.emit(0xC1)
+	a.emitModRMReg(5, r)
+	a.emit(n)
+	return a
+}
+
+// Label defines a local label at the current offset.
+func (a *Asm) Label(name string) *Asm {
+	if _, dup := a.labels[name]; dup {
+		a.setErr("x86s asm: duplicate label %q", name)
+		return a
+	}
+	a.labels[name] = len(a.buf)
+	return a
+}
+
+// Jmp emits jmp rel32 to a local label.
+func (a *Asm) Jmp(label string) *Asm {
+	a.emit(0xE9)
+	a.lfix = append(a.lfix, labelFixup{off: len(a.buf), size: 4, next: len(a.buf) + 4, label: label})
+	a.emit32(0)
+	return a
+}
+
+// Jcc emits jcc rel32 to a local label.
+func (a *Asm) Jcc(c Cond, label string) *Asm {
+	a.emit(0x0F, 0x80+byte(c))
+	a.lfix = append(a.lfix, labelFixup{off: len(a.buf), size: 4, next: len(a.buf) + 4, label: label})
+	a.emit32(0)
+	return a
+}
+
+// Jecxz emits jecxz rel8 to a local label (±127 bytes).
+func (a *Asm) Jecxz(label string) *Asm {
+	a.emit(0xE3)
+	a.lfix = append(a.lfix, labelFixup{off: len(a.buf), size: 1, next: len(a.buf) + 1, label: label})
+	a.emit(0)
+	return a
+}
+
+// CallLabel emits call rel32 to a local label.
+func (a *Asm) CallLabel(label string) *Asm {
+	a.emit(0xE8)
+	a.lfix = append(a.lfix, labelFixup{off: len(a.buf), size: 4, next: len(a.buf) + 4, label: label})
+	a.emit32(0)
+	return a
+}
+
+// CallSym emits call rel32 to an external symbol.
+func (a *Asm) CallSym(sym string) *Asm {
+	a.emit(0xE8)
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocRel32, Symbol: sym})
+	a.emit32(0)
+	return a
+}
+
+// CallR emits call reg.
+func (a *Asm) CallR(r int) *Asm {
+	a.emit(0xFF)
+	a.emitModRMReg(2, r)
+	return a
+}
+
+// JmpMAbsSym emits jmp dword [sym] — the PLT stub form (FF 25 disp32).
+func (a *Asm) JmpMAbsSym(sym string) *Asm {
+	a.emit(0xFF, 0x25)
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym})
+	a.emit32(0)
+	return a
+}
+
+// PushM emits push dword [base+disp].
+func (a *Asm) PushM(base int, disp int32) *Asm {
+	a.emit(0xFF)
+	a.emitModRM(6, base, disp)
+	return a
+}
+
+// PushMAbsSym emits push dword [sym].
+func (a *Asm) PushMAbsSym(sym string) *Asm {
+	a.emit(0xFF, 0x35)
+	a.relocs = append(a.relocs, Reloc{Off: len(a.buf), Kind: RelocAbs32, Symbol: sym})
+	a.emit32(0)
+	return a
+}
+
+// Len returns the current code length in bytes.
+func (a *Asm) Len() int { return len(a.buf) }
+
+// Assemble resolves label fixups and returns the code with its outstanding
+// symbol relocations.
+func (a *Asm) Assemble() (Code, error) {
+	if a.err != nil {
+		return Code{}, a.err
+	}
+	for _, f := range a.lfix {
+		tgt, ok := a.labels[f.label]
+		if !ok {
+			return Code{}, fmt.Errorf("x86s asm: undefined label %q", f.label)
+		}
+		rel := tgt - f.next
+		switch f.size {
+		case 1:
+			if rel < -128 || rel > 127 {
+				return Code{}, fmt.Errorf("x86s asm: label %q out of rel8 range (%d)", f.label, rel)
+			}
+			a.buf[f.off] = byte(int8(rel))
+		case 4:
+			v := uint32(int32(rel))
+			a.buf[f.off] = byte(v)
+			a.buf[f.off+1] = byte(v >> 8)
+			a.buf[f.off+2] = byte(v >> 16)
+			a.buf[f.off+3] = byte(v >> 24)
+		}
+	}
+	out := make([]byte, len(a.buf))
+	copy(out, a.buf)
+	relocs := make([]Reloc, len(a.relocs))
+	copy(relocs, a.relocs)
+	return Code{Bytes: out, Relocs: relocs}, nil
+}

@@ -1,0 +1,494 @@
+package x86s
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode errors.
+var (
+	// ErrTruncated means the byte window ended mid-instruction.
+	ErrTruncated = errors.New("x86s: truncated instruction")
+	// ErrIllegal means the bytes do not encode a supported instruction.
+	ErrIllegal = errors.New("x86s: illegal instruction")
+)
+
+// modRM is the decoded form of a ModRM (+ optional SIB/displacement)
+// operand cluster.
+type modRM struct {
+	reg  int   // the /r register field
+	rm   int   // register operand when !mem
+	mem  bool  // r/m is a memory operand
+	base int   // memory base register, or MemAbs
+	disp int32 // memory displacement
+	size uint32
+}
+
+// decodeModRM parses a ModRM byte (plus SIB and displacement) from b.
+// Supported addressing forms: register-direct, [reg], [reg+disp8/32],
+// [disp32], and [esp(+disp)] via the index-none SIB form. This covers every
+// form the lab's assembler emits.
+func decodeModRM(b []byte) (modRM, error) {
+	if len(b) < 1 {
+		return modRM{}, ErrTruncated
+	}
+	m := b[0]
+	mod := int(m >> 6)
+	reg := int(m >> 3 & 7)
+	rm := int(m & 7)
+	out := modRM{reg: reg, size: 1}
+
+	if mod == 3 {
+		out.rm = rm
+		return out, nil
+	}
+	out.mem = true
+	out.base = rm
+	idx := 1
+	if rm == 4 { // SIB byte
+		if len(b) < 2 {
+			return modRM{}, ErrTruncated
+		}
+		sib := b[1]
+		if sib>>3&7 != 4 { // index register present: unsupported
+			return modRM{}, ErrIllegal
+		}
+		out.base = int(sib & 7)
+		out.size++
+		idx++
+		if mod == 0 && out.base == 5 { // [disp32] via SIB
+			out.base = MemAbs
+		}
+	}
+	switch mod {
+	case 0:
+		if rm == 5 { // [disp32]
+			if len(b) < idx+4 {
+				return modRM{}, ErrTruncated
+			}
+			out.base = MemAbs
+			out.disp = int32(le32(b[idx:]))
+			out.size += 4
+		}
+		if out.base == MemAbs && rm == 4 {
+			if len(b) < idx+4 {
+				return modRM{}, ErrTruncated
+			}
+			out.disp = int32(le32(b[idx:]))
+			out.size += 4
+		}
+	case 1:
+		if len(b) < idx+1 {
+			return modRM{}, ErrTruncated
+		}
+		out.disp = int32(int8(b[idx]))
+		out.size++
+	case 2:
+		if len(b) < idx+4 {
+			return modRM{}, ErrTruncated
+		}
+		out.disp = int32(le32(b[idx:]))
+		out.size += 4
+	}
+	return out, nil
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le16(b []byte) uint16 {
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+// need returns ErrTruncated unless b holds at least n bytes.
+func need(b []byte, n int) error {
+	if len(b) < n {
+		return ErrTruncated
+	}
+	return nil
+}
+
+// Decode decodes a single instruction from the byte window b (which starts
+// at the instruction's first byte). It returns the decoded instruction with
+// Size set, or an error.
+func Decode(b []byte) (Instr, error) {
+	if len(b) == 0 {
+		return Instr{}, ErrTruncated
+	}
+	op := b[0]
+	switch {
+	case op == 0x90:
+		return Instr{Op: OpNop, Size: 1}, nil
+	case op == 0xC3:
+		return Instr{Op: OpRet, Size: 1}, nil
+	case op == 0xC9:
+		return Instr{Op: OpLeave, Size: 1}, nil
+	case op == 0xF4:
+		return Instr{Op: OpHlt, Size: 1}, nil
+	case op == 0xA4:
+		return Instr{Op: OpMovsb, Size: 1}, nil
+	case op >= 0x50 && op <= 0x57:
+		return Instr{Op: OpPushR, R1: int(op - 0x50), Size: 1}, nil
+	case op >= 0x58 && op <= 0x5F:
+		return Instr{Op: OpPopR, R1: int(op - 0x58), Size: 1}, nil
+	case op >= 0x40 && op <= 0x47:
+		return Instr{Op: OpIncR, R1: int(op - 0x40), Size: 1}, nil
+	case op >= 0x48 && op <= 0x4F:
+		return Instr{Op: OpDecR, R1: int(op - 0x48), Size: 1}, nil
+	case op >= 0xB8 && op <= 0xBF:
+		if err := need(b, 5); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMovRI, R1: int(op - 0xB8), Imm: le32(b[1:]), Size: 5}, nil
+	case op == 0x68:
+		if err := need(b, 5); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpPushI, Imm: le32(b[1:]), Size: 5}, nil
+	case op == 0xCD:
+		if err := need(b, 2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpInt, Imm: uint32(b[1]), Size: 2}, nil
+	case op == 0xE8 || op == 0xE9:
+		if err := need(b, 5); err != nil {
+			return Instr{}, err
+		}
+		o := OpCallRel
+		if op == 0xE9 {
+			o = OpJmpRel
+		}
+		return Instr{Op: o, Disp: int32(le32(b[1:])), Size: 5}, nil
+	case op == 0xEB:
+		if err := need(b, 2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpJmpRel, Disp: int32(int8(b[1])), Size: 2}, nil
+	case op == 0xE3:
+		if err := need(b, 2); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpJecxz, Disp: int32(int8(b[1])), Size: 2}, nil
+	case op >= 0x70 && op <= 0x7F:
+		if err := need(b, 2); err != nil {
+			return Instr{}, err
+		}
+		c := Cond(op - 0x70)
+		if !condSupported(c) {
+			return Instr{}, ErrIllegal
+		}
+		return Instr{Op: OpJcc, Cond: c, Disp: int32(int8(b[1])), Size: 2}, nil
+	case op == 0x0F:
+		return decode0F(b)
+	case op == 0x01 || op == 0x09 || op == 0x21 || op == 0x29 || op == 0x31 || op == 0x39:
+		return decodeAluRR(b)
+	case op == 0x85:
+		m, err := decodeModRM(b[1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		if m.mem {
+			return Instr{}, ErrIllegal // test mem,reg unused in the lab
+		}
+		return Instr{Op: OpTestRR, R1: m.rm, R2: m.reg, Size: 1 + m.size}, nil
+	case op == 0x81 || op == 0x83:
+		return decodeAluRI(b)
+	case op == 0x88 || op == 0x89 || op == 0x8A || op == 0x8B:
+		return decodeMov(b)
+	case op == 0x8D:
+		m, err := decodeModRM(b[1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		if !m.mem {
+			return Instr{}, ErrIllegal
+		}
+		return Instr{Op: OpLea, R1: m.reg, Base: m.base, Disp: m.disp,
+			MemOperand: true, Size: 1 + m.size}, nil
+	case op == 0xC1:
+		m, err := decodeModRM(b[1:])
+		if err != nil {
+			return Instr{}, err
+		}
+		if m.mem || (m.reg != 4 && m.reg != 5) {
+			return Instr{}, ErrIllegal
+		}
+		immOff := 1 + int(m.size)
+		if err := need(b, immOff+1); err != nil {
+			return Instr{}, err
+		}
+		o := OpShlRI
+		if m.reg == 5 {
+			o = OpShrRI
+		}
+		return Instr{Op: o, R1: m.rm, Imm: uint32(b[immOff]), Size: uint32(immOff) + 1}, nil
+	case op == 0xC6 || op == 0xC7:
+		return decodeMovMI(b)
+	case op == 0xFF:
+		return decodeFF(b)
+	default:
+		return Instr{}, ErrIllegal
+	}
+}
+
+func condSupported(c Cond) bool {
+	_, ok := condNames[c]
+	return ok
+}
+
+func decode0F(b []byte) (Instr, error) {
+	if err := need(b, 2); err != nil {
+		return Instr{}, err
+	}
+	switch {
+	case b[1] >= 0x80 && b[1] <= 0x8F: // Jcc rel32
+		if err := need(b, 6); err != nil {
+			return Instr{}, err
+		}
+		c := Cond(b[1] - 0x80)
+		if !condSupported(c) {
+			return Instr{}, ErrIllegal
+		}
+		return Instr{Op: OpJcc, Cond: c, Disp: int32(le32(b[2:])), Size: 6}, nil
+	case b[1] == 0xB6: // MOVZX r32, r/m8
+		m, err := decodeModRM(b[2:])
+		if err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMovzx8, R1: m.reg, R2: m.rm, Base: m.base,
+			Disp: m.disp, MemOperand: m.mem, Size: 2 + m.size}, nil
+	default:
+		return Instr{}, ErrIllegal
+	}
+}
+
+// decodeAluRR handles the "ALU r/m32, r32" opcodes (0x01 add, 0x09 or,
+// 0x21 and, 0x29 sub, 0x31 xor, 0x39 cmp).
+func decodeAluRR(b []byte) (Instr, error) {
+	var alu Alu
+	switch b[0] {
+	case 0x01:
+		alu = AluAdd
+	case 0x09:
+		alu = AluOr
+	case 0x21:
+		alu = AluAnd
+	case 0x29:
+		alu = AluSub
+	case 0x31:
+		alu = AluXor
+	case 0x39:
+		alu = AluCmp
+	}
+	m, err := decodeModRM(b[1:])
+	if err != nil {
+		return Instr{}, err
+	}
+	return Instr{Op: OpAluRR, Alu: alu, R1: m.rm, R2: m.reg, Base: m.base,
+		Disp: m.disp, MemOperand: m.mem, Size: 1 + m.size}, nil
+}
+
+// decodeAluRI handles the 0x81 (imm32) and 0x83 (imm8 sign-extended)
+// immediate ALU groups; the ModRM /digit field selects the operation.
+func decodeAluRI(b []byte) (Instr, error) {
+	m, err := decodeModRM(b[1:])
+	if err != nil {
+		return Instr{}, err
+	}
+	alu := Alu(m.reg)
+	if _, ok := aluNames[alu]; !ok {
+		return Instr{}, ErrIllegal
+	}
+	in := Instr{Op: OpAluRI, Alu: alu, R1: m.rm, Base: m.base, Disp: m.disp,
+		MemOperand: m.mem}
+	immOff := 1 + int(m.size)
+	if b[0] == 0x83 {
+		if err := need(b, immOff+1); err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint32(int32(int8(b[immOff])))
+		in.Size = uint32(immOff) + 1
+	} else {
+		if err := need(b, immOff+4); err != nil {
+			return Instr{}, err
+		}
+		in.Imm = le32(b[immOff:])
+		in.Size = uint32(immOff) + 4
+	}
+	return in, nil
+}
+
+func decodeMov(b []byte) (Instr, error) {
+	m, err := decodeModRM(b[1:])
+	if err != nil {
+		return Instr{}, err
+	}
+	size := 1 + m.size
+	switch b[0] {
+	case 0x89: // mov r/m32, r32
+		if m.mem {
+			return Instr{Op: OpMovMR, R2: m.reg, Base: m.base, Disp: m.disp,
+				MemOperand: true, Size: size}, nil
+		}
+		return Instr{Op: OpMovRR, R1: m.rm, R2: m.reg, Size: size}, nil
+	case 0x8B: // mov r32, r/m32
+		if m.mem {
+			return Instr{Op: OpMovRM, R1: m.reg, Base: m.base, Disp: m.disp,
+				MemOperand: true, Size: size}, nil
+		}
+		return Instr{Op: OpMovRR, R1: m.reg, R2: m.rm, Size: size}, nil
+	case 0x88: // mov r/m8, r8
+		if !m.mem {
+			return Instr{}, ErrIllegal
+		}
+		return Instr{Op: OpMovMR8, R2: m.reg, Base: m.base, Disp: m.disp,
+			MemOperand: true, Size: size}, nil
+	case 0x8A: // mov r8, r/m8
+		if !m.mem {
+			return Instr{}, ErrIllegal
+		}
+		return Instr{Op: OpMovRM8, R1: m.reg, Base: m.base, Disp: m.disp,
+			MemOperand: true, Size: size}, nil
+	}
+	return Instr{}, ErrIllegal
+}
+
+func decodeMovMI(b []byte) (Instr, error) {
+	m, err := decodeModRM(b[1:])
+	if err != nil {
+		return Instr{}, err
+	}
+	if m.reg != 0 || !m.mem {
+		return Instr{}, ErrIllegal
+	}
+	immOff := 1 + int(m.size)
+	if b[0] == 0xC6 { // mov byte [mem], imm8
+		if err := need(b, immOff+1); err != nil {
+			return Instr{}, err
+		}
+		return Instr{Op: OpMovMI8, Base: m.base, Disp: m.disp, MemOperand: true,
+			Imm: uint32(b[immOff]), Size: uint32(immOff) + 1}, nil
+	}
+	if err := need(b, immOff+4); err != nil {
+		return Instr{}, err
+	}
+	return Instr{Op: OpMovMI, Base: m.base, Disp: m.disp, MemOperand: true,
+		Imm: le32(b[immOff:]), Size: uint32(immOff) + 4}, nil
+}
+
+func decodeFF(b []byte) (Instr, error) {
+	m, err := decodeModRM(b[1:])
+	if err != nil {
+		return Instr{}, err
+	}
+	size := 1 + m.size
+	switch m.reg {
+	case 2: // call r/m32
+		return Instr{Op: OpCallInd, R1: m.rm, Base: m.base, Disp: m.disp,
+			MemOperand: m.mem, Size: size}, nil
+	case 4: // jmp r/m32
+		return Instr{Op: OpJmpInd, R1: m.rm, Base: m.base, Disp: m.disp,
+			MemOperand: m.mem, Size: size}, nil
+	case 6: // push r/m32
+		return Instr{Op: OpPushM, R1: m.rm, Base: m.base, Disp: m.disp,
+			MemOperand: m.mem, Size: size}, nil
+	default:
+		return Instr{}, ErrIllegal
+	}
+}
+
+// String renders the instruction in Intel syntax.
+func (in Instr) String() string {
+	memop := func() string {
+		if in.Base == MemAbs {
+			return fmt.Sprintf("[%#x]", uint32(in.Disp))
+		}
+		if in.Disp == 0 {
+			return fmt.Sprintf("[%s]", RegName(in.Base))
+		}
+		if in.Disp < 0 {
+			return fmt.Sprintf("[%s-%#x]", RegName(in.Base), uint32(-in.Disp))
+		}
+		return fmt.Sprintf("[%s+%#x]", RegName(in.Base), uint32(in.Disp))
+	}
+	rm32 := func() string {
+		if in.MemOperand {
+			return memop()
+		}
+		return RegName(in.R1)
+	}
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpRet:
+		return "ret"
+	case OpLeave:
+		return "leave"
+	case OpHlt:
+		return "hlt"
+	case OpMovsb:
+		return "movsb"
+	case OpPushR:
+		return "push " + RegName(in.R1)
+	case OpPushI:
+		return fmt.Sprintf("push %#x", in.Imm)
+	case OpPushM:
+		return "push dword " + rm32()
+	case OpPopR:
+		return "pop " + RegName(in.R1)
+	case OpIncR:
+		return "inc " + RegName(in.R1)
+	case OpDecR:
+		return "dec " + RegName(in.R1)
+	case OpMovRI:
+		return fmt.Sprintf("mov %s, %#x", RegName(in.R1), in.Imm)
+	case OpMovRR:
+		return fmt.Sprintf("mov %s, %s", RegName(in.R1), RegName(in.R2))
+	case OpMovRM:
+		return fmt.Sprintf("mov %s, %s", RegName(in.R1), memop())
+	case OpMovMR:
+		return fmt.Sprintf("mov %s, %s", memop(), RegName(in.R2))
+	case OpMovMI:
+		return fmt.Sprintf("mov dword %s, %#x", memop(), in.Imm)
+	case OpMovMI8:
+		return fmt.Sprintf("mov byte %s, %#x", memop(), in.Imm)
+	case OpMovRM8:
+		return fmt.Sprintf("mov %s, byte %s", reg8Names[in.R1], memop())
+	case OpMovMR8:
+		return fmt.Sprintf("mov byte %s, %s", memop(), reg8Names[in.R2])
+	case OpMovzx8:
+		if in.MemOperand {
+			return fmt.Sprintf("movzx %s, byte %s", RegName(in.R1), memop())
+		}
+		return fmt.Sprintf("movzx %s, %s", RegName(in.R1), reg8Names[in.R2])
+	case OpLea:
+		return fmt.Sprintf("lea %s, %s", RegName(in.R1), memop())
+	case OpAluRR:
+		return fmt.Sprintf("%s %s, %s", in.Alu, rm32(), RegName(in.R2))
+	case OpAluRI:
+		return fmt.Sprintf("%s %s, %#x", in.Alu, rm32(), in.Imm)
+	case OpTestRR:
+		return fmt.Sprintf("test %s, %s", RegName(in.R1), RegName(in.R2))
+	case OpJmpRel:
+		return fmt.Sprintf("jmp %+d", in.Disp)
+	case OpJcc:
+		return fmt.Sprintf("j%s %+d", in.Cond, in.Disp)
+	case OpJecxz:
+		return fmt.Sprintf("jecxz %+d", in.Disp)
+	case OpCallRel:
+		return fmt.Sprintf("call %+d", in.Disp)
+	case OpCallInd:
+		return "call " + rm32()
+	case OpJmpInd:
+		return "jmp " + rm32()
+	case OpInt:
+		return fmt.Sprintf("int %#x", in.Imm)
+	case OpShlRI:
+		return fmt.Sprintf("shl %s, %d", RegName(in.R1), in.Imm)
+	case OpShrRI:
+		return fmt.Sprintf("shr %s, %d", RegName(in.R1), in.Imm)
+	default:
+		return "(bad)"
+	}
+}

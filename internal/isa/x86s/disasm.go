@@ -1,0 +1,35 @@
+package x86s
+
+import (
+	"fmt"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+// Disasm renders x86s instructions for the debugger and gadget finder.
+type Disasm struct{}
+
+var _ isa.Disassembler = Disasm{}
+
+// DisasmAt implements isa.Disassembler. Unlike CPU fetch it ignores execute
+// permissions: a disassembler inspects images, it does not run them.
+func (Disasm) DisasmAt(m *mem.Memory, addr uint32) (string, uint32, error) {
+	window, f := m.ReadBytes(addr, maxInstrLen)
+	if f != nil {
+		// Retry with the remainder of the segment, if any.
+		seg := m.Find(addr)
+		if seg == nil {
+			return "", 0, f
+		}
+		window, f = m.ReadBytes(addr, seg.End()-addr)
+		if f != nil {
+			return "", 0, f
+		}
+	}
+	in, err := Decode(window)
+	if err != nil {
+		return "", 0, fmt.Errorf("disasm at %#08x: %w", addr, err)
+	}
+	return in.String(), in.Size, nil
+}

@@ -1,0 +1,53 @@
+package x86s
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecodeNeverPanicsOrOverruns: arbitrary byte windows either
+// fail to decode or yield an instruction no longer than the window.
+func TestQuickDecodeNeverPanicsOrOverruns(t *testing.T) {
+	prop := func(b []byte) bool {
+		in, err := Decode(b)
+		if err != nil {
+			return true
+		}
+		return int(in.Size) <= len(b) && in.Size > 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodedInstrsRender: whatever decodes also renders without a
+// format error.
+func TestQuickDecodedInstrsRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]byte, 16)
+	for i := 0; i < 20000; i++ {
+		rng.Read(buf)
+		in, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		if s := in.String(); s == "" {
+			t.Fatalf("empty rendering for % x", buf[:in.Size])
+		}
+	}
+}
+
+// TestDecodeStability: decoding is a pure function of the byte window.
+func TestDecodeStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	buf := make([]byte, 16)
+	for i := 0; i < 2000; i++ {
+		rng.Read(buf)
+		a, errA := Decode(buf)
+		b, errB := Decode(buf)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("unstable decode for % x", buf)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package x86s implements the lab's 32-bit x86-flavoured simulated CPU:
+// variable-length instructions using genuine IA-32 encodings for the
+// supported subset (0x90 NOP, 0xC3 RET, 0x50+r PUSH, 0xCD INT, ...),
+// stack-passed call arguments, and ret-driven control flow. It is the
+// "Intel x86 running Ubuntu 16.04" target of the paper's experiments.
+//
+// The subset is chosen so that every construct the exploits rely on is
+// genuine: NOP sleds are real 0x90 runs, gadgets are real `pop/pop/pop/ret`
+// byte sequences discoverable by scanning .text, and ret2libc works by
+// `ret`-ing into a function that reads its arguments from the stack.
+package x86s
+
+// Register indices for the eight general-purpose 32-bit registers, using
+// the hardware encoding order (so PUSH EAX really is 0x50, PUSH ECX 0x51…).
+const (
+	EAX = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	numRegs
+)
+
+var regNames = [numRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+var reg8Names = [8]string{"al", "cl", "dl", "bl", "ah", "ch", "dh", "bh"}
+
+// RegName returns the conventional name for a register index.
+func RegName(i int) string {
+	if i < 0 || i >= numRegs {
+		return "r?"
+	}
+	return regNames[i]
+}
+
+// Cond is an x86 condition code (the low nibble of the Jcc opcodes).
+type Cond uint8
+
+// Condition codes, matching the hardware encodings (JO=0x70, JNO=0x71, …).
+const (
+	CondO  Cond = 0x0
+	CondNO Cond = 0x1
+	CondB  Cond = 0x2
+	CondAE Cond = 0x3
+	CondE  Cond = 0x4
+	CondNE Cond = 0x5
+	CondBE Cond = 0x6
+	CondA  Cond = 0x7
+	CondS  Cond = 0x8
+	CondNS Cond = 0x9
+	CondL  Cond = 0xC
+	CondGE Cond = 0xD
+	CondLE Cond = 0xE
+	CondG  Cond = 0xF
+)
+
+var condNames = map[Cond]string{
+	CondO: "o", CondNO: "no", CondB: "b", CondAE: "ae", CondE: "e",
+	CondNE: "ne", CondBE: "be", CondA: "a", CondS: "s", CondNS: "ns",
+	CondL: "l", CondGE: "ge", CondLE: "le", CondG: "g",
+}
+
+// String implements fmt.Stringer.
+func (c Cond) String() string {
+	if s, ok := condNames[c]; ok {
+		return s
+	}
+	return "cc?"
+}
+
+// Op enumerates the decoded operations.
+type Op uint8
+
+// Decoded operations. Operand conventions are documented per group in the
+// decoder; MemBase == MemAbs means an absolute [disp32] operand.
+const (
+	OpNop Op = iota + 1
+	OpRet
+	OpLeave
+	OpPushR   // push r32
+	OpPushI   // push imm32
+	OpPushM   // push r/m32 (FF /6)
+	OpPopR    // pop r32
+	OpMovRI   // mov r32, imm32
+	OpMovRR   // mov r32, r32
+	OpMovRM   // mov r32, [mem]
+	OpMovMR   // mov [mem], r32
+	OpMovMI   // mov dword [mem], imm32
+	OpMovMI8  // mov byte [mem], imm8
+	OpMovRM8  // mov r8, [mem]
+	OpMovMR8  // mov [mem], r8
+	OpMovzx8  // movzx r32, byte [mem] / r8
+	OpLea     // lea r32, [mem]
+	OpAluRR   // ALU rm32, r32  (reg or mem destination)
+	OpAluRI   // ALU r/m32, imm (0x81 / 0x83 groups)
+	OpTestRR  // test rm32, r32
+	OpIncR    // inc r32
+	OpDecR    // dec r32
+	OpJmpRel  // jmp rel8/rel32
+	OpJcc     // jcc rel8/rel32
+	OpJecxz   // jecxz rel8
+	OpCallRel // call rel32
+	OpCallInd // call r/m32 (FF /2)
+	OpJmpInd  // jmp r/m32 (FF /4)
+	OpInt     // int imm8
+	OpMovsb   // movsb
+	OpHlt     // hlt (treated as privileged -> fault)
+	OpShlRI   // shl r32, imm8 (C1 /4)
+	OpShrRI   // shr r32, imm8 (C1 /5)
+)
+
+// Alu selects the operation for OpAluRR/OpAluRI, using the IA-32 /digit
+// encoding order of the 0x81/0x83 immediate groups.
+type Alu uint8
+
+// ALU sub-operations.
+const (
+	AluAdd Alu = 0
+	AluOr  Alu = 1
+	AluAnd Alu = 4
+	AluSub Alu = 5
+	AluXor Alu = 6
+	AluCmp Alu = 7
+)
+
+var aluNames = map[Alu]string{
+	AluAdd: "add", AluOr: "or", AluAnd: "and",
+	AluSub: "sub", AluXor: "xor", AluCmp: "cmp",
+}
+
+// String implements fmt.Stringer.
+func (a Alu) String() string {
+	if s, ok := aluNames[a]; ok {
+		return s
+	}
+	return "alu?"
+}
+
+// MemAbs marks an absolute-address memory operand (no base register).
+const MemAbs = -1
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op   Op
+	Alu  Alu
+	Cond Cond
+	R1   int // destination / primary register
+	R2   int // source register
+	Base int // memory base register, or MemAbs
+	Disp int32
+	Imm  uint32
+	Size uint32 // encoded length in bytes
+	// MemOperand reports whether the r/m operand is memory (vs register)
+	// for the dual-form ops.
+	MemOperand bool
+}

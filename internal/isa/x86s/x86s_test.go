@@ -1,0 +1,389 @@
+package x86s
+
+import (
+	"math/rand"
+	"testing"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+// newCPU maps a code and a stack segment and returns a CPU with SP set.
+func newCPU(t *testing.T, code []byte) *CPU {
+	t.Helper()
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code)
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	return c
+}
+
+// runAsm assembles a fragment and executes it until ret/fault/limit.
+func runAsm(t *testing.T, build func(a *Asm)) (*CPU, isa.Event) {
+	t.Helper()
+	a := NewAsm()
+	build(a)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c := newCPU(t, code.Bytes)
+	// Sentinel return address.
+	if f := c.Mem().WriteU32(c.SP(), 0xDEAD0000); f != nil {
+		t.Fatal(f)
+	}
+	var ev isa.Event
+	for i := 0; i < 10000; i++ {
+		ev = c.Step()
+		if ev.Kind != isa.EventRetired || ev.PC == 0xDEAD0000 {
+			return c, ev
+		}
+	}
+	t.Fatal("run did not terminate")
+	return nil, isa.Event{}
+}
+
+func TestBasicALUAndFlags(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovRI(EAX, 10)
+		a.MovRI(EBX, 3)
+		a.SubRR(EAX, EBX) // 7
+		a.AddRI(EAX, 5)   // 12
+		a.MovRR(ECX, EAX)
+		a.ShlRI(ECX, 4) // 0xC0
+		a.ShrRI(ECX, 2) // 0x30
+		a.XorRR(EDX, EDX)
+		a.Ret()
+	})
+	if got := c.Reg(EAX); got != 12 {
+		t.Errorf("eax = %d, want 12", got)
+	}
+	if got := c.Reg(ECX); got != 0x30 {
+		t.Errorf("ecx = %#x, want 0x30", got)
+	}
+	if got := c.Reg(EDX); got != 0 {
+		t.Errorf("edx = %d, want 0", got)
+	}
+}
+
+func TestConditionalBranches(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b uint32
+		cond Cond
+		take bool
+	}{
+		{"e-taken", 5, 5, CondE, true},
+		{"e-not", 5, 6, CondE, false},
+		{"ne", 5, 6, CondNE, true},
+		{"l-signed", 0xFFFFFFFF, 0, CondL, true}, // -1 < 0
+		{"b-unsigned", 0xFFFFFFFF, 0, CondB, false},
+		{"a-unsigned", 0xFFFFFFFF, 0, CondA, true},
+		{"g", 7, 3, CondG, true},
+		{"ge-eq", 3, 3, CondGE, true},
+		{"le", 2, 3, CondLE, true},
+		{"be-eq", 3, 3, CondBE, true},
+		{"s", 0x80000000, 0, CondNE, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, _ := runAsm(t, func(a *Asm) {
+				a.MovRI(EAX, tc.a)
+				a.MovRI(EBX, tc.b)
+				a.CmpRR(EAX, EBX)
+				a.MovRI(ECX, 0)
+				a.Jcc(tc.cond, "yes")
+				a.Jmp("out")
+				a.Label("yes")
+				a.MovRI(ECX, 1)
+				a.Label("out")
+				a.Ret()
+			})
+			got := c.Reg(ECX) == 1
+			if got != tc.take {
+				t.Errorf("branch taken = %v, want %v", got, tc.take)
+			}
+		})
+	}
+}
+
+func TestPushPopAndLeave(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.PushR(EBP)
+		a.MovRR(EBP, ESP)
+		a.SubRI(ESP, 32)
+		a.MovRI(EAX, 0x1234)
+		a.MovMR(EBP, -8, EAX)
+		a.MovRM(EBX, EBP, -8)
+		a.Leave()
+		a.Ret()
+	})
+	if got := c.Reg(EBX); got != 0x1234 {
+		t.Errorf("ebx = %#x, want 0x1234", got)
+	}
+	if got := c.SP(); got != 0x8F04 {
+		t.Errorf("esp = %#x, want balanced 0x8f04", got)
+	}
+}
+
+func TestCallRetAndJecxz(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovRI(ECX, 3)
+		a.MovRI(EAX, 0)
+		a.Label("loop")
+		a.Jecxz("done")
+		a.CallLabel("inc2")
+		a.DecR(ECX)
+		a.Jmp("loop")
+		a.Label("done")
+		a.Ret()
+		a.Label("inc2")
+		a.AddRI(EAX, 2)
+		a.Ret()
+	})
+	if got := c.Reg(EAX); got != 6 {
+		t.Errorf("eax = %d, want 6", got)
+	}
+}
+
+func TestByteOpsAndMovsb(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovRI(EDX, 0x4000)
+		a.MovMI8(EDX, 0, 0xAB)
+		a.MovMI8(EDX, 1, 0xCD)
+		// movsb copy two bytes 0x4000 -> 0x4010.
+		a.MovRI(ESI, 0x4000)
+		a.MovRI(EDI, 0x4010)
+		a.Movsb()
+		a.Movsb()
+		a.Movzx8M(EAX, EDX, 0)
+		a.MovRM8(1, EDX, 1) // cl = [edx+1]
+		a.Ret()
+	})
+	if got := c.Reg(EAX); got != 0xAB {
+		t.Errorf("movzx al = %#x, want 0xAB", got)
+	}
+	if got := c.Reg(ECX) & 0xFF; got != 0xCD {
+		t.Errorf("cl = %#x, want 0xCD", got)
+	}
+	v, _ := c.Mem().ReadU16(0x4010)
+	if v != 0xCDAB {
+		t.Errorf("movsb copy = %#x, want 0xCDAB", v)
+	}
+	if c.Reg(ESI) != 0x4002 || c.Reg(EDI) != 0x4012 {
+		t.Errorf("esi/edi = %#x/%#x", c.Reg(ESI), c.Reg(EDI))
+	}
+}
+
+func TestHighByteRegisters(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.MovRI(EAX, 0x11223344)
+		a.MovRI(EDX, 0x4000)
+		a.MovMR8(EDX, 0, 4) // ah = 0x33
+		a.Movzx8R(EBX, 4)   // ebx = ah
+		a.Ret()
+	})
+	if got := c.Reg(EBX); got != 0x33 {
+		t.Errorf("movzx ebx, ah = %#x, want 0x33", got)
+	}
+	v, _ := c.Mem().ReadU8(0x4000)
+	if v != 0x33 {
+		t.Errorf("[0x4000] = %#x, want ah", v)
+	}
+}
+
+func TestCallRegisterSemantics(t *testing.T) {
+	// call ebx (FF /2 register form) transfers and pushes the return
+	// address; execution returns past the call.
+	code := []byte{
+		0xBB, 0x08, 0x10, 0x00, 0x00, // mov ebx, 0x1008
+		0xFF, 0xD3, // call ebx
+		0xC3,                         // ret (returned here)
+		0xB8, 0x2A, 0x00, 0x00, 0x00, // target: mov eax, 42
+		0xC3, // ret
+	}
+	c := newCPU(t, code)
+	if f := c.Mem().WriteU32(c.SP(), 0xDEAD0000); f != nil {
+		t.Fatal(f)
+	}
+	for i := 0; i < 100; i++ {
+		ev := c.Step()
+		if ev.PC == 0xDEAD0000 || ev.Kind != isa.EventRetired {
+			break
+		}
+	}
+	if got := c.Reg(EAX); got != 42 {
+		t.Errorf("eax = %d, want 42", got)
+	}
+}
+
+func TestIllegalAndTruncated(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty decode succeeded")
+	}
+	if _, err := Decode([]byte{0xB8, 0x01}); err == nil {
+		t.Error("truncated mov decode succeeded")
+	}
+	if _, err := Decode([]byte{0x0F, 0xFF}); err == nil {
+		t.Error("unknown 0F decode succeeded")
+	}
+	if _, err := Decode([]byte{0xF1}); err == nil {
+		t.Error("unknown opcode decode succeeded")
+	}
+	// SIB with an index register is unsupported.
+	if _, err := Decode([]byte{0x8B, 0x04, 0x58}); err == nil {
+		t.Error("SIB with index decoded")
+	}
+	// hlt is privileged: fault at runtime.
+	c := newCPU(t, []byte{0xF4})
+	if ev := c.Step(); ev.Kind != isa.EventFault || !ev.Illegal {
+		t.Errorf("hlt event = %+v", ev)
+	}
+}
+
+func TestSyscallEvent(t *testing.T) {
+	c := newCPU(t, []byte{0xCD, 0x80, 0xC3})
+	ev := c.Step()
+	if ev.Kind != isa.EventSyscall {
+		t.Fatalf("event = %v, want syscall", ev.Kind)
+	}
+	if c.PC() != 0x1002 {
+		t.Errorf("pc after int = %#x, want past the instruction", c.PC())
+	}
+}
+
+func TestEspBasedAddressing(t *testing.T) {
+	c, _ := runAsm(t, func(a *Asm) {
+		a.PushI(0x77)
+		a.MovRM(EAX, ESP, 0) // SIB form [esp]
+		a.AddRI(ESP, 4)
+		a.Ret()
+	})
+	if got := c.Reg(EAX); got != 0x77 {
+		t.Errorf("eax = %#x, want 0x77", got)
+	}
+}
+
+// TestDecodeRoundTripRandomPrograms: assembling random instruction
+// sequences and linearly decoding them yields the same instruction count
+// and total length — the assembler and decoder agree.
+func TestDecodeRoundTripRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := NewAsm()
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			r1 := rng.Intn(8)
+			r2 := rng.Intn(8)
+			disp := int32(rng.Intn(4096) - 2048)
+			switch rng.Intn(14) {
+			case 0:
+				a.Nop()
+			case 1:
+				a.PushR(r1)
+			case 2:
+				a.PopR(r1)
+			case 3:
+				a.MovRI(r1, rng.Uint32())
+			case 4:
+				a.MovRR(r1, r2)
+			case 5:
+				a.MovRM(r1, r2, disp)
+			case 6:
+				a.MovMR(r1, disp, r2)
+			case 7:
+				a.AddRI(r1, int32(rng.Intn(100000)-50000))
+			case 8:
+				a.Lea(r1, r2, disp)
+			case 9:
+				a.Movzx8M(r1, r2, disp)
+			case 10:
+				a.TestRR(r1, r2)
+			case 11:
+				a.CmpRI(r1, int32(rng.Intn(1000)))
+			case 12:
+				a.MovMI(r1, disp, rng.Uint32())
+			case 13:
+				a.ShlRI(r1, uint8(rng.Intn(32)))
+			}
+		}
+		code, err := a.Assemble()
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		off, count := 0, 0
+		for off < len(code.Bytes) {
+			in, err := Decode(code.Bytes[off:])
+			if err != nil {
+				t.Fatalf("trial %d: decode at %d: %v", trial, off, err)
+			}
+			if in.String() == "(bad)" {
+				t.Fatalf("trial %d: bad rendering at %d", trial, off)
+			}
+			off += int(in.Size)
+			count++
+		}
+		if off != len(code.Bytes) {
+			t.Fatalf("trial %d: decoded %d of %d bytes", trial, off, len(code.Bytes))
+		}
+		if count != n {
+			t.Fatalf("trial %d: decoded %d instrs, assembled %d", trial, count, n)
+		}
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAsm()
+	a.Jmp("nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b := NewAsm()
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Assemble(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	c := NewAsm()
+	c.Label("far")
+	for i := 0; i < 200; i++ {
+		c.Nop()
+	}
+	c.Jecxz("far")
+	if _, err := c.Assemble(); err == nil {
+		t.Error("out-of-range jecxz accepted")
+	}
+}
+
+func TestDisassemblerInterface(t *testing.T) {
+	c := newCPU(t, []byte{0x90, 0xC3})
+	var d isa.Disassembler = Disasm{}
+	text, size, err := d.DisasmAt(c.Mem(), 0x1000)
+	if err != nil || text != "nop" || size != 1 {
+		t.Errorf("DisasmAt = %q, %d, %v", text, size, err)
+	}
+	if _, _, err := d.DisasmAt(c.Mem(), 0x0); err == nil {
+		t.Error("DisasmAt unmapped succeeded")
+	}
+}
+
+func TestRegNamePanicsOutOfRange(t *testing.T) {
+	c := newCPU(t, []byte{0xC3})
+	defer func() {
+		if recover() == nil {
+			t.Error("Reg(99) did not panic")
+		}
+	}()
+	c.Reg(99)
+}

@@ -1,0 +1,133 @@
+package kernel
+
+import (
+	"testing"
+
+	"connlab/internal/abi"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+)
+
+// buildARMSyscallProbe mirrors the x86 probe for the arms ABI (number in
+// r7, args in r0-r2).
+func buildARMSyscallProbe(t *testing.T, nr, a0, a1, a2 uint32) *image.Unit {
+	t.Helper()
+	u := image.NewUnit(isa.ArchARMS)
+	a := arms.NewAsm()
+	a.MovImm32(arms.R7, nr)
+	a.MovImm32(arms.R0, a0)
+	a.MovImm32(arms.R1, a1)
+	a.MovImm32(arms.R2, a2)
+	a.Svc(0)
+	a.BX(arms.LR)
+	u.AddFuncARM("main", a)
+	return u
+}
+
+func loadARMProbe(t *testing.T, u *image.Unit, cfg Config) *Process {
+	t.Helper()
+	libc, err := image.BuildLibc(isa.ArchARMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(u, libc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestARMWriteSyscall(t *testing.T) {
+	u := image.NewUnit(isa.ArchARMS)
+	u.AddRodata("msg", []byte("arm abi works\x00"))
+	a := arms.NewAsm()
+	a.MovImm32(arms.R7, abi.SysWrite)
+	a.MovW(arms.R0, 1)
+	a.MovSym(arms.R1, "msg", 0)
+	a.MovW(arms.R2, 13)
+	a.Svc(0)
+	a.BX(arms.LR)
+	u.AddFuncARM("main", a)
+	p := loadARMProbe(t, u, Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReturned || res.RetVal != 13 {
+		t.Fatalf("res = %v retval %d", res, res.RetVal)
+	}
+	if p.Stdout() != "arm abi works" {
+		t.Errorf("stdout = %q", p.Stdout())
+	}
+}
+
+func TestARMExitAndAbort(t *testing.T) {
+	p := loadARMProbe(t, buildARMSyscallProbe(t, abi.SysExit, 9, 0, 0), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusExited || res.ExitStatus != 9 {
+		t.Fatalf("res = %v", res)
+	}
+
+	p2 := loadARMProbe(t, buildARMSyscallProbe(t, abi.SysAbort, 0, 0, 0), Config{Seed: 1})
+	res, err = p2.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusAborted {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestARMExeclpRelativeResolution(t *testing.T) {
+	// execlp("sh", ...) resolves against PATH — the §III-C2 enabler.
+	u := image.NewUnit(isa.ArchARMS)
+	u.AddRodata("relsh", []byte("sh\x00"))
+	a := arms.NewAsm()
+	a.MovImm32(arms.R7, abi.SysExeclp)
+	a.MovSym(arms.R0, "relsh", 0)
+	a.MovW(arms.R1, 0)
+	a.Svc(0)
+	a.BX(arms.LR)
+	u.AddFuncARM("main", a)
+	p := loadARMProbe(t, u, Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusShell || res.Shell.Path != abi.ShellPath || res.Shell.Via != "execlp" {
+		t.Fatalf("res = %v", res)
+	}
+
+	// execve (absolute-only) must NOT resolve "sh".
+	u2 := image.NewUnit(isa.ArchARMS)
+	u2.AddRodata("relsh", []byte("sh\x00"))
+	b := arms.NewAsm()
+	b.MovImm32(arms.R7, abi.SysExecve)
+	b.MovSym(arms.R0, "relsh", 0)
+	b.MovW(arms.R1, 0)
+	b.Svc(0)
+	b.BX(arms.LR)
+	u2.AddFuncARM("main", b)
+	p2 := loadARMProbe(t, u2, Config{Seed: 1})
+	res, err = p2.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReturned {
+		t.Fatalf("execve(\"sh\") = %v, want ENOENT return", res)
+	}
+	if len(p2.Shells()) != 0 {
+		t.Error("relative execve spawned a shell")
+	}
+}
+
+func TestARMCallTooManyArgs(t *testing.T) {
+	p := loadARMProbe(t, buildARMSyscallProbe(t, abi.SysExit, 0, 0, 0), Config{Seed: 1})
+	if _, err := p.Call("main", 1, 2, 3, 4, 5); err == nil {
+		t.Error("five register args accepted on arms")
+	}
+}

@@ -1,0 +1,346 @@
+// Package kernel simulates the operating-system half of the lab: it loads
+// linked images into an address space (applying ASLR slides to the libc
+// and stack the way 32-bit Linux does for a non-PIE binary), populates the
+// GOT, seeds stack canaries, services system calls, and classifies how an
+// emulated run ended — normal return, crash (the paper's DoS outcome), or
+// a spawned root shell (the paper's RCE outcome).
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/isa/x86s"
+	"connlab/internal/mem"
+)
+
+// Sentinel is the poisoned return address the kernel plants for top-level
+// calls; control reaching it means the called function returned normally.
+// It is never mapped.
+const Sentinel uint32 = 0xDEAD0000
+
+// Page is the allocation granule for ASLR slides.
+const Page = 0x1000
+
+// StackSize is the size of the mapped stack region.
+const StackSize = 1 << 20
+
+// DefaultInstrBudget bounds one emulated call; exceeding it classifies the
+// run as hung (a DoS in its own right).
+const DefaultInstrBudget = 10_000_000
+
+// Config describes the protection environment a process runs under — the
+// experimental axes of the paper's §III.
+type Config struct {
+	// WX enables W⊕X (no execution from writable memory).
+	WX bool
+	// ASLR randomizes the libc base and the stack base per load. The
+	// program image itself stays fixed (non-PIE), as in the paper.
+	ASLR bool
+	// PIE additionally randomizes the program image base (an ablation
+	// beyond the paper's setup; defeats the PLT/.bss-based ROP bypass).
+	PIE bool
+	// Hooks, when non-nil, is installed on the CPU; the CFI mitigation
+	// provides a shadow-stack implementation.
+	Hooks isa.Hooks
+	// Seed drives every randomized decision (ASLR slides, canary values).
+	Seed int64
+	// ASLREntropyPages is the number of distinct libc slide positions; 0
+	// means the default 4096 pages (16 MB of spread, ~12 bits — typical
+	// for 32-bit mmap ASLR). Low-entropy configurations model weak
+	// embedded ASLR and make brute-forcing measurable.
+	ASLREntropyPages int
+	// InstrBudget bounds each Call; 0 means DefaultInstrBudget.
+	InstrBudget uint64
+	// LinkOpts tunes program linking (used by the diversity mitigation).
+	LinkOpts image.Options
+}
+
+// Status is the terminal state of a Call.
+type Status uint8
+
+// Call outcome statuses.
+const (
+	// StatusReturned means the function returned to the kernel sentinel.
+	StatusReturned Status = iota + 1
+	// StatusShell means the process execed a shell — remote code
+	// execution, the paper's headline outcome.
+	StatusShell
+	// StatusFault is the simulated SIGSEGV/SIGILL crash (DoS outcome).
+	StatusFault
+	// StatusCFI means a control-flow-integrity hook vetoed a transfer.
+	StatusCFI
+	// StatusExited means the program called exit().
+	StatusExited
+	// StatusAborted means a stack-canary check failed (stack smashing
+	// detected; crash without code execution).
+	StatusAborted
+	// StatusTimeout means the instruction budget ran out.
+	StatusTimeout
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusReturned:
+		return "returned"
+	case StatusShell:
+		return "shell"
+	case StatusFault:
+		return "fault"
+	case StatusCFI:
+		return "cfi-violation"
+	case StatusExited:
+		return "exited"
+	case StatusAborted:
+		return "canary-abort"
+	case StatusTimeout:
+		return "timeout"
+	default:
+		return "unknown"
+	}
+}
+
+// ShellSpawn records a successful exec of a shell. The simulated daemon
+// runs as root, so UID is always 0 — "Connman natively runs with root
+// permissions" (§III).
+type ShellSpawn struct {
+	// Path is the resolved program path (always the shell here).
+	Path string
+	// Command is the -c command for system(); empty for bare shells.
+	Command string
+	// Via names the service used: "execve", "execlp" or "system".
+	Via string
+	// UID is the credential of the new process.
+	UID int
+}
+
+// RunResult is the outcome of one emulated call.
+type RunResult struct {
+	Status Status
+	// RetVal is the ABI return value for StatusReturned.
+	RetVal uint32
+	// Fault is set for StatusFault (nil for illegal-instruction crashes).
+	Fault *mem.Fault
+	// Illegal marks an undecodable-instruction crash.
+	Illegal bool
+	// PC is the program counter at the terminal event.
+	PC uint32
+	// Reason carries CFI-violation detail.
+	Reason string
+	// Shell is set for StatusShell.
+	Shell *ShellSpawn
+	// ExitStatus is set for StatusExited.
+	ExitStatus uint32
+	// Instructions is the number of instructions retired during the call.
+	Instructions uint64
+}
+
+// Crashed reports whether the run ended in any abnormal termination
+// (fault, CFI kill, canary abort, or hang) — the DoS bucket.
+func (r RunResult) Crashed() bool {
+	switch r.Status {
+	case StatusFault, StatusCFI, StatusAborted, StatusTimeout:
+		return true
+	default:
+		return false
+	}
+}
+
+// String gives a compact human-readable summary.
+func (r RunResult) String() string {
+	switch r.Status {
+	case StatusShell:
+		return fmt.Sprintf("shell via %s (uid %d)", r.Shell.Via, r.Shell.UID)
+	case StatusFault:
+		if r.Illegal {
+			return fmt.Sprintf("fault: illegal instruction at %#08x", r.PC)
+		}
+		return fmt.Sprintf("fault: %v", r.Fault)
+	case StatusCFI:
+		return "cfi violation: " + r.Reason
+	case StatusReturned:
+		return fmt.Sprintf("returned %#x", r.RetVal)
+	case StatusExited:
+		return fmt.Sprintf("exited %d", r.ExitStatus)
+	case StatusAborted:
+		return "stack smashing detected"
+	case StatusTimeout:
+		return "instruction budget exhausted"
+	default:
+		return "unknown"
+	}
+}
+
+// Process is one loaded, runnable program instance.
+type Process struct {
+	cfg  Config
+	arch isa.Arch
+	cpu  isa.CPU
+	m    *mem.Memory
+
+	// Prog is the linked program image; Libc the linked C library.
+	Prog *image.Image
+	Libc *image.Image
+
+	// StackTop is the highest stack address (first frame grows down from
+	// just below it).
+	StackTop uint32
+
+	stdout bytes.Buffer
+	shells []ShellSpawn
+	rng    *rand.Rand
+	budget uint64
+}
+
+// Load links the program unit (at its fixed non-PIE layout unless cfg.PIE)
+// and the libc unit (at an ASLR-slid base when cfg.ASLR), maps everything,
+// fills the GOT, maps the stack, and seeds the canary guard if the program
+// declares one.
+func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Program link.
+	progLayout := image.DefaultProgramLayout(prog.Arch)
+	if cfg.PIE {
+		slide := uint32(rng.Intn(0x800)) * Page
+		progLayout.TextBase += slide
+		progLayout.RODataBase += slide
+		progLayout.GOTBase += slide
+		progLayout.DataBase += slide
+		progLayout.BSSBase += slide
+	}
+	progImg, err := image.Link(prog, progLayout, cfg.LinkOpts)
+	if err != nil {
+		return nil, fmt.Errorf("link program: %w", err)
+	}
+
+	// Libc link at (possibly slid) base.
+	libcBase := image.DefaultLibcBase(prog.Arch)
+	if cfg.ASLR {
+		entropy := cfg.ASLREntropyPages
+		if entropy <= 0 {
+			entropy = 0x1000
+		}
+		libcBase += uint32(rng.Intn(entropy)) * Page
+	}
+	libcImg, err := image.Link(libc, image.LibraryLayout(libcBase), image.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("link libc: %w", err)
+	}
+
+	m := mem.New()
+	m.SetWX(cfg.WX)
+	if err := progImg.MapInto(m, ""); err != nil {
+		return nil, fmt.Errorf("map program: %w", err)
+	}
+	if err := libcImg.MapInto(m, "libc"); err != nil {
+		return nil, fmt.Errorf("map libc: %w", err)
+	}
+
+	// GOT population: point every import at its libc definition.
+	for name, got := range progImg.GOT {
+		addr, ok := libcImg.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("load: import %q not provided by libc", name)
+		}
+		if f := m.WriteU32(got, addr); f != nil {
+			return nil, fmt.Errorf("load: write got: %w", f)
+		}
+	}
+
+	// Stack. Without W⊕X the stack is executable, the historical default
+	// the paper's first experiments rely on.
+	stackTop := uint32(0xBFFF8000)
+	if prog.Arch == isa.ArchARMS {
+		stackTop = 0x7EFF8000
+	}
+	if cfg.ASLR {
+		stackTop -= uint32(rng.Intn(0x800)) * 16
+		stackTop &^= 15
+	}
+	perm := mem.PermRWX
+	if cfg.WX {
+		perm = mem.PermRW
+	}
+	if _, err := m.Map("stack", stackTop-StackSize, StackSize, perm); err != nil {
+		return nil, fmt.Errorf("map stack: %w", err)
+	}
+
+	// Scratch heap for packet buffers and daemon state.
+	heapBase := uint32(0x09000000)
+	if prog.Arch == isa.ArchARMS {
+		heapBase = 0x00C00000
+	}
+	if _, err := m.Map("heap", heapBase, 1<<20, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("map heap: %w", err)
+	}
+
+	var cpu isa.CPU
+	if prog.Arch == isa.ArchARMS {
+		cpu = arms.New(m)
+	} else {
+		cpu = x86s.New(m)
+	}
+	if cfg.Hooks != nil {
+		cpu.SetHooks(cfg.Hooks)
+	}
+
+	p := &Process{
+		cfg:      cfg,
+		arch:     prog.Arch,
+		cpu:      cpu,
+		m:        m,
+		Prog:     progImg,
+		Libc:     libcImg,
+		StackTop: stackTop,
+		rng:      rng,
+		budget:   cfg.InstrBudget,
+	}
+	if p.budget == 0 {
+		p.budget = DefaultInstrBudget
+	}
+
+	// Canary guard: like glibc, a random value with a zero low byte (the
+	// zero byte terminates accidental string copies; the lab's
+	// length-prefixed overflow is unaffected, which is why canaries must
+	// be checked, not just present).
+	if guard, ok := progImg.Lookup("__stack_chk_guard"); ok {
+		v := rng.Uint32()<<8 | 0
+		if f := m.WriteU32(guard, v); f != nil {
+			return nil, fmt.Errorf("load: seed canary: %w", f)
+		}
+	}
+	return p, nil
+}
+
+// Arch returns the process architecture.
+func (p *Process) Arch() isa.Arch { return p.arch }
+
+// CPU returns the process CPU (primarily for the debugger).
+func (p *Process) CPU() isa.CPU { return p.cpu }
+
+// Mem returns the process address space.
+func (p *Process) Mem() *mem.Memory { return p.m }
+
+// Config returns the protection configuration the process was loaded with.
+func (p *Process) Config() Config { return p.cfg }
+
+// Stdout returns everything the program has written to fd 1.
+func (p *Process) Stdout() string { return p.stdout.String() }
+
+// Shells returns every shell spawn recorded so far.
+func (p *Process) Shells() []ShellSpawn {
+	out := make([]ShellSpawn, len(p.shells))
+	copy(out, p.shells)
+	return out
+}
+
+// HeapBase returns the base of the scratch heap region.
+func (p *Process) HeapBase() uint32 {
+	return p.m.Segment("heap").Base
+}

@@ -1,0 +1,249 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"connlab/internal/abi"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/x86s"
+)
+
+// buildSyscallProbe returns a program whose main issues one raw syscall
+// with the given registers and returns the syscall result.
+func buildSyscallProbe(t *testing.T, nr, a0, a1, a2 uint32) *image.Unit {
+	t.Helper()
+	u := image.NewUnit(isa.ArchX86S)
+	a := x86s.NewAsm()
+	a.MovRI(x86s.EAX, nr)
+	a.MovRI(x86s.EBX, a0)
+	a.MovRI(x86s.ECX, a1)
+	a.MovRI(x86s.EDX, a2)
+	a.IntN(0x80)
+	a.Ret()
+	u.AddFuncX86("main", a)
+	return u
+}
+
+func loadProbe(t *testing.T, u *image.Unit, cfg Config) *Process {
+	t.Helper()
+	libc, err := image.BuildLibc(isa.ArchX86S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(u, libc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWriteSyscallCapsAndFaults(t *testing.T) {
+	// write with a bad buffer pointer returns -EFAULT and continues.
+	p := loadProbe(t, buildSyscallProbe(t, abi.SysWrite, 1, 0x1, 64), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReturned {
+		t.Fatalf("status = %v", res)
+	}
+	if int32(res.RetVal) >= 0 {
+		t.Errorf("write(bad ptr) = %d, want negative errno", int32(res.RetVal))
+	}
+	if p.Stdout() != "" {
+		t.Errorf("stdout = %q", p.Stdout())
+	}
+}
+
+func TestExecveOfGarbageContinues(t *testing.T) {
+	// execve with an unreadable path returns -EFAULT; with a readable
+	// non-shell string returns -ENOENT. Either way execution continues —
+	// which is why a ROP chain that calls exec with a wrong string crashes
+	// later instead of spawning.
+	p := loadProbe(t, buildSyscallProbe(t, abi.SysExecve, 0x2, 0, 0), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReturned {
+		t.Fatalf("status = %v", res)
+	}
+	if len(p.Shells()) != 0 {
+		t.Error("garbage execve spawned a shell")
+	}
+}
+
+func TestUnknownSyscallENOSYS(t *testing.T) {
+	p := loadProbe(t, buildSyscallProbe(t, 9999, 0, 0, 0), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusReturned || int32(res.RetVal) != -38 {
+		t.Fatalf("unknown syscall = %v retval %d, want -ENOSYS", res.Status, int32(res.RetVal))
+	}
+}
+
+func TestExitSyscall(t *testing.T) {
+	p := loadProbe(t, buildSyscallProbe(t, abi.SysExit, 3, 0, 0), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusExited || res.ExitStatus != 3 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestAbortSyscall(t *testing.T) {
+	p := loadProbe(t, buildSyscallProbe(t, abi.SysAbort, 0, 0, 0), Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusAborted {
+		t.Fatalf("res = %v, want canary abort", res)
+	}
+	if !res.Crashed() {
+		t.Error("abort not classified as crash")
+	}
+}
+
+func TestSystemRecordsCommand(t *testing.T) {
+	u := image.NewUnit(isa.ArchX86S)
+	u.AddRodata("cmd", []byte("rm -rf /tmp/x\x00"))
+	a := x86s.NewAsm()
+	a.MovRI(x86s.EAX, abi.SysSystem)
+	a.MovRISym(x86s.EBX, "cmd", 0)
+	a.IntN(0x80)
+	a.Ret()
+	u.AddFuncX86("main", a)
+	p := loadProbe(t, u, Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusShell {
+		t.Fatalf("res = %v", res)
+	}
+	if res.Shell.Command != "rm -rf /tmp/x" || res.Shell.Via != "system" {
+		t.Errorf("shell = %+v", res.Shell)
+	}
+}
+
+func TestExecveDoubleSlashResolves(t *testing.T) {
+	u := image.NewUnit(isa.ArchX86S)
+	u.AddRodata("path", []byte("/bin//sh\x00"))
+	a := x86s.NewAsm()
+	a.MovRI(x86s.EAX, abi.SysExecve)
+	a.MovRISym(x86s.EBX, "path", 0)
+	a.IntN(0x80)
+	a.Ret()
+	u.AddFuncX86("main", a)
+	p := loadProbe(t, u, Config{Seed: 1})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusShell || res.Shell.Path != abi.ShellPath {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+func TestInstrBudgetTimeout(t *testing.T) {
+	u := image.NewUnit(isa.ArchX86S)
+	a := x86s.NewAsm()
+	a.Label("spin")
+	a.Jmp("spin")
+	u.AddFuncX86("main", a)
+	p := loadProbe(t, u, Config{Seed: 1, InstrBudget: 1000})
+	res, err := p.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusTimeout {
+		t.Fatalf("res = %v, want timeout", res)
+	}
+	if res.Instructions < 1000 {
+		t.Errorf("instructions = %d", res.Instructions)
+	}
+}
+
+func TestRunResultStrings(t *testing.T) {
+	for _, res := range []RunResult{
+		{Status: StatusReturned, RetVal: 7},
+		{Status: StatusShell, Shell: &ShellSpawn{Via: "execve", UID: 0}},
+		{Status: StatusCFI, Reason: "x"},
+		{Status: StatusExited, ExitStatus: 2},
+		{Status: StatusAborted},
+		{Status: StatusTimeout},
+		{Status: StatusFault, Illegal: true, PC: 0x10},
+	} {
+		if res.String() == "" || strings.Contains(res.String(), "%!") {
+			t.Errorf("bad rendering for %v: %q", res.Status, res.String())
+		}
+		if res.Status.String() == "unknown" {
+			t.Errorf("unknown status name for %v", res.Status)
+		}
+	}
+}
+
+func TestASLREntropyPagesRespected(t *testing.T) {
+	u := buildSyscallProbe(t, abi.SysExit, 0, 0, 0)
+	libc, err := image.BuildLibc(isa.ArchX86S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := image.DefaultLibcBase(isa.ArchX86S)
+	seen := make(map[uint32]bool)
+	for seed := int64(0); seed < 32; seed++ {
+		u2 := buildSyscallProbe(t, abi.SysExit, 0, 0, 0)
+		p, err := Load(u2, libc, Config{ASLR: true, ASLREntropyPages: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slide := (p.Libc.Layout.TextBase - base) / Page
+		if slide >= 4 {
+			t.Fatalf("slide %d beyond entropy 4", slide)
+		}
+		seen[p.Libc.Layout.TextBase] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("entropy 4 produced %d bases", len(seen))
+	}
+	_ = u
+}
+
+func TestCallResetterInvoked(t *testing.T) {
+	u := buildSyscallProbe(t, abi.SysExit, 0, 0, 0)
+	libc, err := image.BuildLibc(isa.ArchX86S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &recordingHooks{}
+	p, err := Load(u, libc, Config{Seed: 1, Hooks: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Call("main"); err != nil {
+		t.Fatal(err)
+	}
+	if h.resets != 1 {
+		t.Errorf("resets = %d, want 1", h.resets)
+	}
+	if h.lastRet != Sentinel {
+		t.Errorf("reset ret = %#x, want sentinel", h.lastRet)
+	}
+}
+
+type recordingHooks struct {
+	resets  int
+	lastRet uint32
+}
+
+func (r *recordingHooks) ResetCall(ret uint32) { r.resets++; r.lastRet = ret }
+func (r *recordingHooks) OnControl(kind isa.ControlKind, from, to, ret uint32) error {
+	return nil
+}

@@ -1,0 +1,412 @@
+// Package mem implements the simulated 32-bit flat address space used by the
+// exploitation laboratory. It provides named segments with page-style
+// read/write/execute permissions, access-fault reporting, and an optional
+// W⊕X (writable-xor-executable) policy that mirrors DEP/NX: when enabled,
+// instruction fetch from a writable segment faults, exactly like executing
+// injected shellcode on a stack with stack-execution protection.
+//
+// The address space is the substrate every other component builds on: the
+// loader maps program images into it, the CPU emulators fetch and execute
+// from it, and the vulnerable victim code corrupts it.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Perm is a bitmask of segment permissions.
+type Perm uint8
+
+// Permission bits. A segment with PermWrite but not PermExec is the normal
+// data/stack configuration; PermRead|PermExec is the normal text
+// configuration.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// Common permission combinations.
+const (
+	PermRW  = PermRead | PermWrite
+	PermRX  = PermRead | PermExec
+	PermRWX = PermRead | PermWrite | PermExec
+)
+
+// String renders the permission in the familiar "rwx" form.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access identifies the kind of memory access that produced a fault.
+type Access uint8
+
+// Access kinds.
+const (
+	AccessRead Access = iota + 1
+	AccessWrite
+	AccessExec
+)
+
+// String implements fmt.Stringer.
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessExec:
+		return "exec"
+	default:
+		return "unknown"
+	}
+}
+
+// FaultKind classifies a memory fault.
+type FaultKind uint8
+
+// Fault kinds. FaultUnmapped is an access to an address outside every
+// segment; FaultProtection is an access violating the segment permissions
+// (including W⊕X fetch violations).
+const (
+	FaultUnmapped FaultKind = iota + 1
+	FaultProtection
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProtection:
+		return "protection"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is the simulated equivalent of SIGSEGV: an invalid memory access.
+// It records enough context to classify an experiment outcome (e.g. "victim
+// crashed fetching from the stack" means W⊕X stopped a code-injection
+// attack).
+type Fault struct {
+	Kind   FaultKind
+	Access Access
+	Addr   uint32
+	// Segment is the name of the segment containing Addr, if any.
+	Segment string
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	if f.Segment != "" {
+		return fmt.Sprintf("memory fault: %s %s at %#08x (segment %s)",
+			f.Kind, f.Access, f.Addr, f.Segment)
+	}
+	return fmt.Sprintf("memory fault: %s %s at %#08x", f.Kind, f.Access, f.Addr)
+}
+
+// Segment is a contiguous, permissioned region of the address space.
+type Segment struct {
+	Name string
+	Base uint32
+	Perm Perm
+	Data []byte
+}
+
+// Size returns the segment length in bytes.
+func (s *Segment) Size() uint32 { return uint32(len(s.Data)) }
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint32 { return s.Base + s.Size() }
+
+// Contains reports whether addr falls inside the segment.
+func (s *Segment) Contains(addr uint32) bool {
+	return addr >= s.Base && addr < s.End()
+}
+
+// Memory is a simulated 32-bit address space composed of non-overlapping
+// segments. The zero value is an empty address space with W⊕X disabled.
+//
+// Memory is not safe for concurrent use; each simulated process owns its
+// own Memory.
+type Memory struct {
+	segs []*Segment // sorted by Base
+	wx   bool
+}
+
+// New returns an empty address space.
+func New() *Memory { return &Memory{} }
+
+// SetWX enables or disables the W⊕X policy. With W⊕X on, Fetch from a
+// writable segment faults even if the segment claims PermExec; this mirrors
+// kernels that refuse writable+executable mappings.
+func (m *Memory) SetWX(on bool) { m.wx = on }
+
+// WX reports whether the W⊕X policy is enabled.
+func (m *Memory) WX() bool { return m.wx }
+
+// Map creates a segment. It fails if the range overlaps an existing segment
+// or wraps the 32-bit address space.
+func (m *Memory) Map(name string, base, size uint32, perm Perm) (*Segment, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("map %s: zero size", name)
+	}
+	if base+size < base {
+		return nil, fmt.Errorf("map %s: range %#x+%#x wraps address space", name, base, size)
+	}
+	for _, s := range m.segs {
+		if base < s.End() && s.Base < base+size {
+			return nil, fmt.Errorf("map %s at %#x+%#x: overlaps segment %s at %#x+%#x",
+				name, base, size, s.Name, s.Base, s.Size())
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Perm: perm, Data: make([]byte, size)}
+	m.segs = append(m.segs, seg)
+	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
+	return seg, nil
+}
+
+// Unmap removes the named segment. It is a no-op if the segment does not
+// exist.
+func (m *Memory) Unmap(name string) {
+	for i, s := range m.segs {
+		if s.Name == name {
+			m.segs = append(m.segs[:i], m.segs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Segments returns the segments sorted by base address. The returned slice
+// is a copy; the segments themselves are shared.
+func (m *Memory) Segments() []*Segment {
+	out := make([]*Segment, len(m.segs))
+	copy(out, m.segs)
+	return out
+}
+
+// Segment returns the named segment, or nil.
+func (m *Memory) Segment(name string) *Segment {
+	for _, s := range m.segs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Find returns the segment containing addr, or nil.
+func (m *Memory) Find(addr uint32) *Segment {
+	// Binary search over sorted bases.
+	lo, hi := 0, len(m.segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.segs[mid].End() <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(m.segs) && m.segs[lo].Contains(addr) {
+		return m.segs[lo]
+	}
+	return nil
+}
+
+// SetPerm changes the permissions of the named segment.
+func (m *Memory) SetPerm(name string, perm Perm) error {
+	s := m.Segment(name)
+	if s == nil {
+		return fmt.Errorf("setperm: no segment %q", name)
+	}
+	s.Perm = perm
+	return nil
+}
+
+func (m *Memory) fault(kind FaultKind, access Access, addr uint32) *Fault {
+	f := &Fault{Kind: kind, Access: access, Addr: addr}
+	if s := m.Find(addr); s != nil {
+		f.Segment = s.Name
+	}
+	return f
+}
+
+// check locates the segment for a [addr, addr+n) access and validates
+// permissions. Accesses may not span segments: real exploits in this lab
+// never need to, and spanning would hide layout bugs.
+func (m *Memory) check(addr, n uint32, access Access) (*Segment, uint32, *Fault) {
+	s := m.Find(addr)
+	if s == nil {
+		return nil, 0, m.fault(FaultUnmapped, access, addr)
+	}
+	off := addr - s.Base
+	if off+n > s.Size() {
+		return nil, 0, m.fault(FaultUnmapped, access, s.End())
+	}
+	switch access {
+	case AccessRead:
+		if s.Perm&PermRead == 0 {
+			return nil, 0, m.fault(FaultProtection, access, addr)
+		}
+	case AccessWrite:
+		if s.Perm&PermWrite == 0 {
+			return nil, 0, m.fault(FaultProtection, access, addr)
+		}
+	case AccessExec:
+		if s.Perm&PermExec == 0 {
+			return nil, 0, m.fault(FaultProtection, access, addr)
+		}
+		if m.wx && s.Perm&PermWrite != 0 {
+			// W⊕X: never execute from writable memory.
+			return nil, 0, m.fault(FaultProtection, access, addr)
+		}
+	}
+	return s, off, nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr, n uint32) ([]byte, *Fault) {
+	if n == 0 {
+		return nil, nil
+	}
+	s, off, f := m.check(addr, n, AccessRead)
+	if f != nil {
+		return nil, f
+	}
+	out := make([]byte, n)
+	copy(out, s.Data[off:off+n])
+	return out, nil
+}
+
+// WriteBytes stores b starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) *Fault {
+	if len(b) == 0 {
+		return nil
+	}
+	s, off, f := m.check(addr, uint32(len(b)), AccessWrite)
+	if f != nil {
+		return f
+	}
+	copy(s.Data[off:], b)
+	return nil
+}
+
+// ReadU8 loads one byte.
+func (m *Memory) ReadU8(addr uint32) (uint8, *Fault) {
+	s, off, f := m.check(addr, 1, AccessRead)
+	if f != nil {
+		return 0, f
+	}
+	return s.Data[off], nil
+}
+
+// WriteU8 stores one byte.
+func (m *Memory) WriteU8(addr uint32, v uint8) *Fault {
+	s, off, f := m.check(addr, 1, AccessWrite)
+	if f != nil {
+		return f
+	}
+	s.Data[off] = v
+	return nil
+}
+
+// ReadU16 loads a little-endian 16-bit value.
+func (m *Memory) ReadU16(addr uint32) (uint16, *Fault) {
+	s, off, f := m.check(addr, 2, AccessRead)
+	if f != nil {
+		return 0, f
+	}
+	return uint16(s.Data[off]) | uint16(s.Data[off+1])<<8, nil
+}
+
+// WriteU16 stores a little-endian 16-bit value.
+func (m *Memory) WriteU16(addr uint32, v uint16) *Fault {
+	s, off, f := m.check(addr, 2, AccessWrite)
+	if f != nil {
+		return f
+	}
+	s.Data[off] = byte(v)
+	s.Data[off+1] = byte(v >> 8)
+	return nil
+}
+
+// ReadU32 loads a little-endian 32-bit value.
+func (m *Memory) ReadU32(addr uint32) (uint32, *Fault) {
+	s, off, f := m.check(addr, 4, AccessRead)
+	if f != nil {
+		return 0, f
+	}
+	d := s.Data[off : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
+}
+
+// WriteU32 stores a little-endian 32-bit value.
+func (m *Memory) WriteU32(addr uint32, v uint32) *Fault {
+	s, off, f := m.check(addr, 4, AccessWrite)
+	if f != nil {
+		return f
+	}
+	s.Data[off] = byte(v)
+	s.Data[off+1] = byte(v >> 8)
+	s.Data[off+2] = byte(v >> 16)
+	s.Data[off+3] = byte(v >> 24)
+	return nil
+}
+
+// Fetch reads up to n instruction bytes at addr, enforcing execute
+// permission and the W⊕X policy. Fewer than n bytes may be returned when
+// the segment ends before addr+n; callers decode what they receive.
+func (m *Memory) Fetch(addr, n uint32) ([]byte, *Fault) {
+	s, off, f := m.check(addr, 1, AccessExec)
+	if f != nil {
+		return nil, f
+	}
+	end := off + n
+	if end > s.Size() {
+		end = s.Size()
+	}
+	out := make([]byte, end-off)
+	copy(out, s.Data[off:end])
+	return out, nil
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (not counting the terminator).
+func (m *Memory) ReadCString(addr, max uint32) (string, *Fault) {
+	var out []byte
+	for i := uint32(0); i < max; i++ {
+		b, f := m.ReadU8(addr + i)
+		if f != nil {
+			return "", f
+		}
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out), nil
+}
+
+// Clone returns a deep copy of the address space, used for snapshot/restore
+// style debugging and for diversity experiments that perturb one copy.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{wx: m.wx, segs: make([]*Segment, len(m.segs))}
+	for i, s := range m.segs {
+		d := make([]byte, len(s.Data))
+		copy(d, s.Data)
+		c.segs[i] = &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d}
+	}
+	return c
+}

@@ -1,0 +1,309 @@
+// Package netsim simulates the network environment of the paper's remote
+// experiments (Fig. 1): hosts with UDP sockets, Wi-Fi access points that
+// broadcast SSIDs at a signal strength, stations that associate to the
+// strongest AP carrying their preferred SSID, and DHCP configuration
+// (address, gateway, DNS server) granted on association.
+//
+// The Wi-Fi Pineapple attack of §III-D is expressible directly: a rogue
+// AP clones the trusted SSID at a stronger signal; the victim station
+// re-associates; the rogue DHCP hands it a resolver the attacker runs.
+//
+// Delivery is a deterministic FIFO event loop — no goroutines, no real
+// sockets — so experiments and tests are exactly reproducible.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// IP is an IPv4 address.
+type IP [4]byte
+
+// String renders dotted quad.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// IsZero reports the unset address.
+func (ip IP) IsZero() bool { return ip == IP{} }
+
+// Addr is an IP:port endpoint.
+type Addr struct {
+	IP   IP
+	Port uint16
+}
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// Datagram is one UDP packet in flight.
+type Datagram struct {
+	Src, Dst Addr
+	Payload  []byte
+}
+
+// Handler consumes a datagram delivered to a socket. It runs synchronously
+// inside Network.Run.
+type Handler func(dg Datagram)
+
+// UDPSocket is a bound port on a host.
+type UDPSocket struct {
+	host    *Host
+	port    uint16
+	handler Handler
+	queue   []Datagram
+}
+
+// SendTo queues a datagram to dst.
+func (s *UDPSocket) SendTo(dst Addr, payload []byte) {
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	s.host.net.enqueue(Datagram{
+		Src:     Addr{IP: s.host.IP, Port: s.port},
+		Dst:     dst,
+		Payload: p,
+	})
+}
+
+// Recv pops one queued datagram for sockets without a handler.
+func (s *UDPSocket) Recv() (Datagram, bool) {
+	if len(s.queue) == 0 {
+		return Datagram{}, false
+	}
+	dg := s.queue[0]
+	s.queue = s.queue[1:]
+	return dg, true
+}
+
+// Host is one simulated machine.
+type Host struct {
+	Name string
+	net  *Network
+
+	// IP is the host address (static or DHCP-assigned).
+	IP IP
+	// Gateway and DNS come from DHCP (or static configuration).
+	Gateway IP
+	DNS     IP
+
+	sockets map[uint16]*UDPSocket
+	station *Station
+}
+
+// Bind opens a UDP socket on port with an optional handler.
+func (h *Host) Bind(port uint16, handler Handler) (*UDPSocket, error) {
+	if _, exists := h.sockets[port]; exists {
+		return nil, fmt.Errorf("netsim: %s: port %d already bound", h.Name, port)
+	}
+	s := &UDPSocket{host: h, port: port, handler: handler}
+	h.sockets[port] = s
+	return s, nil
+}
+
+// BindEphemeral opens a socket on a free high port.
+func (h *Host) BindEphemeral(handler Handler) (*UDPSocket, error) {
+	for port := uint16(40000); port < 41000; port++ {
+		if _, taken := h.sockets[port]; taken {
+			continue
+		}
+		return h.Bind(port, handler)
+	}
+	return nil, fmt.Errorf("netsim: %s: ephemeral ports exhausted", h.Name)
+}
+
+// Station returns the host's Wi-Fi station, creating it on first use.
+func (h *Host) Station(preferredSSID string) *Station {
+	if h.station == nil {
+		h.station = &Station{host: h, Preferred: preferredSSID}
+	} else {
+		h.station.Preferred = preferredSSID
+	}
+	return h.station
+}
+
+// AccessPoint is a Wi-Fi AP: an SSID broadcast at a signal strength, plus
+// the DHCP configuration it grants on association.
+type AccessPoint struct {
+	Name   string
+	SSID   string
+	Signal int // arbitrary units; stations pick the strongest
+
+	// DHCP configuration handed to clients.
+	PoolBase IP // first assignable address
+	Gateway  IP
+	DNS      IP
+
+	nextLease uint8
+	clients   map[*Station]bool
+}
+
+// Station is a Wi-Fi client interface.
+type Station struct {
+	host      *Host
+	Preferred string
+	AP        *AccessPoint
+}
+
+// Network is the simulated world.
+type Network struct {
+	hosts map[string]*Host
+	aps   []*AccessPoint
+	byIP  map[IP]*Host
+	queue []Datagram
+
+	// Delivered counts datagrams handed to sockets, for reporting.
+	Delivered int
+	// Dropped counts undeliverable datagrams.
+	Dropped int
+	// Log collects human-readable events when Verbose is set.
+	Verbose bool
+	Events  []string
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{hosts: make(map[string]*Host), byIP: make(map[IP]*Host)}
+}
+
+func (n *Network) logf(format string, args ...any) {
+	if n.Verbose {
+		n.Events = append(n.Events, fmt.Sprintf(format, args...))
+	}
+}
+
+// AddHost creates a host; ip may be zero for DHCP-configured hosts.
+func (n *Network) AddHost(name string, ip IP) (*Host, error) {
+	if _, dup := n.hosts[name]; dup {
+		return nil, fmt.Errorf("netsim: duplicate host %q", name)
+	}
+	h := &Host{Name: name, net: n, IP: ip, sockets: make(map[uint16]*UDPSocket)}
+	n.hosts[name] = h
+	if !ip.IsZero() {
+		if _, taken := n.byIP[ip]; taken {
+			return nil, fmt.Errorf("netsim: address %s already in use", ip)
+		}
+		n.byIP[ip] = h
+	}
+	return h, nil
+}
+
+// Host returns a host by name, or nil.
+func (n *Network) Host(name string) *Host { return n.hosts[name] }
+
+// AddAP registers an access point.
+func (n *Network) AddAP(ap *AccessPoint) *AccessPoint {
+	ap.clients = make(map[*Station]bool)
+	n.aps = append(n.aps, ap)
+	return ap
+}
+
+// Scan lists visible APs sorted by descending signal (ties by name for
+// determinism).
+func (n *Network) Scan() []*AccessPoint {
+	out := make([]*AccessPoint, len(n.aps))
+	copy(out, n.aps)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Signal != out[j].Signal {
+			return out[i].Signal > out[j].Signal
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ErrNoAP is returned when no AP broadcasts the preferred SSID.
+var ErrNoAP = errors.New("netsim: no access point with preferred SSID in range")
+
+// Associate performs the station's scan-and-join: it picks the
+// strongest-signal AP broadcasting its preferred SSID (the physical-layer
+// behaviour the Pineapple abuses: "The Wi-Fi Pineapple is able to
+// broadcast a stronger signal than the legitimate access point, causing
+// our targeted machine to switch its connection") and then runs the DHCP
+// exchange, reconfiguring the host's address, gateway and DNS.
+func (s *Station) Associate() (*AccessPoint, error) {
+	var best *AccessPoint
+	for _, ap := range s.host.net.Scan() {
+		if ap.SSID == s.Preferred {
+			best = ap
+			break
+		}
+	}
+	if best == nil {
+		return nil, ErrNoAP
+	}
+	if s.AP == best {
+		return best, nil
+	}
+	if s.AP != nil {
+		delete(s.AP.clients, s)
+	}
+	s.AP = best
+	best.clients[s] = true
+	s.host.net.logf("%s associated to %q (ap %s, signal %d)",
+		s.host.Name, best.SSID, best.Name, best.Signal)
+
+	// DHCP: DISCOVER/OFFER/REQUEST/ACK collapsed into the lease grant.
+	old := s.host.IP
+	lease := best.PoolBase
+	best.nextLease++
+	lease[3] += best.nextLease
+	if !old.IsZero() {
+		delete(s.host.net.byIP, old)
+	}
+	if _, taken := s.host.net.byIP[lease]; taken {
+		return nil, fmt.Errorf("netsim: dhcp pool collision at %s", lease)
+	}
+	s.host.IP = lease
+	s.host.Gateway = best.Gateway
+	s.host.DNS = best.DNS
+	s.host.net.byIP[lease] = s.host
+	s.host.net.logf("%s dhcp lease %s gw %s dns %s", s.host.Name, lease, best.Gateway, best.DNS)
+	return best, nil
+}
+
+// enqueue appends to the delivery queue.
+func (n *Network) enqueue(dg Datagram) { n.queue = append(n.queue, dg) }
+
+// Step delivers one queued datagram. It reports false when the queue is
+// empty.
+func (n *Network) Step() bool {
+	if len(n.queue) == 0 {
+		return false
+	}
+	dg := n.queue[0]
+	n.queue = n.queue[1:]
+	host, ok := n.byIP[dg.Dst.IP]
+	if !ok {
+		n.Dropped++
+		n.logf("drop %s -> %s (%d bytes): no route", dg.Src, dg.Dst, len(dg.Payload))
+		return true
+	}
+	sock, ok := host.sockets[dg.Dst.Port]
+	if !ok {
+		n.Dropped++
+		n.logf("drop %s -> %s (%d bytes): port closed", dg.Src, dg.Dst, len(dg.Payload))
+		return true
+	}
+	n.Delivered++
+	n.logf("deliver %s -> %s (%d bytes)", dg.Src, dg.Dst, len(dg.Payload))
+	if sock.handler != nil {
+		sock.handler(dg)
+	} else {
+		sock.queue = append(sock.queue, dg)
+	}
+	return true
+}
+
+// Run pumps the queue until empty or maxSteps deliveries.
+func (n *Network) Run(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps && n.Step() {
+		steps++
+	}
+	return steps
+}
+
+// Pending returns the number of queued datagrams.
+func (n *Network) Pending() int { return len(n.queue) }

@@ -1,0 +1,216 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestUDPDelivery(t *testing.T) {
+	n := New()
+	a, err := n.AddHost("a", IP{10, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AddHost("b", IP{10, 0, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Datagram
+	if _, err := b.Bind(7, func(dg Datagram) { got = append(got, dg) }); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := a.Bind(1234, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.SendTo(Addr{IP: b.IP, Port: 7}, []byte("ping"))
+	n.Run(10)
+	if len(got) != 1 || string(got[0].Payload) != "ping" {
+		t.Fatalf("delivered = %v", got)
+	}
+	if got[0].Src.IP != a.IP || got[0].Src.Port != 1234 {
+		t.Errorf("src = %v", got[0].Src)
+	}
+	if n.Delivered != 1 || n.Dropped != 0 {
+		t.Errorf("counters = %d/%d", n.Delivered, n.Dropped)
+	}
+}
+
+func TestPayloadCopiedNotAliased(t *testing.T) {
+	n := New()
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	b, _ := n.AddHost("b", IP{10, 0, 0, 2})
+	var got []byte
+	_, _ = b.Bind(9, func(dg Datagram) { got = dg.Payload })
+	s, _ := a.Bind(1000, nil)
+	buf := []byte("abc")
+	s.SendTo(Addr{IP: b.IP, Port: 9}, buf)
+	buf[0] = 'X' // mutate after send
+	n.Run(10)
+	if string(got) != "abc" {
+		t.Errorf("payload = %q, want copy semantics", got)
+	}
+}
+
+func TestDropsCounted(t *testing.T) {
+	n := New()
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	s, _ := a.Bind(1, nil)
+	s.SendTo(Addr{IP: IP{9, 9, 9, 9}, Port: 1}, []byte("x")) // no route
+	s.SendTo(Addr{IP: a.IP, Port: 999}, []byte("y"))         // closed port
+	n.Run(10)
+	if n.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", n.Dropped)
+	}
+}
+
+func TestRecvQueueWithoutHandler(t *testing.T) {
+	n := New()
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	s, _ := a.Bind(5, nil)
+	tx, _ := a.Bind(6, nil)
+	tx.SendTo(Addr{IP: a.IP, Port: 5}, []byte("q1"))
+	tx.SendTo(Addr{IP: a.IP, Port: 5}, []byte("q2"))
+	n.Run(10)
+	d1, ok1 := s.Recv()
+	d2, ok2 := s.Recv()
+	_, ok3 := s.Recv()
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("recv availability = %v %v %v", ok1, ok2, ok3)
+	}
+	if string(d1.Payload) != "q1" || string(d2.Payload) != "q2" {
+		t.Errorf("fifo order broken: %q, %q", d1.Payload, d2.Payload)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	n := New()
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	if _, err := a.Bind(53, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Bind(53, nil); err == nil {
+		t.Error("duplicate bind accepted")
+	}
+	if _, err := n.AddHost("a", IP{10, 0, 0, 3}); err == nil {
+		t.Error("duplicate host accepted")
+	}
+	if _, err := n.AddHost("c", IP{10, 0, 0, 1}); err == nil {
+		t.Error("duplicate IP accepted")
+	}
+	if _, err := a.BindEphemeral(nil); err != nil {
+		t.Error("ephemeral bind failed")
+	}
+}
+
+func TestScanOrdersBySignal(t *testing.T) {
+	n := New()
+	n.AddAP(&AccessPoint{Name: "weak", SSID: "net", Signal: 10})
+	n.AddAP(&AccessPoint{Name: "strong", SSID: "net", Signal: 90})
+	n.AddAP(&AccessPoint{Name: "other", SSID: "x", Signal: 50})
+	scan := n.Scan()
+	if scan[0].Name != "strong" || scan[1].Name != "other" || scan[2].Name != "weak" {
+		t.Errorf("scan order = %s %s %s", scan[0].Name, scan[1].Name, scan[2].Name)
+	}
+}
+
+func TestAssociationAndDHCP(t *testing.T) {
+	n := New()
+	n.Verbose = true
+	n.AddAP(&AccessPoint{
+		Name: "router", SSID: "home", Signal: 50,
+		PoolBase: IP{192, 168, 1, 100}, Gateway: IP{192, 168, 1, 1}, DNS: IP{8, 8, 8, 8},
+	})
+	h, _ := n.AddHost("dev", IP{})
+	st := h.Station("home")
+	ap, err := st.Associate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Name != "router" {
+		t.Errorf("associated to %s", ap.Name)
+	}
+	if h.IP != (IP{192, 168, 1, 101}) {
+		t.Errorf("lease = %s", h.IP)
+	}
+	if h.DNS != (IP{8, 8, 8, 8}) || h.Gateway != (IP{192, 168, 1, 1}) {
+		t.Errorf("config = dns %s gw %s", h.DNS, h.Gateway)
+	}
+	if len(n.Events) == 0 {
+		t.Error("no events logged")
+	}
+
+	// Second station gets the next lease.
+	h2, _ := n.AddHost("dev2", IP{})
+	if _, err := h2.Station("home").Associate(); err != nil {
+		t.Fatal(err)
+	}
+	if h2.IP != (IP{192, 168, 1, 102}) {
+		t.Errorf("second lease = %s", h2.IP)
+	}
+}
+
+func TestReassociationToStrongerAP(t *testing.T) {
+	n := New()
+	n.AddAP(&AccessPoint{
+		Name: "legit", SSID: "home", Signal: 50,
+		PoolBase: IP{192, 168, 1, 100}, DNS: IP{8, 8, 8, 8},
+	})
+	h, _ := n.AddHost("dev", IP{})
+	st := h.Station("home")
+	if _, err := st.Associate(); err != nil {
+		t.Fatal(err)
+	}
+	oldIP := h.IP
+
+	n.AddAP(&AccessPoint{
+		Name: "rogue", SSID: "home", Signal: 99,
+		PoolBase: IP{172, 16, 0, 100}, DNS: IP{172, 16, 0, 1},
+	})
+	ap, err := st.Associate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Name != "rogue" {
+		t.Fatalf("stayed on %s", ap.Name)
+	}
+	if h.DNS != (IP{172, 16, 0, 1}) {
+		t.Errorf("dns = %s, want rogue resolver", h.DNS)
+	}
+	// Old address released: sending to it drops.
+	a, _ := n.AddHost("probe", IP{192, 168, 1, 2})
+	s, _ := a.Bind(1, nil)
+	s.SendTo(Addr{IP: oldIP, Port: 1}, []byte("x"))
+	n.Run(4)
+	if n.Dropped != 1 {
+		t.Errorf("old lease still routed (dropped=%d)", n.Dropped)
+	}
+
+	// Re-associating to the same best AP is a no-op.
+	ip := h.IP
+	if _, err := st.Associate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.IP != ip {
+		t.Error("no-op re-association changed the lease")
+	}
+}
+
+func TestAssociateNoAP(t *testing.T) {
+	n := New()
+	h, _ := n.AddHost("dev", IP{})
+	if _, err := h.Station("ghost").Associate(); err == nil {
+		t.Error("associated to a non-existent SSID")
+	}
+}
+
+func TestIPString(t *testing.T) {
+	if (IP{1, 2, 3, 4}).String() != "1.2.3.4" {
+		t.Error("IP.String broken")
+	}
+	if (Addr{IP: IP{1, 2, 3, 4}, Port: 53}).String() != "1.2.3.4:53" {
+		t.Error("Addr.String broken")
+	}
+	if !(IP{}).IsZero() || (IP{1}).IsZero() {
+		t.Error("IsZero broken")
+	}
+}

@@ -1,0 +1,231 @@
+package victim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"connlab/internal/dns"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+)
+
+// cacheSnapshot reads the daemon's .bss dns_cache.
+func cacheSnapshot(t *testing.T, d *Daemon, n uint32) []byte {
+	t.Helper()
+	addr, ok := d.Process().Prog.Lookup("dns_cache")
+	if !ok {
+		t.Fatal("no dns_cache symbol")
+	}
+	b, f := d.Process().Mem().ReadBytes(addr, n)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return b
+}
+
+// TestTypeAAnswerIsCached asserts the emulated parse_rr really performs
+// its memcpy@plt into .bss: after a benign Type A response, the cache
+// holds the wire-form name (length-prefixed labels).
+func TestTypeAAnswerIsCached(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		t.Run(string(arch), func(t *testing.T) {
+			d, err := NewDaemon(arch, BuildOpts{}, kernel.Config{Seed: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := dns.NewQuery(0x10, "cacheme.example", dns.TypeA)
+			resp := dns.NewResponse(q)
+			resp.Answers = []dns.RR{dns.A("cacheme.example", 60, [4]byte{1, 1, 1, 1})}
+			pkt, err := resp.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.HandleResponse(pkt); err != nil {
+				t.Fatal(err)
+			}
+			cache := cacheSnapshot(t, d, 32)
+			want := []byte("\x07cacheme\x07example")
+			if !bytes.Contains(cache, want) {
+				t.Errorf("cache = %q, want to contain %q", cache, want)
+			}
+		})
+	}
+}
+
+// TestCNAMEAnswerNotCached: the cache memcpy only runs for Type A, per
+// the victim's type check.
+func TestCNAMEAnswerNotCached(t *testing.T) {
+	d, err := NewDaemon(isa.ArchX86S, BuildOpts{}, kernel.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := dns.NewQuery(0x11, "alias.example", dns.TypeA)
+	resp := dns.NewResponse(q)
+	target, err := dns.AppendRawName(nil, "real.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Answers = []dns.RR{{
+		Name: "alias.example", Type: dns.TypeCNAME, Class: dns.ClassIN,
+		TTL: 60, Data: target,
+	}}
+	pkt, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.HandleResponse(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != kernel.StatusReturned {
+		t.Fatalf("res = %v", res)
+	}
+	cache := cacheSnapshot(t, d, 32)
+	if !bytes.Equal(cache, make([]byte, 32)) {
+		t.Errorf("cache modified by CNAME: %q", cache)
+	}
+}
+
+// TestMultipleAnswersParsed: the answer loop walks every record.
+func TestMultipleAnswersParsed(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		t.Run(string(arch), func(t *testing.T) {
+			d, err := NewDaemon(arch, BuildOpts{}, kernel.Config{Seed: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := dns.NewQuery(0x12, "multi.example", dns.TypeA)
+			resp := dns.NewResponse(q)
+			for i := 0; i < 5; i++ {
+				resp.Answers = append(resp.Answers,
+					dns.A("multi.example", 60, [4]byte{10, 0, 0, byte(i)}))
+			}
+			pkt, err := resp.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.HandleResponse(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != kernel.StatusReturned || res.RetVal != 0 {
+				t.Fatalf("res = %v", res)
+			}
+		})
+	}
+}
+
+// TestCompressedAnswersParse: compression pointers in answer names (the
+// normal, benign kind produced by the encoder) decompress correctly in
+// the emulated get_name.
+func TestCompressedAnswersParse(t *testing.T) {
+	q := dns.NewQuery(0x13, "compress.me.example", dns.TypeA)
+	resp := dns.NewResponse(q)
+	// Two answers with the same name: the second is a pure pointer.
+	resp.Answers = []dns.RR{
+		dns.A("compress.me.example", 60, [4]byte{1, 2, 3, 4}),
+		dns.A("compress.me.example", 60, [4]byte{5, 6, 7, 8}),
+	}
+	pkt, err := resp.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDaemon(isa.ArchARMS, BuildOpts{}, kernel.Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.HandleResponse(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != kernel.StatusReturned || res.RetVal != 0 {
+		t.Fatalf("res = %v", res)
+	}
+	// The decompressed name was cached through the pointer.
+	cache := cacheSnapshot(t, d, 32)
+	if !bytes.Contains(cache, []byte("\x08compress\x02me")) {
+		t.Errorf("cache = %q", cache)
+	}
+}
+
+// TestRandomResponsesNeverSpawnShells: a fuzz-flavoured safety invariant —
+// random (well-framed but garbage-filled) responses may crash the
+// vulnerable daemon but must never reach an exec by accident.
+func TestRandomResponsesNeverSpawnShells(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for trial := 0; trial < 60; trial++ {
+		arch := isa.ArchX86S
+		if trial%2 == 1 {
+			arch = isa.ArchARMS
+		}
+		d, err := NewDaemon(arch, BuildOpts{}, kernel.Config{Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random label stream of random lengths/content.
+		var raw []byte
+		for len(raw) < 200+rng.Intn(1500) {
+			l := 1 + rng.Intn(63)
+			raw = append(raw, byte(l))
+			chunk := make([]byte, l)
+			rng.Read(chunk)
+			raw = append(raw, chunk...)
+		}
+		raw = append(raw, 0)
+		q := dns.NewQuery(uint16(trial), "fuzz.example", dns.TypeA)
+		resp := dns.NewResponse(q)
+		resp.Answers = []dns.RR{{
+			RawName: raw, Type: dns.TypeA, Class: dns.ClassIN, TTL: 1,
+			Data: []byte{0, 0, 0, 0},
+		}}
+		pkt, err := resp.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.HandleResponse(pkt)
+		if err != nil {
+			continue // rejected by pre-checks: fine
+		}
+		if res.Status == kernel.StatusShell {
+			t.Fatalf("trial %d: random bytes spawned a shell: %v", trial, res)
+		}
+		if len(d.Shells()) != 0 {
+			t.Fatalf("trial %d: shell recorded", trial)
+		}
+	}
+}
+
+// TestVariantStringsAndVersions covers the metadata helpers.
+func TestVariantStringsAndVersions(t *testing.T) {
+	if VariantConnman.String() != "connman" || VariantDnsmasq.String() != "dnsmasq" {
+		t.Error("Variant.String broken")
+	}
+	if (BuildOpts{}).Version() != "1.34" || (BuildOpts{Patched: true}).Version() != "1.35" {
+		t.Error("Version broken")
+	}
+	if (BuildOpts{Variant: VariantDnsmasq}).BufSize() != DnsmasqBufSize {
+		t.Error("BufSize broken")
+	}
+}
+
+// TestGroundTruthOffsets: the helper functions agree with the documented
+// constants for the Connman build.
+func TestGroundTruthOffsets(t *testing.T) {
+	if RetOffsetFor(isa.ArchX86S, BuildOpts{}) != X86RetOffset {
+		t.Error("x86 ret offset helper mismatch")
+	}
+	if RetOffsetFor(isa.ArchX86S, BuildOpts{Canary: true}) != X86CanaryRetOffset {
+		t.Error("x86 canary ret offset helper mismatch")
+	}
+	if RetOffsetFor(isa.ArchARMS, BuildOpts{}) != ARMRetOffset {
+		t.Error("arm ret offset helper mismatch")
+	}
+	nulls := NullOffsetsFor(isa.ArchARMS, BuildOpts{})
+	if len(nulls) != 1 || nulls[0] != ARMNullOffset {
+		t.Error("arm null offsets helper mismatch")
+	}
+	if NullOffsetsFor(isa.ArchX86S, BuildOpts{}) != nil {
+		t.Error("x86 must have no null slots")
+	}
+}

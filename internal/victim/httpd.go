@@ -1,0 +1,132 @@
+package victim
+
+import (
+	"bytes"
+	"fmt"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/x86s"
+	"connlab/internal/kernel"
+)
+
+// HTTPBufSize is the request-line URI buffer in the HTTP victim.
+const HTTPBufSize = 256
+
+// BuildHTTPProgram assembles the §V protocol-transfer victim: a tiny
+// embedded HTTP request handler (the CVE-2019-8985 class) whose request
+// line is copied into a 256-byte stack buffer with no bound — a classic
+// string-copy overflow. Unlike the DNS victims, the copy stops at NUL or
+// CR, so payloads must be zero-free: a different packet-crafting
+// discipline on the same exploit engine, which is exactly the paper's §V
+// argument.
+func BuildHTTPProgram() (*image.Unit, error) {
+	u := image.NewUnit(isa.ArchX86S)
+	u.Import("memcpy", "strlen", "write", "execlp", "exit", "memset")
+
+	// handle_request(req, len): verify "GET ", copy the URI until CR/NUL
+	// into uri[256], NUL-terminate.
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.SubRI(x86s.ESP, HTTPBufSize+8)
+	a.MovRM(x86s.EDX, x86s.EBP, 8) // req
+	for i, ch := range []byte("GET ") {
+		a.Movzx8M(x86s.EAX, x86s.EDX, int32(i))
+		a.CmpRI(x86s.EAX, int32(ch))
+		a.Jcc(x86s.CondNE, "bad")
+	}
+	a.Lea(x86s.EDX, x86s.EDX, 4)
+	a.Lea(x86s.ECX, x86s.EBP, -HTTPBufSize)
+	a.Label("copy")
+	a.Movzx8M(x86s.EAX, x86s.EDX, 0)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "done")
+	a.CmpRI(x86s.EAX, 0x0D) // CR ends the request line
+	a.Jcc(x86s.CondE, "done")
+	a.MovMR8(x86s.ECX, 0, x86s.EAX) // *uri++ = *p++  (no bound check)
+	a.IncR(x86s.ECX)
+	a.IncR(x86s.EDX)
+	a.Jmp("copy")
+	a.Label("done")
+	a.MovMI8(x86s.ECX, 0, 0)
+	a.XorRR(x86s.EAX, x86s.EAX)
+	a.Leave().Ret()
+	a.Label("bad")
+	a.MovRI(x86s.EAX, 0xFFFFFFFF)
+	a.Leave().Ret()
+	u.AddFuncX86("handle_request", a)
+
+	u.AddFuncX86("spawn_resolver", buildSpawnResolverX86())
+	u.AddFuncX86("log_error", buildLogErrorX86())
+	if err := u.Err(); err != nil {
+		return nil, fmt.Errorf("build http victim: %w", err)
+	}
+	u.AddBSS("resp_buf", 1024)
+	u.AddRodata("str_banner", []byte("iotcam-httpd/1.12\x00"))
+	u.AddRodata("str_index", []byte("/index.html\x00"))
+	u.AddRodata("str_helper", []byte("iotcam-watchdog\x00"))
+	return u, nil
+}
+
+// HTTPRetOffset is the ground-truth distance from the URI buffer to the
+// saved return address (buffer at ebp-256, eip at ebp+4).
+const HTTPRetOffset = HTTPBufSize + 4
+
+// HTTPDaemon wraps the HTTP victim the way Daemon wraps the DNS proxy.
+type HTTPDaemon struct {
+	proc    *kernel.Process
+	crashed bool
+	last    kernel.RunResult
+}
+
+// NewHTTPDaemon loads the HTTP victim under a protection configuration.
+func NewHTTPDaemon(cfg kernel.Config) (*HTTPDaemon, error) {
+	prog, err := BuildHTTPProgram()
+	if err != nil {
+		return nil, err
+	}
+	libc, err := image.BuildLibc(isa.ArchX86S)
+	if err != nil {
+		return nil, err
+	}
+	proc, err := kernel.Load(prog, libc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPDaemon{proc: proc}, nil
+}
+
+// Process exposes the underlying process.
+func (d *HTTPDaemon) Process() *kernel.Process { return d.proc }
+
+// Crashed reports whether the daemon died.
+func (d *HTTPDaemon) Crashed() bool { return d.crashed }
+
+// LastResult returns the most recent handler result.
+func (d *HTTPDaemon) LastResult() kernel.RunResult { return d.last }
+
+// HandleRequest runs one HTTP request through the emulated handler.
+func (d *HTTPDaemon) HandleRequest(req []byte) (kernel.RunResult, error) {
+	if d.crashed {
+		return kernel.RunResult{}, fmt.Errorf("http daemon: already crashed: %v", d.last)
+	}
+	if len(req) > maxPacket {
+		return kernel.RunResult{}, fmt.Errorf("http daemon: request too large (%d bytes)", len(req))
+	}
+	if !bytes.HasPrefix(req, []byte("GET ")) {
+		return kernel.RunResult{}, fmt.Errorf("http daemon: unsupported method")
+	}
+	addr := d.proc.HeapBase()
+	if f := d.proc.Mem().WriteBytes(addr, append(req, 0)); f != nil {
+		return kernel.RunResult{}, fmt.Errorf("http daemon: stage request: %w", f)
+	}
+	res, err := d.proc.Call("handle_request", addr, uint32(len(req)))
+	if err != nil {
+		return kernel.RunResult{}, err
+	}
+	d.last = res
+	if res.Status != kernel.StatusReturned {
+		d.crashed = true
+	}
+	return res, nil
+}

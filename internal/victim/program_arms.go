@@ -1,0 +1,345 @@
+package victim
+
+import (
+	"connlab/internal/abi"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+)
+
+// buildProgramARM assembles the arms connmansim unit.
+//
+// parse_rr stack frame (no canary), growing down from the caller:
+//
+//	sp+1060  saved lr        <- return address, buffer offset 1052
+//	sp+1056  saved r11
+//	sp+1052  saved r7
+//	sp+1048  saved r6
+//	sp+1044  saved r5
+//	sp+1040  saved r4
+//	sp+1036  pad (canary slot in canary builds)
+//	sp+1032  cache_entry     <- must stay NULL (buffer offset 1024): parse_rr
+//	                           dereferences it after get_name returns, the
+//	                           check the paper had to satisfy on ARMv7
+//	sp+8 ..  name[1024]      <- overflow runs upward from here
+//	sp+4     rdlen
+//	sp+0     name_len
+//
+// The frame is built by push {r4,r5,r6,r7,r11,lr}; sub sp, sp, #1040.
+func buildProgramARM(opts BuildOpts) *image.Unit {
+	u := image.NewUnit(isa.ArchARMS)
+	u.Import("memcpy", "memset", "strlen", "execlp", "exit", "write")
+
+	u.AddFuncARM("parse_response", buildParseResponseARM())
+	u.AddFuncARM("parse_rr", buildParseRRARM(opts))
+	u.AddFuncARM("get_name", buildGetNameARM(opts))
+	u.AddFuncARM("spawn_resolver", buildSpawnResolverARM())
+	u.AddFuncARM("log_error", buildLogErrorARM())
+	u.AddFuncARM("invoke_callback", buildInvokeCallbackARM())
+	u.AddFuncARM("restore_task_context", buildRestoreTaskContextARM())
+	u.AddFuncARM("__stack_chk_fail", buildStackChkFailARM())
+	return u
+}
+
+// buildParseResponseARM is the top-level parser: flag check, question
+// skip, parse_rr per answer.
+func buildParseResponseARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.R5, arms.R6, arms.LR)
+	a.MovR(arms.R6, arms.R0) // pkt
+
+	// QR bit.
+	a.Ldrb(arms.R2, arms.R6, 2)
+	a.TstI(arms.R2, 0x80)
+	a.B(arms.CondEQ, "bad")
+
+	// ancount = pkt[6]<<8 | pkt[7].
+	a.Ldrb(arms.R4, arms.R6, 6)
+	a.LslI(arms.R4, arms.R4, 8)
+	a.Ldrb(arms.R3, arms.R6, 7)
+	a.OrrR(arms.R4, arms.R4, arms.R3)
+
+	// Skip question name from pkt+12.
+	a.AddI(arms.R5, arms.R6, 12)
+	a.Label("skipq")
+	a.Ldrb(arms.R2, arms.R5, 0)
+	a.CmpI(arms.R2, 0)
+	a.B(arms.CondEQ, "qdone")
+	a.AndI(arms.R3, arms.R2, 0xC0)
+	a.CmpI(arms.R3, 0xC0)
+	a.B(arms.CondEQ, "qptr")
+	a.AddI(arms.R5, arms.R5, 1)
+	a.AddR(arms.R5, arms.R5, arms.R2)
+	a.BAlways("skipq")
+	a.Label("qptr")
+	a.AddI(arms.R5, arms.R5, 2)
+	a.BAlways("qdone2")
+	a.Label("qdone")
+	a.AddI(arms.R5, arms.R5, 1)
+	a.Label("qdone2")
+	a.AddI(arms.R5, arms.R5, 4)
+
+	// Answer loop.
+	a.Label("aloop")
+	a.CmpI(arms.R4, 0)
+	a.B(arms.CondEQ, "ok")
+	a.MovR(arms.R0, arms.R6)
+	a.MovR(arms.R1, arms.R5)
+	a.BL("parse_rr")
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "bad")
+	a.MovR(arms.R5, arms.R0)
+	a.SubI(arms.R4, arms.R4, 1)
+	a.BAlways("aloop")
+
+	a.Label("ok")
+	a.MovW(arms.R0, 0)
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.PC)
+	a.Label("bad")
+	a.MovW(arms.R0, 0xFFFF)
+	a.MovT(arms.R0, 0xFFFF) // -1
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.PC)
+	return a
+}
+
+// buildParseRRARM is the frame-owning answer parser. Frame layout (bs =
+// buffer size): name_len at sp+0, rdlen at sp+4, the buffer at sp+8, the
+// cache-entry pointer at sp+8+bs (the must-be-NULL slot), a second
+// transaction pointer at sp+12+bs for the dnsmasq variant, then the
+// canary/pad word and the saved registers.
+func buildParseRRARM(opts BuildOpts) *arms.Asm {
+	bs := opts.BufSize()
+	cacheOff := bs + 8
+	txnOff := int32(0)
+	frame := bs + 16
+	if opts.Variant == VariantDnsmasq {
+		txnOff = bs + 12
+		frame = bs + 24
+	}
+	canaryOff := frame - 4
+
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.R5, arms.R6, arms.R7, arms.FP, arms.LR)
+	a.SubI(arms.SP, arms.SP, frame)
+	a.MovW(arms.R3, 0)
+	a.Str(arms.R3, arms.SP, 0)        // name_len = 0
+	a.Str(arms.R3, arms.SP, cacheOff) // cache_entry = NULL
+	if txnOff != 0 {
+		a.Str(arms.R3, arms.SP, txnOff) // txn pointer = NULL
+	}
+	if opts.Canary {
+		a.MovSym(arms.R3, "__stack_chk_guard", 0)
+		a.Ldr(arms.R3, arms.R3, 0)
+		a.Str(arms.R3, arms.SP, canaryOff)
+	}
+	a.MovR(arms.R4, arms.R0) // pkt
+	a.MovR(arms.R5, arms.R1) // p
+
+	// get_name(pkt, p, name, &name_len).
+	a.AddI(arms.R2, arms.SP, 8)
+	a.MovR(arms.R3, arms.SP)
+	a.BL("get_name")
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "fail")
+	a.MovR(arms.R5, arms.R0) // p after name
+
+	// The cache-entry check: if the pointer became non-NULL, "release" it.
+	// A smashed garbage pointer faults here — the pre-pop obstacle the
+	// paper's ARM exploits defuse by planting NULLs.
+	a.Ldr(arms.R3, arms.SP, cacheOff)
+	a.CmpI(arms.R3, 0)
+	a.B(arms.CondEQ, "nofree")
+	a.Ldr(arms.R2, arms.R3, 0)
+	a.Label("nofree")
+	if txnOff != 0 {
+		// The dnsmasq variant walks a second pointer, so its exploits
+		// must plant two NULL words.
+		a.Ldr(arms.R3, arms.SP, txnOff)
+		a.CmpI(arms.R3, 0)
+		a.B(arms.CondEQ, "notxn")
+		a.Ldr(arms.R2, arms.R3, 0)
+		a.Label("notxn")
+	}
+
+	// rdlen = p[8]<<8 | p[9].
+	a.Ldrb(arms.R2, arms.R5, 8)
+	a.LslI(arms.R2, arms.R2, 8)
+	a.Ldrb(arms.R3, arms.R5, 9)
+	a.OrrR(arms.R2, arms.R2, arms.R3)
+	a.Str(arms.R2, arms.SP, 4)
+
+	// Cache type A answers: memcpy(dns_cache, name, 64).
+	a.Ldrb(arms.R3, arms.R5, 1)
+	a.CmpI(arms.R3, 1)
+	a.B(arms.CondNE, "skipcache")
+	a.Ldrb(arms.R3, arms.R5, 0)
+	a.CmpI(arms.R3, 0)
+	a.B(arms.CondNE, "skipcache")
+	a.MovSym(arms.R0, "dns_cache", 0)
+	a.AddI(arms.R1, arms.SP, 8)
+	a.MovW(arms.R2, 64)
+	a.BL("memcpy@plt")
+	a.Label("skipcache")
+
+	// return p + 10 + rdlen.
+	a.Ldr(arms.R2, arms.SP, 4)
+	a.AddI(arms.R0, arms.R5, 10)
+	a.AddR(arms.R0, arms.R0, arms.R2)
+	a.BAlways("done")
+	a.Label("fail")
+	a.MovW(arms.R0, 0)
+	a.Label("done")
+	if opts.Canary {
+		a.MovSym(arms.R3, "__stack_chk_guard", 0)
+		a.Ldr(arms.R3, arms.R3, 0)
+		a.Ldr(arms.R2, arms.SP, canaryOff)
+		a.CmpR(arms.R2, arms.R3)
+		a.B(arms.CondNE, "smash")
+	}
+	a.AddI(arms.SP, arms.SP, frame)
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.FP, arms.PC)
+	if opts.Canary {
+		a.Label("smash")
+		a.BL("__stack_chk_fail")
+	}
+	return a
+}
+
+// buildGetNameARM is the vulnerable (or patched) decompressor, the arms
+// twin of Listing 1.
+func buildGetNameARM(opts BuildOpts) *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.LR)
+	a.MovR(arms.R4, arms.R0) // pkt
+	a.MovR(arms.R5, arms.R1) // p
+	a.MovR(arms.R6, arms.R2) // name
+	a.MovR(arms.R7, arms.R3) // &name_len
+	a.MovW(arms.R8, 0)       // end: record resume position after a pointer
+
+	a.Label("loop")
+	a.Ldrb(arms.R0, arms.R5, 0)
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "finish")
+	a.AndI(arms.R1, arms.R0, 0xC0)
+	a.CmpI(arms.R1, 0xC0)
+	a.B(arms.CondEQ, "pointer")
+
+	if opts.Patched {
+		// 1.35 fix: bail out before the copy would overflow.
+		a.Ldr(arms.R1, arms.R7, 0)
+		a.AddR(arms.R1, arms.R1, arms.R0)
+		a.AddI(arms.R1, arms.R1, 2)
+		a.CmpI(arms.R1, opts.BufSize())
+		a.B(arms.CondGT, "bounds")
+	}
+
+	// name[(*name_len)++] = label_len.
+	a.Ldr(arms.R1, arms.R7, 0)
+	a.AddR(arms.R2, arms.R6, arms.R1)
+	a.Strb(arms.R0, arms.R2, 0)
+	a.AddI(arms.R1, arms.R1, 1)
+	a.Str(arms.R1, arms.R7, 0)
+
+	// memcpy(name + *name_len, p + 1, label_len + 1).
+	a.AddR(arms.R0, arms.R6, arms.R1)
+	a.AddI(arms.R1, arms.R5, 1)
+	a.Ldrb(arms.R2, arms.R5, 0)
+	a.AddI(arms.R2, arms.R2, 1)
+	a.BL("memcpy@plt")
+
+	// *name_len += label_len; p += label_len + 1.
+	a.Ldrb(arms.R0, arms.R5, 0)
+	a.Ldr(arms.R1, arms.R7, 0)
+	a.AddR(arms.R1, arms.R1, arms.R0)
+	a.Str(arms.R1, arms.R7, 0)
+	a.AddI(arms.R5, arms.R5, 1)
+	a.AddR(arms.R5, arms.R5, arms.R0)
+	a.BAlways("loop")
+
+	// Compression pointer: remember where the record resumes (first
+	// pointer only), then p = pkt + ((c & 0x3F) << 8 | p[1]).
+	a.Label("pointer")
+	a.CmpI(arms.R8, 0)
+	a.B(arms.CondNE, "jumped")
+	a.AddI(arms.R8, arms.R5, 2)
+	a.Label("jumped")
+	a.AndI(arms.R0, arms.R0, 0x3F)
+	a.LslI(arms.R0, arms.R0, 8)
+	a.Ldrb(arms.R1, arms.R5, 1)
+	a.OrrR(arms.R0, arms.R0, arms.R1)
+	a.AddR(arms.R5, arms.R4, arms.R0)
+	a.BAlways("loop")
+
+	a.Label("finish")
+	a.CmpI(arms.R8, 0)
+	a.B(arms.CondEQ, "noend")
+	a.MovR(arms.R0, arms.R8) // return the saved end after a pointer
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.PC)
+	a.Label("noend")
+	a.AddI(arms.R0, arms.R5, 1)
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.PC)
+	if opts.Patched {
+		a.Label("bounds")
+		a.MovW(arms.R0, 0)
+		a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.PC)
+	}
+	return a
+}
+
+// buildSpawnResolverARM pulls in the execlp import.
+func buildSpawnResolverARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.LR)
+	a.MovSym(arms.R0, "str_helper", 0)
+	a.MovSym(arms.R1, "str_helper", 0)
+	a.MovW(arms.R2, 0)
+	a.BL("execlp@plt")
+	a.Pop(arms.R4, arms.PC)
+	return a
+}
+
+// buildLogErrorARM writes a diagnostic string (strlen/write imports).
+func buildLogErrorARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.LR)
+	a.MovR(arms.R4, arms.R0)
+	a.BL("strlen@plt")
+	a.MovR(arms.R2, arms.R0)
+	a.MovR(arms.R1, arms.R4)
+	a.MovW(arms.R0, 2)
+	a.BL("write@plt")
+	a.Pop(arms.R4, arms.PC)
+	return a
+}
+
+// buildInvokeCallbackARM is a callback dispatcher. Its `blx r3` is the
+// branch-link gadget the ASLR exploit chains memcpy calls with (paper
+// §III-C2); the pop {pc} after it is what strings chain blocks together
+// when the callee returns via bx lr.
+func buildInvokeCallbackARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.LR)
+	a.BLX(arms.R3)
+	a.Pop(arms.PC)
+	return a
+}
+
+// buildRestoreTaskContextARM is a coroutine-style context restore. Its
+// epilogue is the register-loading gadget the paper found with ropper:
+// `pop {r0, r1, r2, r3, r5, r6, r7, pc}`.
+func buildRestoreTaskContextARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.MovR(arms.SP, arms.R0)
+	a.Pop(arms.R0, arms.R1, arms.R2, arms.R3, arms.R5, arms.R6, arms.R7, arms.PC)
+	return a
+}
+
+// buildStackChkFailARM is the canary failure path.
+func buildStackChkFailARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.MovImm32(arms.R7, abi.SysAbort)
+	a.Svc(0)
+	a.Label("spin")
+	a.BAlways("spin")
+	return a
+}

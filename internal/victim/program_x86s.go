@@ -1,0 +1,325 @@
+package victim
+
+import (
+	"connlab/internal/abi"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/x86s"
+)
+
+// buildProgramX86 assembles the x86s connmansim unit.
+//
+// parse_rr stack frame (no canary):
+//
+//	[ebp+12] p          [ebp+8] pkt
+//	[ebp+4]  saved eip  [ebp]   saved ebp
+//	[ebp-1024 .. ebp-1] name[1024]      <- overflow runs upward from here
+//	[ebp-1028]          name_len
+//	[ebp-1032]          rdlen
+//
+// so the copy overruns name into saved ebp at offset 1024 and the return
+// address at offset 1028 (X86RetOffset). With canaries the guard word sits
+// between the buffer and saved ebp.
+func buildProgramX86(opts BuildOpts) *image.Unit {
+	u := image.NewUnit(isa.ArchX86S)
+	u.Import("memcpy", "memset", "strlen", "execlp", "exit", "write")
+
+	u.AddFuncX86("parse_response", buildParseResponseX86())
+	u.AddFuncX86("parse_rr", buildParseRRX86(opts))
+	u.AddFuncX86("get_name", buildGetNameX86(opts))
+	u.AddFuncX86("spawn_resolver", buildSpawnResolverX86())
+	u.AddFuncX86("log_error", buildLogErrorX86())
+	u.AddFuncX86("__stack_chk_fail", buildStackChkFailX86())
+	return u
+}
+
+// buildParseResponseX86 emits the top-level response parser: header flag
+// check, question skip, then one parse_rr call per answer record.
+func buildParseResponseX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
+	a.MovRM(x86s.ESI, x86s.EBP, 8) // pkt
+
+	// QR bit: pkt[2] & 0x80 must be set (a response).
+	a.Movzx8M(x86s.EAX, x86s.ESI, 2)
+	a.AndRI(x86s.EAX, 0x80)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "bad")
+
+	// ancount = pkt[6]<<8 | pkt[7].
+	a.Movzx8M(x86s.EDI, x86s.ESI, 6)
+	a.ShlRI(x86s.EDI, 8)
+	a.Movzx8M(x86s.EAX, x86s.ESI, 7)
+	a.AddRR(x86s.EDI, x86s.EAX)
+
+	// Skip the question name starting at pkt+12.
+	a.Lea(x86s.ECX, x86s.ESI, 12)
+	a.Label("skipq")
+	a.Movzx8M(x86s.EAX, x86s.ECX, 0)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "qdone")
+	a.MovRR(x86s.EDX, x86s.EAX)
+	a.AndRI(x86s.EDX, 0xC0)
+	a.CmpRI(x86s.EDX, 0xC0)
+	a.Jcc(x86s.CondE, "qptr")
+	a.Lea(x86s.ECX, x86s.ECX, 1)
+	a.AddRR(x86s.ECX, x86s.EAX)
+	a.Jmp("skipq")
+	a.Label("qptr")
+	a.AddRI(x86s.ECX, 2)
+	a.Jmp("qdone2")
+	a.Label("qdone")
+	a.IncR(x86s.ECX)
+	a.Label("qdone2")
+	a.AddRI(x86s.ECX, 4) // qtype + qclass
+	a.MovRR(x86s.EBX, x86s.ECX)
+
+	// Answer loop.
+	a.Label("aloop")
+	a.TestRR(x86s.EDI, x86s.EDI)
+	a.Jcc(x86s.CondE, "ok")
+	a.PushR(x86s.EBX)
+	a.PushR(x86s.ESI)
+	a.CallSym("parse_rr")
+	a.AddRI(x86s.ESP, 8)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "bad")
+	a.MovRR(x86s.EBX, x86s.EAX)
+	a.DecR(x86s.EDI)
+	a.Jmp("aloop")
+
+	a.Label("ok")
+	a.XorRR(x86s.EAX, x86s.EAX)
+	a.Jmp("ret")
+	a.Label("bad")
+	a.MovRI(x86s.EAX, 0xFFFFFFFF)
+	a.Label("ret")
+	a.PopR(x86s.EBX).PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildParseRRX86 emits the answer-record parser owning the stack name
+// buffer — the frame the exploits smash. The dnsmasq variant has a
+// smaller buffer and two extra scratch locals below it, shifting every
+// offset an attacker must rediscover.
+func buildParseRRX86(opts BuildOpts) *x86s.Asm {
+	bs := opts.BufSize()
+	var canaryPad int32
+	if opts.Canary {
+		canaryPad = 4
+	}
+	var extra int32
+	if opts.Variant == VariantDnsmasq {
+		extra = 8
+	}
+	nameOff := -(bs + canaryPad)
+	nlOff := nameOff - 4
+	rdOff := nameOff - 8
+	frame := bs + canaryPad + 8 + extra
+
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.SubRI(x86s.ESP, frame)
+	if opts.Canary {
+		a.MovRMAbsSym(x86s.EAX, "__stack_chk_guard", 0)
+		a.MovMR(x86s.EBP, -4, x86s.EAX)
+	}
+	a.MovMI(x86s.EBP, nlOff, 0) // name_len = 0
+
+	// get_name(pkt, p, name, &name_len)
+	a.Lea(x86s.EAX, x86s.EBP, nlOff)
+	a.PushR(x86s.EAX)
+	a.Lea(x86s.EAX, x86s.EBP, nameOff)
+	a.PushR(x86s.EAX)
+	a.PushM(x86s.EBP, 12)
+	a.PushM(x86s.EBP, 8)
+	a.CallSym("get_name")
+	a.AddRI(x86s.ESP, 16)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "fail")
+	a.MovRR(x86s.ECX, x86s.EAX) // p after name
+
+	// rdlen = p[8]<<8 | p[9].
+	a.Movzx8M(x86s.EAX, x86s.ECX, 8)
+	a.ShlRI(x86s.EAX, 8)
+	a.Movzx8M(x86s.EDX, x86s.ECX, 9)
+	a.AddRR(x86s.EAX, x86s.EDX)
+	a.MovMR(x86s.EBP, rdOff, x86s.EAX)
+
+	// Cache type A answers: memcpy(dns_cache, name, 64).
+	a.Movzx8M(x86s.EDX, x86s.ECX, 1)
+	a.CmpRI(x86s.EDX, 1)
+	a.Jcc(x86s.CondNE, "skipcache")
+	a.Movzx8M(x86s.EDX, x86s.ECX, 0)
+	a.TestRR(x86s.EDX, x86s.EDX)
+	a.Jcc(x86s.CondNE, "skipcache")
+	a.PushR(x86s.ECX) // save p across the call
+	a.PushI(64)
+	a.Lea(x86s.EDX, x86s.EBP, nameOff)
+	a.PushR(x86s.EDX)
+	a.PushISym("dns_cache", 0)
+	a.CallSym("memcpy@plt")
+	a.AddRI(x86s.ESP, 12)
+	a.PopR(x86s.ECX)
+	a.Label("skipcache")
+
+	// return p + 10 + rdlen
+	a.Lea(x86s.EAX, x86s.ECX, 10)
+	a.MovRM(x86s.EDX, x86s.EBP, rdOff)
+	a.AddRR(x86s.EAX, x86s.EDX)
+	a.Jmp("done")
+	a.Label("fail")
+	a.XorRR(x86s.EAX, x86s.EAX)
+	a.Label("done")
+	if opts.Canary {
+		a.MovRM(x86s.EDX, x86s.EBP, -4)
+		a.MovRMAbsSym(x86s.ECX, "__stack_chk_guard", 0)
+		a.CmpRR(x86s.EDX, x86s.ECX)
+		a.Jcc(x86s.CondNE, "smash")
+	}
+	a.Leave().Ret()
+	if opts.Canary {
+		a.Label("smash")
+		a.CallSym("__stack_chk_fail")
+	}
+	return a
+}
+
+// buildGetNameX86 emits the DNS name decompressor. The unpatched variant
+// reproduces paper Listing 1: the length byte and then label_len+1 bytes
+// are copied into the caller's buffer with no bound check. The patched
+// variant adds the 1.35 check and bails out with 0.
+func buildGetNameX86(opts BuildOpts) *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
+	a.SubRI(x86s.ESP, 4)            // [ebp-16]: end (position after the
+	a.MovMI(x86s.EBP, -16, 0)       // name in the original record)
+	a.MovRM(x86s.ESI, x86s.EBP, 12) // p
+	a.MovRM(x86s.EBX, x86s.EBP, 8)  // pkt
+
+	a.Label("loop")
+	a.Movzx8M(x86s.EAX, x86s.ESI, 0)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "finish")
+	a.MovRR(x86s.ECX, x86s.EAX)
+	a.AndRI(x86s.ECX, 0xC0)
+	a.CmpRI(x86s.ECX, 0xC0)
+	a.Jcc(x86s.CondE, "pointer")
+
+	if opts.Patched {
+		// 1.35 fix: if (name_len + label_len + 2 > sizeof(name)) return 0;
+		a.MovRM(x86s.EDX, x86s.EBP, 20)
+		a.MovRM(x86s.ECX, x86s.EDX, 0)
+		a.AddRR(x86s.ECX, x86s.EAX)
+		a.AddRI(x86s.ECX, 2)
+		a.CmpRI(x86s.ECX, opts.BufSize())
+		a.Jcc(x86s.CondG, "bounds")
+	}
+
+	// name[(*name_len)++] = label_len;           (Listing 1, line 0)
+	a.MovRM(x86s.EDX, x86s.EBP, 20) // name_len ptr
+	a.MovRM(x86s.ECX, x86s.EDX, 0)  // name_len
+	a.MovRM(x86s.EDI, x86s.EBP, 16) // name
+	a.AddRR(x86s.EDI, x86s.ECX)     // name + name_len
+	a.MovMR8(x86s.EDI, 0, x86s.EAX) // [edi] = al
+	a.IncR(x86s.ECX)
+	a.MovMR(x86s.EDX, 0, x86s.ECX)
+
+	// memcpy(name + *name_len, p + 1, label_len + 1);   (Listing 1, line 1)
+	a.IncR(x86s.EAX) // label_len + 1
+	a.PushR(x86s.EAX)
+	a.Lea(x86s.EAX, x86s.ESI, 1)
+	a.PushR(x86s.EAX)
+	a.Lea(x86s.EAX, x86s.EDI, 1)
+	a.PushR(x86s.EAX)
+	a.CallSym("memcpy@plt")
+	a.AddRI(x86s.ESP, 12)
+
+	// *name_len += label_len;                    (Listing 1, line 2)
+	a.Movzx8M(x86s.EAX, x86s.ESI, 0)
+	a.MovRM(x86s.EDX, x86s.EBP, 20)
+	a.MovRM(x86s.ECX, x86s.EDX, 0)
+	a.AddRR(x86s.ECX, x86s.EAX)
+	a.MovMR(x86s.EDX, 0, x86s.ECX)
+
+	// p += label_len + 1.
+	a.Lea(x86s.ESI, x86s.ESI, 1)
+	a.AddRR(x86s.ESI, x86s.EAX)
+	a.Jmp("loop")
+
+	// Compression pointer: remember where the record resumes (first
+	// pointer only), then p = pkt + ((c & 0x3F) << 8 | p[1]).
+	a.Label("pointer")
+	a.MovRM(x86s.ECX, x86s.EBP, -16)
+	a.TestRR(x86s.ECX, x86s.ECX)
+	a.Jcc(x86s.CondNE, "jumped")
+	a.Lea(x86s.ECX, x86s.ESI, 2)
+	a.MovMR(x86s.EBP, -16, x86s.ECX)
+	a.Label("jumped")
+	a.AndRI(x86s.EAX, 0x3F)
+	a.ShlRI(x86s.EAX, 8)
+	a.Movzx8M(x86s.ECX, x86s.ESI, 1)
+	a.AddRR(x86s.EAX, x86s.ECX)
+	a.MovRR(x86s.ESI, x86s.EBX)
+	a.AddRR(x86s.ESI, x86s.EAX)
+	a.Jmp("loop")
+
+	a.Label("finish")
+	a.MovRM(x86s.EAX, x86s.EBP, -16)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondNE, "out")    // return the saved end after a pointer
+	a.Lea(x86s.EAX, x86s.ESI, 1) // otherwise p past the terminator
+	a.Jmp("out")
+	if opts.Patched {
+		a.Label("bounds")
+		a.XorRR(x86s.EAX, x86s.EAX)
+		a.Jmp("out")
+	}
+	a.Label("out")
+	a.AddRI(x86s.ESP, 4)
+	a.PopR(x86s.EBX).PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildSpawnResolverX86 gives the binary its execlp import (Connman spawns
+// helper processes), which the ROP chains reuse via execlp@plt.
+func buildSpawnResolverX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushI(0)
+	a.PushISym("str_helper", 0)
+	a.PushISym("str_helper", 0)
+	a.CallSym("execlp@plt")
+	a.AddRI(x86s.ESP, 12)
+	a.PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildLogErrorX86 writes a diagnostic string to fd 2; it exists to pull
+// in the strlen/write imports and some realistic code.
+func buildLogErrorX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushM(x86s.EBP, 8)
+	a.CallSym("strlen@plt")
+	a.AddRI(x86s.ESP, 4)
+	a.PushR(x86s.EAX)
+	a.PushM(x86s.EBP, 8)
+	a.PushI(2)
+	a.CallSym("write@plt")
+	a.AddRI(x86s.ESP, 12)
+	a.PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildStackChkFailX86 is the canary failure path: abort, never return.
+func buildStackChkFailX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.MovRI(x86s.EAX, abi.SysAbort)
+	a.IntN(0x80)
+	a.Label("spin")
+	a.Jmp("spin")
+	return a
+}

@@ -1,0 +1,288 @@
+// Package victim builds and runs the lab's vulnerable programs — most
+// importantly connmansim, the Connman-analog DNS proxy whose
+// parse_response → get_name path contains the unchecked copy of
+// CVE-2017-12865 (paper Listing 1). The vulnerable code is compiled to
+// emulator instructions, so a crafted DNS response genuinely smashes a
+// simulated stack frame: denial of service and control-flow hijack emerge
+// from machine behaviour, not from scripted outcomes.
+//
+// Two builds are provided per architecture: the vulnerable 1.34-style
+// parser and the patched 1.35-style parser that bounds-checks each label
+// before copying. A build can additionally carry stack canaries
+// (-fstack-protector analog), which the paper's targets had disabled.
+package victim
+
+import (
+	"fmt"
+
+	"connlab/internal/dns"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+)
+
+// NameBufSize is the size of the stack name buffer in parse_rr, matching
+// Connman's 1024-byte buffer.
+const NameBufSize = 1024
+
+// DnsmasqBufSize is the dnsmasq-analog variant's smaller name buffer.
+const DnsmasqBufSize = 512
+
+// Frame-layout facts of the generated victims, exported for tests and for
+// cross-checking what the debugger discovers. Exploits built by the
+// library discover these dynamically (internal/dbg); the constants are the
+// ground truth they are validated against.
+const (
+	// X86RetOffset is the distance from the start of the name buffer to
+	// the saved return address in the x86 parse_rr frame (no canary).
+	X86RetOffset = NameBufSize + 4 // saved ebp, then eip
+
+	// X86CanaryRetOffset is the same distance when built with canaries.
+	X86CanaryRetOffset = NameBufSize + 8
+	// X86CanaryOffset is the buffer offset of the canary slot.
+	X86CanaryOffset = NameBufSize
+
+	// ARMRetOffset is the distance from the start of the name buffer to
+	// the saved lr in the arms parse_rr frame (no canary).
+	ARMRetOffset = NameBufSize + 28
+	// ARMNullOffset is the buffer offset of the cache-entry pointer that
+	// parse_rr dereferences when non-NULL — the slot the paper found must
+	// be zeroed for the ARM exploits to survive to the pop.
+	ARMNullOffset = NameBufSize
+	// ARMCanaryOffset is the buffer offset of the canary slot in canary
+	// builds (the pad word next to the cache pointer).
+	ARMCanaryOffset = NameBufSize + 4
+)
+
+// Variant selects which vulnerable application to build. The §V argument
+// — that the same exploit engine retargets other DNS-based overflows with
+// only address changes — is demonstrated by the dnsmasq-analog variant,
+// which has a different buffer size and frame layout but the same bug
+// class (CVE-2017-14493 is the real-world counterpart).
+type Variant uint8
+
+// Victim variants.
+const (
+	// VariantConnman is the Connman 1.34 analog (CVE-2017-12865).
+	VariantConnman Variant = iota
+	// VariantDnsmasq is a dnsmasq-flavoured analog (CVE-2017-14493
+	// stand-in): a 512-byte name buffer and extra frame state, so every
+	// discovered offset differs.
+	VariantDnsmasq
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == VariantDnsmasq {
+		return "dnsmasq"
+	}
+	return "connman"
+}
+
+// RetOffsetFor returns the ground-truth buffer-to-return-address distance
+// for a build, for cross-checking what the debugger discovers.
+func RetOffsetFor(arch isa.Arch, o BuildOpts) int {
+	bs := int(o.BufSize())
+	if arch == isa.ArchARMS {
+		frame := bs + 16
+		if o.Variant == VariantDnsmasq {
+			frame = bs + 24
+		}
+		return frame + 12 // saved r4,r5,r6,r7,r11 then lr
+	}
+	off := bs + 4
+	if o.Canary {
+		off += 4
+	}
+	return off
+}
+
+// NullOffsetsFor returns the ground-truth must-be-NULL buffer offsets.
+func NullOffsetsFor(arch isa.Arch, o BuildOpts) []int {
+	if arch != isa.ArchARMS {
+		return nil
+	}
+	bs := int(o.BufSize())
+	if o.Variant == VariantDnsmasq {
+		return []int{bs, bs + 4}
+	}
+	return []int{bs}
+}
+
+// BuildOpts selects the victim variant.
+type BuildOpts struct {
+	// Variant picks the vulnerable application (Connman analog default).
+	Variant Variant
+	// Patched selects the bounds-checked parser (Connman 1.35 style).
+	Patched bool
+	// Canary adds stack-protector prologues/epilogues to parse_rr.
+	Canary bool
+}
+
+// BufSize returns the variant's stack name-buffer size.
+func (o BuildOpts) BufSize() int32 {
+	if o.Variant == VariantDnsmasq {
+		return DnsmasqBufSize
+	}
+	return NameBufSize
+}
+
+// Version returns the version string the build models.
+func (o BuildOpts) Version() string {
+	if o.Variant == VariantDnsmasq {
+		return "dnsmasq 2.77 (analog)"
+	}
+	if o.Patched {
+		return "1.35"
+	}
+	return "1.34"
+}
+
+// BuildProgram assembles the connmansim program unit for an architecture.
+func BuildProgram(arch isa.Arch, opts BuildOpts) (*image.Unit, error) {
+	var u *image.Unit
+	switch arch {
+	case isa.ArchX86S:
+		u = buildProgramX86(opts)
+	case isa.ArchARMS:
+		u = buildProgramARM(opts)
+	default:
+		return nil, fmt.Errorf("victim: unsupported arch %q", arch)
+	}
+	if err := u.Err(); err != nil {
+		return nil, fmt.Errorf("build victim (%s): %w", arch, err)
+	}
+	addCommonData(u)
+	return u, nil
+}
+
+// addCommonData installs the data every build carries: the .bss cache the
+// ROP chains write into, and realistic string constants whose characters
+// the x86 ASLR exploit harvests with memstr (they jointly cover
+// "/bin/sh").
+func addCommonData(u *image.Unit) {
+	u.AddBSS("dns_cache", NameBufSize)
+	u.AddBSS("query_table", 512)
+	u.AddData("__stack_chk_guard", make([]byte, 4))
+	// Order matters: the link layout must be identical across builds, or
+	// an attacker's replica would not predict the target binary.
+	for _, kv := range [][2]string{
+		{"str_resolv", "/etc/resolv.conf"},
+		{"str_dbus", "net.connman.dbus"},
+		{"str_wifi", "wifi"},
+		{"str_dnsproxy", "dnsproxy: malformed response"},
+		{"str_dhcp", "dhcp offer received"},
+		{"str_helper", "connman-dnshelper"},
+		{"str_version", "connmansim 1.34 (lab build)"},
+	} {
+		u.AddRodata(kv[0], []byte(kv[1]+"\x00"))
+	}
+}
+
+// Load builds and loads a victim process under a protection configuration.
+func Load(arch isa.Arch, opts BuildOpts, cfg kernel.Config) (*kernel.Process, error) {
+	prog, err := BuildProgram(arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	libc, err := image.BuildLibc(arch)
+	if err != nil {
+		return nil, err
+	}
+	return kernel.Load(prog, libc, cfg)
+}
+
+// Daemon wraps a victim process as Connman's dnsproxy would run it: a
+// long-lived root daemon that forwards client queries upstream and feeds
+// every upstream response through the (emulated) parser to cache it. A
+// parser crash kills the daemon (DoS); a hijack that reaches exec gives
+// the attacker a root shell (RCE).
+type Daemon struct {
+	proc *kernel.Process
+	arch isa.Arch
+	opts BuildOpts
+	cfg  kernel.Config
+
+	crashed bool
+	last    kernel.RunResult
+	handled int
+}
+
+// NewDaemon loads a fresh victim process and wraps it.
+func NewDaemon(arch isa.Arch, opts BuildOpts, cfg kernel.Config) (*Daemon, error) {
+	proc, err := Load(arch, opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{proc: proc, arch: arch, opts: opts, cfg: cfg}, nil
+}
+
+// Process exposes the underlying process (for the debugger and tests).
+func (d *Daemon) Process() *kernel.Process { return d.proc }
+
+// Crashed reports whether the daemon has died.
+func (d *Daemon) Crashed() bool { return d.crashed }
+
+// LastResult returns the most recent parser run result.
+func (d *Daemon) LastResult() kernel.RunResult { return d.last }
+
+// Handled returns how many responses the daemon has processed.
+func (d *Daemon) Handled() int { return d.handled }
+
+// maxPacket bounds accepted datagrams, as the real proxy's receive buffer
+// would.
+const maxPacket = 4096
+
+// HandleResponse performs Connman's cheap header pre-checks and, if they
+// pass, runs the emulated parse_response over the packet. This mirrors the
+// paper's observation that "the DNS responses must appear legitimate,
+// otherwise Connman dumps the packet as a bad response and never enters
+// the vulnerable portion of code."
+func (d *Daemon) HandleResponse(pkt []byte) (kernel.RunResult, error) {
+	if d.crashed {
+		return kernel.RunResult{}, fmt.Errorf("victim daemon: already crashed: %v", d.last)
+	}
+	if len(pkt) > maxPacket {
+		return kernel.RunResult{}, fmt.Errorf("victim daemon: packet too large (%d bytes)", len(pkt))
+	}
+	h, err := dns.ParseHeader(pkt)
+	if err != nil {
+		return kernel.RunResult{}, fmt.Errorf("victim daemon: %w", err)
+	}
+	if !h.Response || h.Opcode != dns.OpcodeQuery || h.QDCount != 1 || h.ANCount == 0 {
+		return kernel.RunResult{}, fmt.Errorf("victim daemon: dropped bad response (qr=%v qd=%d an=%d)",
+			h.Response, h.QDCount, h.ANCount)
+	}
+
+	// Stage the packet in the process heap and invoke the emulated parser.
+	addr := d.proc.HeapBase()
+	if f := d.proc.Mem().WriteBytes(addr, pkt); f != nil {
+		return kernel.RunResult{}, fmt.Errorf("victim daemon: stage packet: %w", f)
+	}
+	res, err := d.proc.Call("parse_response", addr, uint32(len(pkt)))
+	if err != nil {
+		return kernel.RunResult{}, err
+	}
+	d.last = res
+	d.handled++
+	if res.Status != kernel.StatusReturned {
+		d.crashed = true
+	}
+	return res, nil
+}
+
+// Shells reports shells spawned inside the daemon process.
+func (d *Daemon) Shells() []kernel.ShellSpawn { return d.proc.Shells() }
+
+// Restart replaces the dead process with a fresh load (same config; a new
+// ASLR sample), as an init system respawning the daemon would.
+func (d *Daemon) Restart() error {
+	proc, err := Load(d.arch, d.opts, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.proc = proc
+	d.crashed = false
+	d.last = kernel.RunResult{}
+	return nil
+}

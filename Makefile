@@ -1,0 +1,34 @@
+# Tier-1 verification for connlab. `make check` is what CI and the
+# roadmap mean by "tier-1": vet, build, the full test suite, and the
+# race detector over the concurrent packages.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/campaign/... ./internal/core/...
+
+# Short budgeted runs of every native fuzz target (seed corpora already
+# run as part of `make test`).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/dns/
+	$(GO) test -fuzz FuzzSkipName -fuzztime $(FUZZTIME) ./internal/dns/
+	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/x86s/
+	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/arms/
+	$(GO) test -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/gadget/
+
+bench:
+	$(GO) test -bench . -benchmem .

@@ -12,6 +12,7 @@ package connlab_test
 import (
 	"testing"
 
+	"connlab/internal/campaign"
 	"connlab/internal/core"
 	"connlab/internal/dns"
 	"connlab/internal/exploit"
@@ -202,6 +203,107 @@ func BenchmarkE12_AutoExploitGen(b *testing.B) {
 					b.Fatalf("%s/%s: %s", arch, p, res.Outcome)
 				}
 			}
+		}
+	}
+}
+
+// --- campaign engine benchmarks ---
+
+// campaignBenchScenario is the fleet workload both campaign benchmarks
+// run: ten devices under one configuration, direct delivery, the lab's
+// historical per-device seed schedule.
+const campaignBenchDevices = 10
+
+// BenchmarkCampaignFleet measures the engine-backed fleet path: recon,
+// payload construction, and the victim program build happen once per
+// configuration and every device is served from the caches.
+func BenchmarkCampaignFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := campaign.New(campaign.Config{Workers: 1})
+		rep, err := eng.Run([]campaign.Scenario{{
+			Arch: isa.ArchX86S, Kind: exploit.KindCodeInjection,
+			Devices: campaignBenchDevices, TargetSeed: 2002,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Owned != campaignBenchDevices {
+			b.Fatalf("owned = %d, want %d", rep.Owned, campaignBenchDevices)
+		}
+		if rep.ReconCache.Builds != 1 {
+			b.Fatalf("recon builds = %d, want 1", rep.ReconCache.Builds)
+		}
+	}
+}
+
+// BenchmarkCampaignFleetSequentialBaseline measures the same fleet the
+// way the pre-engine RunFleet did it: reconnaissance, payload
+// construction, and the victim build redone from scratch for every
+// device. The engine's speedup over this baseline is the recon cache's
+// contribution (EXPERIMENTS.md records the measured ratio).
+func BenchmarkCampaignFleetSequentialBaseline(b *testing.B) {
+	q := dns.NewQuery(0x1337, "time.iot-vendor.example", dns.TypeA)
+	for i := 0; i < b.N; i++ {
+		owned := 0
+		for di := 0; di < campaignBenchDevices; di++ {
+			tgt, err := exploit.Recon(isa.ArchX86S, victim.BuildOpts{},
+				kernel.Config{Seed: 1001})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ex, err := exploit.Build(tgt, exploit.KindCodeInjection)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := victim.NewDaemon(isa.ArchX86S, victim.BuildOpts{},
+				kernel.Config{Seed: 2002 + int64(100+di)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt, err := ex.Response(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := d.HandleResponse(pkt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Status == kernel.StatusShell {
+				owned++
+			}
+		}
+		if owned != campaignBenchDevices {
+			b.Fatalf("owned = %d, want %d", owned, campaignBenchDevices)
+		}
+	}
+}
+
+// BenchmarkCampaignMatrix measures the engine running the full 30-cell
+// E8 grid in one campaign (recon cached across cells that share a
+// posture).
+func BenchmarkCampaignMatrix(b *testing.B) {
+	kinds := []exploit.Kind{
+		exploit.KindDoS, exploit.KindCodeInjection, exploit.KindRet2Libc,
+		exploit.KindRopExeclp, exploit.KindRopMemcpy,
+	}
+	var scenarios []campaign.Scenario
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		for _, p := range campaign.PaperLevels() {
+			for _, k := range kinds {
+				scenarios = append(scenarios, campaign.Scenario{
+					Arch: arch, Kind: k, Protection: p, TargetSeed: 2002,
+				})
+			}
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		eng := campaign.New(campaign.Config{})
+		rep, err := eng.Run(scenarios)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TotalDevices() != 30 {
+			b.Fatalf("devices = %d, want 30", rep.TotalDevices())
 		}
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"connlab/internal/core"
@@ -20,26 +21,30 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	archFlag := flag.String("arch", "x86s", "victim architecture: x86s or arms")
-	kindFlag := flag.String("kind", "dos",
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	archFlag := fs.String("arch", "x86s", "victim architecture: x86s or arms")
+	kindFlag := fs.String("kind", "dos",
 		"exploit kind: dos, code-injection, ret2libc, rop-execlp, rop-memcpy")
-	auto := flag.Bool("auto", false, "pick the strategy for the protections automatically")
-	wx := flag.Bool("wx", false, "enable W⊕X on the target")
-	aslr := flag.Bool("aslr", false, "enable ASLR on the target")
-	cfi := flag.Bool("cfi", false, "enable the CFI shadow stack mitigation")
-	canary := flag.Bool("canary", false, "build the victim with stack canaries")
-	diversity := flag.Int64("diversity", 0, "diversity seed (0 = off)")
-	patched := flag.Bool("patched", false, "run the patched (1.35) victim")
-	variant := flag.String("variant", "connman", "victim variant: connman or dnsmasq")
-	seed := flag.Int64("seed", 2002, "target machine seed")
-	flag.Parse()
+	auto := fs.Bool("auto", false, "pick the strategy for the protections automatically")
+	wx := fs.Bool("wx", false, "enable W⊕X on the target")
+	aslr := fs.Bool("aslr", false, "enable ASLR on the target")
+	cfi := fs.Bool("cfi", false, "enable the CFI shadow stack mitigation")
+	canary := fs.Bool("canary", false, "build the victim with stack canaries")
+	diversity := fs.Int64("diversity", 0, "diversity seed (0 = off)")
+	patched := fs.Bool("patched", false, "run the patched (1.35) victim")
+	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	seed := fs.Int64("seed", 2002, "target machine seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	arch := isa.Arch(*archFlag)
 	if arch != isa.ArchX86S && arch != isa.ArchARMS {
@@ -62,16 +67,16 @@ func run() error {
 	kind := exploit.Kind(*kindFlag)
 	if *auto {
 		kind = exploit.StrategyFor(arch, prot.WX, prot.ASLR)
-		fmt.Printf("auto-selected strategy: %s\n", kind)
+		fmt.Fprintf(stdout, "auto-selected strategy: %s\n", kind)
 	}
 	res, err := lab.RunAttack(arch, kind, prot)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("arch:       %s\n", res.Arch)
-	fmt.Printf("attack:     %s\n", res.Kind)
-	fmt.Printf("protection: %s\n", res.Protection)
-	fmt.Printf("outcome:    %s\n", res.Outcome)
-	fmt.Printf("detail:     %s\n", res.Detail)
+	fmt.Fprintf(stdout, "arch:       %s\n", res.Arch)
+	fmt.Fprintf(stdout, "attack:     %s\n", res.Kind)
+	fmt.Fprintf(stdout, "protection: %s\n", res.Protection)
+	fmt.Fprintf(stdout, "outcome:    %s\n", res.Outcome)
+	fmt.Fprintf(stdout, "detail:     %s\n", res.Detail)
 	return nil
 }

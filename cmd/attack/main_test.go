@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunCodeInjection: the classic unprotected pop on x86.
+func TestRunCodeInjection(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "x86s", "-kind", "code-injection"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "outcome:    SHELL") {
+		t.Errorf("expected SHELL outcome:\n%s", s)
+	}
+}
+
+// TestRunAuto: -auto picks a working strategy for the posture.
+func TestRunAuto(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "x86s", "-auto", "-wx"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "auto-selected strategy:") || !strings.Contains(s, "outcome:") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+// TestRunBadArch: a bogus architecture is a clean error.
+func TestRunBadArch(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "mips"}, &out); err == nil {
+		t.Error("expected an error for an unknown arch")
+	}
+}

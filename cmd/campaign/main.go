@@ -1,0 +1,122 @@
+// Command campaign drives the parallel campaign engine: fleets of
+// emulated IoT devices attacked under configurable protection postures,
+// with recon cached per configuration and results deterministic for any
+// worker count.
+//
+// Usage:
+//
+//	campaign -preset fleet -arch x86s -kind code-injection -devices 10 -patched-every 4
+//	campaign -preset matrix                  # arch × kind × paper-level grid
+//	campaign -preset sweep -arch arms -kind rop-memcpy -devices 5
+//	campaign -preset fleet -devices 8 -canonical   # byte-stable report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"connlab/internal/campaign"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/victim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	preset := fs.String("preset", "fleet", "campaign preset: fleet, matrix, or sweep")
+	archFlag := fs.String("arch", "x86s", "victim architecture: x86s or arms")
+	kindFlag := fs.String("kind", "code-injection",
+		"exploit kind: dos, code-injection, ret2libc, rop-execlp, rop-memcpy")
+	devices := fs.Int("devices", 10, "fleet size per scenario (fleet and sweep presets)")
+	patchedEvery := fs.Int("patched-every", 0, "every Nth device runs patched 1.35 firmware (0 = none)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	rootSeed := fs.Int64("seed", campaign.DefaultRootSeed, "campaign root seed (per-device seeds derive from it)")
+	reconSeed := fs.Int64("recon-seed", campaign.DefaultReconSeed, "attacker replica seed")
+	wx := fs.Bool("wx", false, "enable W⊕X on the targets")
+	aslr := fs.Bool("aslr", false, "enable ASLR on the targets")
+	cfi := fs.Bool("cfi", false, "enable the CFI shadow stack mitigation")
+	canary := fs.Bool("canary", false, "build targets with stack canaries")
+	diversity := fs.Int64("diversity", 0, "software diversity seed (0 = off)")
+	patched := fs.Bool("patched", false, "deploy the patched (1.35) firmware fleet-wide")
+	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	canonical := fs.Bool("canonical", false, "print the byte-stable canonical report (no timings)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	arch := isa.Arch(*archFlag)
+	if arch != isa.ArchX86S && arch != isa.ArchARMS {
+		return fmt.Errorf("unknown arch %q", *archFlag)
+	}
+	build := victim.BuildOpts{Patched: *patched}
+	switch *variant {
+	case "connman":
+	case "dnsmasq":
+		build.Variant = victim.VariantDnsmasq
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	prot := campaign.Protection{
+		WX: *wx, ASLR: *aslr, CFI: *cfi, Canary: *canary, DiversitySeed: *diversity,
+	}
+	kind := exploit.Kind(*kindFlag)
+
+	var scenarios []campaign.Scenario
+	switch *preset {
+	case "fleet":
+		scenarios = []campaign.Scenario{{
+			Arch: arch, Kind: kind, Protection: prot, Build: build,
+			Devices: *devices, PatchedEvery: *patchedEvery, Pineapple: true,
+		}}
+	case "sweep":
+		for _, p := range campaign.PaperLevels() {
+			p.CFI = p.CFI || *cfi
+			p.Canary = p.Canary || *canary
+			p.DiversitySeed = *diversity
+			scenarios = append(scenarios, campaign.Scenario{
+				Arch: arch, Kind: kind, Protection: p, Build: build,
+				Devices: *devices, PatchedEvery: *patchedEvery, Pineapple: true,
+			})
+		}
+	case "matrix":
+		kinds := []exploit.Kind{
+			exploit.KindDoS, exploit.KindCodeInjection, exploit.KindRet2Libc,
+			exploit.KindRopExeclp, exploit.KindRopMemcpy,
+		}
+		for _, a := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+			for _, p := range campaign.PaperLevels() {
+				for _, k := range kinds {
+					scenarios = append(scenarios, campaign.Scenario{
+						Arch: a, Kind: k, Protection: p, Build: build,
+					})
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+
+	eng := campaign.New(campaign.Config{
+		Workers: *workers, RootSeed: *rootSeed, ReconSeed: *reconSeed,
+	})
+	rep, err := eng.Run(scenarios)
+	if rep != nil {
+		if *canonical {
+			fmt.Fprint(stdout, rep.Canonical())
+		} else {
+			fmt.Fprintln(stdout, rep)
+			fmt.Fprint(stdout, rep.Table())
+		}
+	}
+	return err
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunFleet: a small pineapple fleet owns the vulnerable devices and
+// prints the summary plus per-configuration table.
+func TestRunFleet(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-preset", "fleet", "-arch", "x86s", "-kind", "code-injection",
+		"-devices", "4", "-patched-every", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "campaign: 1 scenarios, 4 devices") {
+		t.Errorf("missing summary line:\n%s", s)
+	}
+	if !strings.Contains(s, "scenario") || !strings.Contains(s, "owned") {
+		t.Errorf("missing table:\n%s", s)
+	}
+}
+
+// TestRunCanonicalIsDeterministic: -canonical output is byte-identical
+// across invocations and worker counts.
+func TestRunCanonicalIsDeterministic(t *testing.T) {
+	args := []string{
+		"-preset", "fleet", "-arch", "arms", "-kind", "dos",
+		"-devices", "3", "-canonical",
+	}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(append([]string{"-workers", "7"}, args...), &b); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("canonical reports differ:\n--- 1 worker default\n%s--- 7 workers\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "campaign root=") {
+		t.Errorf("unexpected canonical output:\n%s", a.String())
+	}
+}
+
+// TestRunSweep: the sweep preset covers every paper protection level.
+func TestRunSweep(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-preset", "sweep", "-arch", "x86s", "-kind", "dos", "-devices", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "campaign: 3 scenarios, 6 devices") {
+		t.Errorf("expected three paper levels:\n%s", out.String())
+	}
+}
+
+// TestRunBadPreset: a bogus preset is a clean error.
+func TestRunBadPreset(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-preset", "nope"}, &out); err == nil {
+		t.Error("expected an error for an unknown preset")
+	}
+}

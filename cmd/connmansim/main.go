@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"connlab/internal/core"
@@ -24,20 +25,24 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "connmansim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	archFlag := flag.String("arch", "x86s", "architecture: x86s or arms")
-	patched := flag.Bool("patched", false, "run the patched (1.35) parser")
-	crash := flag.Bool("crash", false, "send the malicious oversized response")
-	wx := flag.Bool("wx", false, "enable W⊕X")
-	aslr := flag.Bool("aslr", false, "enable ASLR")
-	seed := flag.Int64("seed", 1, "machine seed")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("connmansim", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	archFlag := fs.String("arch", "x86s", "architecture: x86s or arms")
+	patched := fs.Bool("patched", false, "run the patched (1.35) parser")
+	crash := fs.Bool("crash", false, "send the malicious oversized response")
+	wx := fs.Bool("wx", false, "enable W⊕X")
+	aslr := fs.Bool("aslr", false, "enable ASLR")
+	seed := fs.Int64("seed", 1, "machine seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	arch := isa.Arch(*archFlag)
 	opts := victim.BuildOpts{Patched: *patched}
@@ -45,18 +50,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("connmansim %s on %s (W⊕X=%v ASLR=%v)\n", opts.Version(), arch, *wx, *aslr)
+	fmt.Fprintf(stdout, "connmansim %s on %s (W⊕X=%v ASLR=%v)\n", opts.Version(), arch, *wx, *aslr)
 
 	q := dns.NewQuery(0x2222, "pool.ntp.org", dns.TypeA)
 	var pkt []byte
 	if *crash {
 		pkt, err = exploit.BuildDoS(arch).Response(q)
-		fmt.Println("sending crafted oversized Type A response...")
+		fmt.Fprintln(stdout, "sending crafted oversized Type A response...")
 	} else {
 		resp := dns.NewResponse(q)
 		resp.Answers = []dns.RR{dns.A("pool.ntp.org", 300, [4]byte{162, 159, 200, 1})}
 		pkt, err = resp.Encode()
-		fmt.Println("sending benign Type A response...")
+		fmt.Fprintln(stdout, "sending benign Type A response...")
 	}
 	if err != nil {
 		return err
@@ -66,11 +71,11 @@ func run() error {
 		return err
 	}
 	outcome, detail := core.Classify(res)
-	fmt.Printf("parser outcome: %s (%s), %d instructions\n", outcome, detail, res.Instructions)
+	fmt.Fprintf(stdout, "parser outcome: %s (%s), %d instructions\n", outcome, detail, res.Instructions)
 	if d.Crashed() {
-		fmt.Println("daemon state: CRASHED (denial of service)")
+		fmt.Fprintln(stdout, "daemon state: CRASHED (denial of service)")
 	} else {
-		fmt.Println("daemon state: alive")
+		fmt.Fprintln(stdout, "daemon state: alive")
 	}
 	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunBenign: the default invocation parses a benign response and the
+// daemon stays alive.
+func TestRunBenign(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "x86s"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "parser outcome") || !strings.Contains(s, "daemon state: alive") {
+		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+// TestRunCrash: -crash reproduces the CVE-2017-12865 DoS on 1.34.
+func TestRunCrash(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "arms", "-crash"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "CRASHED") {
+		t.Errorf("expected a crash on vulnerable firmware:\n%s", out.String())
+	}
+}
+
+// TestRunPatchedSurvives: 1.35 shrugs off the oversized response.
+func TestRunPatchedSurvives(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "x86s", "-patched", "-crash"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "daemon state: alive") {
+		t.Errorf("patched daemon should survive:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlag: unknown flags error instead of exiting the process.
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+}

@@ -3,46 +3,53 @@
 //
 // Usage:
 //
-//	experiments [-exp e8] [-recon-seed N] [-target-seed N]
+//	experiments [-exp e8] [-recon-seed N] [-target-seed N] [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"connlab/internal/core"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	exp := flag.String("exp", "all", "experiment id (e1..e12) or all")
-	reconSeed := flag.Int64("recon-seed", 1001, "attacker replica seed")
-	targetSeed := flag.Int64("target-seed", 2002, "target machine seed")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "all", "experiment id (e1..e12) or all")
+	reconSeed := fs.Int64("recon-seed", 1001, "attacker replica seed")
+	targetSeed := fs.Int64("target-seed", 2002, "target machine seed")
+	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	lab := core.NewLab()
 	lab.ReconSeed = *reconSeed
 	lab.TargetSeed = *targetSeed
+	lab.Workers = *workers
 
 	if *exp == "all" {
 		out, err := lab.RunAllExperiments()
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 		return nil
 	}
 	out, err := lab.RunExperiment(*exp)
 	if err != nil {
 		return err
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return nil
 }

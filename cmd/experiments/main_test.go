@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunE1: one experiment renders its report (e1 is the cheapest).
+func TestRunE1(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "e1"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "E1 §II: CVE-2017-12865 DoS") {
+		t.Errorf("unexpected report:\n%s", out.String())
+	}
+}
+
+// TestRunUnknownExperiment: a bogus id is a clean error.
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "e99"}, &out); err == nil {
+		t.Error("expected an error for an unknown experiment")
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"connlab/internal/gadget"
@@ -21,17 +22,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gadgetfind:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	archFlag := flag.String("arch", "x86s", "victim architecture: x86s or arms")
-	memstr := flag.String("memstr", "", "search for each character of this string")
-	variant := flag.String("variant", "connman", "victim variant: connman or dnsmasq")
-	flag.Parse()
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gadgetfind", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	archFlag := fs.String("arch", "x86s", "victim architecture: x86s or arms")
+	memstr := fs.String("memstr", "", "search for each character of this string")
+	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	arch := isa.Arch(*archFlag)
 	opts := victim.BuildOpts{}
@@ -53,18 +58,18 @@ func run() error {
 			c := (*memstr)[i]
 			addrs := f.MemStr(c)
 			if len(addrs) == 0 {
-				fmt.Printf("%q: not found\n", string(c))
+				fmt.Fprintf(stdout, "%q: not found\n", string(c))
 				continue
 			}
-			fmt.Printf("%q: %#08x (+%d more)\n", string(c), addrs[0], len(addrs)-1)
+			fmt.Fprintf(stdout, "%q: %#08x (+%d more)\n", string(c), addrs[0], len(addrs)-1)
 		}
 		return nil
 	}
 
 	all := f.All()
-	fmt.Printf("%d gadgets in %s %s image\n", len(all), arch, *variant)
+	fmt.Fprintf(stdout, "%d gadgets in %s %s image\n", len(all), arch, *variant)
 	for _, g := range all {
-		fmt.Println(g)
+		fmt.Fprintln(stdout, g)
 	}
 	return nil
 }

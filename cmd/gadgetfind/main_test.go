@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunListsGadgets: the default invocation lists the image's gadgets.
+func TestRunListsGadgets(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "x86s"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	first, _, _ := strings.Cut(out.String(), "\n")
+	if !strings.Contains(first, "gadgets in x86s connman image") || strings.HasPrefix(first, "0 ") {
+		t.Errorf("expected a non-empty gadget listing, got header %q", first)
+	}
+}
+
+// TestRunMemStr: the /bin/sh character harvest finds every byte in the
+// victim image, the way §III-C assembles the string.
+func TestRunMemStr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-arch", "arms", "-memstr", "/bin/sh"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(out.String(), "not found") {
+		t.Errorf("every /bin/sh character should be harvestable:\n%s", out.String())
+	}
+}
+
+// TestRunBadFlag: unknown flags error instead of exiting the process.
+func TestRunBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("expected an error for an unknown flag")
+	}
+}

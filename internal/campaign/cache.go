@@ -1,0 +1,72 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a keyed, concurrency-safe, build-once cache (a typed
+// singleflight): the first Get for a key runs build exactly once while
+// concurrent Gets for the same key block on the result, and every later
+// Get returns the cached value. Errors are cached alongside values —
+// a configuration whose recon or payload construction fails, fails the
+// same way for every device instead of being retried per device.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+	builds  atomic.Int64
+	hits    atomic.Int64
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{entries: make(map[K]*cacheEntry[V])}
+}
+
+// Get returns the cached value for key, building it with build on first
+// use. Concurrent callers for the same key wait for the single build.
+func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		built = true
+		c.builds.Add(1)
+		e.val, e.err = build()
+	})
+	if !built {
+		c.hits.Add(1)
+	}
+	return e.val, e.err
+}
+
+// Len returns the number of distinct keys seen.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	// Builds counts build invocations (misses); Hits counts Gets served
+	// from a completed or in-flight build.
+	Builds, Hits int64
+}
+
+// Stats returns a snapshot of build/hit counters.
+func (c *Cache[K, V]) Stats() CacheStats {
+	return CacheStats{Builds: c.builds.Load(), Hits: c.hits.Load()}
+}

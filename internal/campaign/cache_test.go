@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheBuildsOnce: concurrent Gets for one key run build exactly
+// once and all observe the same value.
+func TestCacheBuildsOnce(t *testing.T) {
+	c := NewCache[int, string]()
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get(7, func() (string, error) {
+				builds.Add(1)
+				return "built", nil
+			})
+			if err != nil || v != "built" {
+				t.Errorf("get: %q, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("builds = %d, want 1", builds.Load())
+	}
+	st := c.Stats()
+	if st.Builds != 1 || st.Hits != 31 {
+		t.Errorf("stats = %+v, want 1 build / 31 hits", st)
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+// TestCacheCachesErrors: a failed build is a cached verdict, not a
+// retried operation.
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache[string, int]()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("k", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("get %d: err = %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("build calls = %d, want 1", calls)
+	}
+}
+
+// TestCacheDistinctKeys: keys do not share entries.
+func TestCacheDistinctKeys(t *testing.T) {
+	c := NewCache[int, string]()
+	for i := 0; i < 5; i++ {
+		v, err := c.Get(i, func() (string, error) { return fmt.Sprint(i), nil })
+		if err != nil || v != fmt.Sprint(i) {
+			t.Errorf("key %d: %q, %v", i, v, err)
+		}
+	}
+	if st := c.Stats(); st.Builds != 5 || st.Hits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDeriveSeed: positivity, determinism, order sensitivity, and
+// index separation.
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 2, 3) != DeriveSeed(1, 2, 3) {
+		t.Error("not deterministic")
+	}
+	if DeriveSeed(1, 2, 3) == DeriveSeed(1, 3, 2) {
+		t.Error("order-insensitive fold")
+	}
+	seen := map[int64]bool{}
+	for root := int64(0); root < 4; root++ {
+		for si := uint64(0); si < 8; si++ {
+			for di := uint64(0); di < 8; di++ {
+				s := DeriveSeed(root, si, di)
+				if s <= 0 {
+					t.Fatalf("DeriveSeed(%d,%d,%d) = %d, want positive", root, si, di, s)
+				}
+				if seen[s] {
+					t.Fatalf("collision at root=%d si=%d di=%d", root, si, di)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"connlab/internal/defense"
+	"connlab/internal/dns"
+	"connlab/internal/exploit"
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+// Default campaign seeds, matching the lab's historical defaults.
+const (
+	DefaultRootSeed  = 2002
+	DefaultReconSeed = 1001
+)
+
+// Scenario is one cell of a campaign: a victim configuration plus a
+// fleet of devices to attack under it.
+type Scenario struct {
+	// Label names the scenario in reports; empty derives
+	// "arch/kind/protection".
+	Label string
+	// Arch and Kind select the victim architecture and exploit strategy.
+	Arch isa.Arch
+	Kind exploit.Kind
+	// Protection is the victim's defensive posture.
+	Protection Protection
+	// Build selects the deployed firmware (vulnerable 1.34 by default).
+	Build victim.BuildOpts
+	// ReconBuild, when non-nil, is the firmware the attacker's replica
+	// runs (e.g. the attacker recons 1.34 while targets run 1.35).
+	ReconBuild *victim.BuildOpts
+	// Devices is the fleet size; 0 means 1.
+	Devices int
+	// PatchedEvery makes every PatchedEvery-th device run the patched
+	// firmware (0 = none patched).
+	PatchedEvery int
+	// TargetSeed, when non-zero, pins the machine seed instead of
+	// deriving it from the campaign root seed: a single device uses it
+	// verbatim, a fleet uses TargetSeed+100+i per device (the lab's
+	// historical fleet schedule). Zero derives per-device seeds with
+	// DeriveSeed(root, scenarioIndex, deviceIndex).
+	TargetSeed int64
+	// Pineapple delivers the payload through a per-device rogue-AP world
+	// (association hijack + MITM resolver, §III-D) instead of handing the
+	// crafted response straight to the daemon.
+	Pineapple bool
+}
+
+// label returns the display label.
+func (s Scenario) label() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return fmt.Sprintf("%s/%s/%s", s.Arch, s.Kind, s.Protection)
+}
+
+// devices returns the effective fleet size.
+func (s Scenario) devices() int {
+	if s.Devices <= 0 {
+		return 1
+	}
+	return s.Devices
+}
+
+// reconBuild returns the firmware the attacker replicates.
+func (s Scenario) reconBuild() victim.BuildOpts {
+	if s.ReconBuild != nil {
+		return *s.ReconBuild
+	}
+	return s.Build
+}
+
+// Config parameterizes an engine.
+type Config struct {
+	// Workers is the goroutine pool size; <=0 means GOMAXPROCS.
+	Workers int
+	// RootSeed drives per-device seed derivation (0 = DefaultRootSeed).
+	RootSeed int64
+	// ReconSeed seeds the attacker's replica (0 = DefaultReconSeed).
+	ReconSeed int64
+}
+
+// Engine fans campaign scenarios across a worker pool, sharing
+// per-configuration recon artifacts through build-once caches. All cached
+// artifacts (targets, payloads, program units) are read-only after
+// construction and safe to share between workers; per-device state
+// (process memory, shadow stacks, netsim worlds) is always freshly built.
+type Engine struct {
+	cfg Config
+
+	// recons caches attacker-side reconnaissance — victim build, image
+	// link, gadget scan, frame discovery — per (arch, posture, build,
+	// seed) configuration.
+	recons *Cache[reconKey, *exploit.Target]
+	// payloads caches built exploits per configuration and kind,
+	// including construction failures (OutcomeBuildFail is a verdict).
+	payloads *Cache[payloadKey, *exploit.Exploit]
+	// units and libcs cache the victim-side program units that every
+	// device load links from.
+	units *Cache[unitKey, *image.Unit]
+	libcs *Cache[isa.Arch, *image.Unit]
+	// linkOptions caches the §IV diversity permutations.
+	linkOptions *Cache[linkKey, image.Options]
+
+	// Per-stage wall time, accumulated across workers (nanoseconds).
+	nsRecon, nsPayload, nsVictimBuild, nsAttack atomic.Int64
+}
+
+type reconKey struct {
+	arch     isa.Arch
+	wx, aslr bool
+	build    victim.BuildOpts
+	seed     int64
+}
+
+type payloadKey struct {
+	recon reconKey
+	kind  exploit.Kind
+}
+
+type unitKey struct {
+	arch isa.Arch
+	opts victim.BuildOpts
+}
+
+type linkKey struct {
+	arch isa.Arch
+	opts victim.BuildOpts
+	seed int64
+}
+
+// New returns an engine with fresh caches.
+func New(cfg Config) *Engine {
+	if cfg.RootSeed == 0 {
+		cfg.RootSeed = DefaultRootSeed
+	}
+	if cfg.ReconSeed == 0 {
+		cfg.ReconSeed = DefaultReconSeed
+	}
+	return &Engine{
+		cfg:         cfg,
+		recons:      NewCache[reconKey, *exploit.Target](),
+		payloads:    NewCache[payloadKey, *exploit.Exploit](),
+		units:       NewCache[unitKey, *image.Unit](),
+		libcs:       NewCache[isa.Arch, *image.Unit](),
+		linkOptions: NewCache[linkKey, image.Options](),
+	}
+}
+
+// Workers returns the effective pool size.
+func (e *Engine) Workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ReconStats reports recon-cache effectiveness (builds = distinct
+// configurations reconned, hits = devices served from cache).
+func (e *Engine) ReconStats() CacheStats { return e.recons.Stats() }
+
+// reconKeyFor derives the recon cache key: recon depends only on the
+// architecture, the W⊕X/ASLR posture the attacker replicates (CFI and
+// diversity are invisible to recon — the point of measuring them), the
+// replicated firmware, and the replica seed.
+func (e *Engine) reconKeyFor(s Scenario) reconKey {
+	return reconKey{
+		arch: s.Arch, wx: s.Protection.WX, aslr: s.Protection.ASLR,
+		build: s.reconBuild(), seed: e.cfg.ReconSeed,
+	}
+}
+
+// recon returns the cached attacker-side reconnaissance for a scenario's
+// configuration, performing it on first use.
+func (e *Engine) recon(s Scenario) (*exploit.Target, error) {
+	k := e.reconKeyFor(s)
+	return e.recons.Get(k, func() (*exploit.Target, error) {
+		defer e.timeStage(&e.nsRecon)()
+		return exploit.Recon(k.arch, k.build, kernel.Config{WX: k.wx, ASLR: k.aslr, Seed: k.seed})
+	})
+}
+
+// payload returns the cached exploit for a scenario — one payload, many
+// victims. A build failure is cached like a success: it is the verdict
+// for every device in the configuration.
+func (e *Engine) payload(s Scenario, tgt *exploit.Target) (*exploit.Exploit, error) {
+	k := payloadKey{recon: e.reconKeyFor(s), kind: s.Kind}
+	return e.payloads.Get(k, func() (*exploit.Exploit, error) {
+		defer e.timeStage(&e.nsPayload)()
+		return exploit.Build(tgt, s.Kind)
+	})
+}
+
+// victimUnit returns the cached program unit for a victim build. Units
+// are read-only inputs to linking, so one unit serves every device load.
+func (e *Engine) victimUnit(arch isa.Arch, opts victim.BuildOpts) (*image.Unit, error) {
+	return e.units.Get(unitKey{arch: arch, opts: opts}, func() (*image.Unit, error) {
+		defer e.timeStage(&e.nsVictimBuild)()
+		return victim.BuildProgram(arch, opts)
+	})
+}
+
+// libcUnit returns the cached libc unit for an architecture.
+func (e *Engine) libcUnit(arch isa.Arch) (*image.Unit, error) {
+	return e.libcs.Get(arch, func() (*image.Unit, error) {
+		defer e.timeStage(&e.nsVictimBuild)()
+		return image.BuildLibc(arch)
+	})
+}
+
+// targetSetup is the cached counterpart of TargetSetup: the diversity
+// permutation is computed once per (arch, build, seed) instead of once
+// per device. The shadow stack, which holds per-process state, is always
+// fresh.
+func (e *Engine) targetSetup(s Scenario, seed int64, patched bool) (kernel.Config, victim.BuildOpts, *defense.ShadowStack, error) {
+	p := s.Protection
+	cfg := kernel.Config{WX: p.WX, ASLR: p.ASLR, PIE: p.PIE, Seed: seed}
+	opts := s.Build
+	opts.Canary = opts.Canary || p.Canary
+	opts.Patched = opts.Patched || patched
+	var ss *defense.ShadowStack
+	if p.CFI {
+		ss = defense.NewShadowStack()
+		cfg.Hooks = ss
+	}
+	if p.DiversitySeed != 0 {
+		lo, err := e.linkOptions.Get(linkKey{arch: s.Arch, opts: opts, seed: p.DiversitySeed},
+			func() (image.Options, error) {
+				defer e.timeStage(&e.nsVictimBuild)()
+				return diversityLinkOpts(s.Arch, opts, p.DiversitySeed)
+			})
+		if err != nil {
+			return cfg, opts, nil, err
+		}
+		cfg.LinkOpts = lo
+	}
+	return cfg, opts, ss, nil
+}
+
+// newDaemon loads one fresh device from the cached units.
+func (e *Engine) newDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.Config) (*victim.Daemon, error) {
+	prog, err := e.victimUnit(arch, opts)
+	if err != nil {
+		return nil, err
+	}
+	libc, err := e.libcUnit(arch)
+	if err != nil {
+		return nil, err
+	}
+	return victim.NewDaemonWith(prog, libc, cfg)
+}
+
+// timeStage returns a func that, when deferred, accumulates the elapsed
+// time into the given stage counter.
+func (e *Engine) timeStage(ns *atomic.Int64) func() {
+	start := time.Now()
+	return func() { ns.Add(int64(time.Since(start))) }
+}
+
+// deviceSeed derives the machine seed for device di of scenario si.
+func (e *Engine) deviceSeed(s Scenario, si, di int) int64 {
+	if s.TargetSeed != 0 {
+		if s.devices() == 1 {
+			return s.TargetSeed
+		}
+		return s.TargetSeed + int64(100+di)
+	}
+	return DeriveSeed(e.cfg.RootSeed, uint64(si), uint64(di))
+}
+
+// workItem addresses one device of one scenario.
+type workItem struct{ si, di int }
+
+// Run executes every scenario's fleet across the worker pool and returns
+// the aggregated report. Results are stored by (scenario, device) index,
+// so the report is identical for any worker count. A non-nil error means
+// at least one trial failed on infrastructure (not verdict); the report
+// still carries every completed trial.
+func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
+	start := time.Now()
+	rep := &Report{
+		RootSeed:  e.cfg.RootSeed,
+		ReconSeed: e.cfg.ReconSeed,
+		Workers:   e.Workers(),
+		Scenarios: make([]ScenarioResult, len(scenarios)),
+	}
+	var work []workItem
+	for si, s := range scenarios {
+		n := s.devices()
+		rep.Scenarios[si] = ScenarioResult{
+			Scenario: s,
+			Label:    s.label(),
+			Devices:  make([]DeviceResult, n),
+		}
+		for di := 0; di < n; di++ {
+			work = append(work, workItem{si: si, di: di})
+		}
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < e.Workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(work) {
+					return
+				}
+				it := work[i]
+				rep.Scenarios[it.si].Devices[it.di] = e.runDevice(scenarios[it.si], it.si, it.di)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var errs []error
+	for si := range rep.Scenarios {
+		sr := &rep.Scenarios[si]
+		for di := range sr.Devices {
+			d := &sr.Devices[di]
+			sr.count(d.Outcome)
+			sr.Hijacked += d.Hijacked
+			if d.Err != "" {
+				errs = append(errs, fmt.Errorf("%s device %d: %s", sr.Label, di, d.Err))
+			}
+		}
+		rep.add(sr)
+	}
+	rep.Wall = time.Since(start)
+	rep.Stages = StageTimings{
+		Recon:       time.Duration(e.nsRecon.Load()),
+		Payload:     time.Duration(e.nsPayload.Load()),
+		VictimBuild: time.Duration(e.nsVictimBuild.Load()),
+		Attack:      time.Duration(e.nsAttack.Load()),
+	}
+	rep.ReconCache = e.recons.Stats()
+	rep.PayloadCache = e.payloads.Stats()
+	rep.UnitCache = e.units.Stats()
+	if len(errs) > 0 {
+		return rep, errors.Join(errs...)
+	}
+	return rep, nil
+}
+
+// runDevice executes one trial: cached recon, cached payload, a fresh
+// victim, delivery, classification.
+func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
+	seed := e.deviceSeed(s, si, di)
+	patched := s.PatchedEvery > 0 && di%s.PatchedEvery == 0
+	r := DeviceResult{
+		Name:    fmt.Sprintf("iot-%02d", di),
+		Seed:    seed,
+		Patched: patched,
+	}
+	tgt, err := e.recon(s)
+	if err != nil {
+		r.Outcome = OutcomeError
+		r.Err = fmt.Sprintf("recon %s: %v", s.Arch, err)
+		return r
+	}
+	ex, err := e.payload(s, tgt)
+	if err != nil {
+		r.Outcome = OutcomeBuildFail
+		r.Detail = err.Error()
+		return r
+	}
+	cfg, opts, ss, err := e.targetSetup(s, seed, patched)
+	if err != nil {
+		r.Outcome = OutcomeError
+		r.Err = err.Error()
+		return r
+	}
+	d, err := e.newDaemon(s.Arch, opts, cfg)
+	if err != nil {
+		r.Outcome = OutcomeError
+		r.Err = err.Error()
+		return r
+	}
+	if ss != nil {
+		ss.Arm(d.Process())
+	}
+
+	defer e.timeStage(&e.nsAttack)()
+	if s.Pineapple {
+		hijacked, err := pineappleDeliver(d, ex)
+		if err != nil {
+			r.Outcome = OutcomeError
+			r.Err = err.Error()
+			return r
+		}
+		r.Hijacked = hijacked
+		r.Run = d.LastResult()
+		switch {
+		case len(d.Shells()) > 0:
+			r.Outcome = OutcomeShell
+		case d.Crashed():
+			r.Outcome = OutcomeCrash
+		default:
+			r.Outcome = OutcomeNoEffect
+		}
+		r.Detail = r.Run.String()
+		return r
+	}
+
+	pkt, err := ex.Response(dns.NewQuery(0x1337, "time.iot-vendor.example", dns.TypeA))
+	if err != nil {
+		r.Outcome = OutcomeError
+		r.Err = err.Error()
+		return r
+	}
+	res, err := d.HandleResponse(pkt)
+	if err != nil {
+		r.Outcome = OutcomeError
+		r.Err = err.Error()
+		return r
+	}
+	r.Run = res
+	r.Outcome, r.Detail = Classify(res)
+	return r
+}

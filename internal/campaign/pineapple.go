@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"fmt"
+
+	"connlab/internal/dnsserver"
+	"connlab/internal/exploit"
+	"connlab/internal/netsim"
+	"connlab/internal/victim"
+)
+
+// Per-device rogue-AP delivery (§III-D). Every device gets its own
+// simulated radio world — two APs sharing the trusted SSID, a legitimate
+// resolver, and the attacker's MITM resolver — so devices are fully
+// independent and a campaign can run them on any worker without shared
+// network state.
+
+// Scenario SSID and addresses, mirroring the lab's Pineapple world.
+const campaignSSID = "HomeIoT"
+
+var (
+	campaignResolverIP = netsim.IP{8, 8, 8, 8}
+	campaignLegitGW    = netsim.IP{192, 168, 1, 1}
+	campaignLegitPool  = netsim.IP{192, 168, 1, 100}
+	campaignPineIP     = netsim.IP{172, 16, 42, 1}
+	campaignRoguePool  = netsim.IP{172, 16, 42, 100}
+)
+
+// pineappleDeliver drives one device through the remote kill chain: it
+// associates to the strongest AP carrying its trusted SSID (the rogue
+// clone), resolves a name through the DHCP-assigned resolver (the
+// attacker's MITM), and receives the exploit as the answer. It returns
+// how many lookups the MITM answered.
+func pineappleDeliver(d *victim.Daemon, ex *exploit.Exploit) (int, error) {
+	world := netsim.New()
+	world.AddAP(&netsim.AccessPoint{
+		Name: "home-router", SSID: campaignSSID, Signal: 50,
+		PoolBase: campaignLegitPool, Gateway: campaignLegitGW, DNS: campaignResolverIP,
+	})
+	resolverHost, err := world.AddHost("resolver", campaignResolverIP)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := dnsserver.RunResolver(resolverHost, map[string][4]byte{
+		"time.iot-vendor.example": {93, 184, 216, 34},
+	}); err != nil {
+		return 0, err
+	}
+	pineHost, err := world.AddHost("pineapple", campaignPineIP)
+	if err != nil {
+		return 0, err
+	}
+	mitm, err := dnsserver.RunMITM(pineHost, ex.Response)
+	if err != nil {
+		return 0, err
+	}
+	world.AddAP(&netsim.AccessPoint{
+		Name: "pineapple", SSID: campaignSSID, Signal: 95,
+		PoolBase: campaignRoguePool, Gateway: campaignPineIP, DNS: campaignPineIP,
+	})
+
+	host, err := world.AddHost("iot", netsim.IP{})
+	if err != nil {
+		return 0, err
+	}
+	if _, err := dnsserver.RunProxy(host, d); err != nil {
+		return 0, err
+	}
+	client, err := dnsserver.NewClient(host)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := host.Station(campaignSSID).Associate(); err != nil {
+		return 0, fmt.Errorf("associate: %w", err)
+	}
+	// The device phones home; the rogue resolver answers.
+	if _, err := client.Lookup(netsim.Addr{IP: host.IP, Port: dnsserver.DNSPort},
+		"time.iot-vendor.example"); err != nil {
+		return 0, err
+	}
+	world.Run(64)
+	return mitm.Queries, nil
+}

@@ -1,0 +1,41 @@
+package campaign
+
+// Deterministic seed derivation. Every randomized decision in a campaign
+// (per-device ASLR samples, canary values) is driven by a seed derived
+// from the campaign root seed and the structural position of the trial —
+// never from scheduling order, wall-clock time, or worker identity. That
+// is what makes a campaign's output identical whether it runs on one
+// worker or sixteen.
+//
+// The mixer is splitmix64 (Steele, Lea & Flood, OOPSLA 2014): a single
+// xor-shift-multiply chain with provably full-period output, cheap enough
+// to derive millions of seeds and strong enough that consecutive trial
+// indices land in unrelated parts of the seed space (a plain root+i
+// scheme would make "device i under config A" and "device i+1 under
+// config B" correlated through the kernel's rand.NewSource).
+
+// splitmix64 is one output step of the splitmix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed folds the given structural indices into the root seed and
+// returns a positive, non-zero seed. The fold is order-sensitive:
+// DeriveSeed(r, 1, 2) != DeriveSeed(r, 2, 1).
+func DeriveSeed(root int64, idx ...uint64) int64 {
+	x := splitmix64(uint64(root))
+	for _, i := range idx {
+		x = splitmix64(x ^ splitmix64(i+0x632BE59BD9B4E019))
+	}
+	s := int64(x & 0x7FFFFFFFFFFFFFFF)
+	if s == 0 {
+		s = 0x2545F4914F6CDD1D
+	}
+	return s
+}

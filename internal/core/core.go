@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"connlab/internal/campaign"
 	"connlab/internal/defense"
 	"connlab/internal/dns"
 	"connlab/internal/exploit"
@@ -18,76 +19,31 @@ import (
 	"connlab/internal/victim"
 )
 
-// Protection is one protection environment for a victim.
-type Protection struct {
-	// WX enables W⊕X; ASLR randomizes libc and stack.
-	WX, ASLR bool
-	// CFI installs the shadow-stack mitigation (§IV).
-	CFI bool
-	// Canary builds the victim with stack protectors.
-	Canary bool
-	// DiversitySeed, when non-zero, links the victim with layout diversity
-	// and equivalent-instruction substitution (§IV).
-	DiversitySeed int64
-	// PIE additionally randomizes the program image (beyond the paper).
-	PIE bool
-}
+// Protection is one protection environment for a victim. It lives in
+// internal/campaign (the engine layer); the alias keeps core's historical
+// API intact.
+type Protection = campaign.Protection
 
 // The paper's three §III protection levels.
 var (
-	LevelNone   = Protection{}
-	LevelWX     = Protection{WX: true}
-	LevelWXASLR = Protection{WX: true, ASLR: true}
+	LevelNone   = campaign.LevelNone
+	LevelWX     = campaign.LevelWX
+	LevelWXASLR = campaign.LevelWXASLR
 )
 
 // PaperLevels is the §III protection ladder in order.
-func PaperLevels() []Protection { return []Protection{LevelNone, LevelWX, LevelWXASLR} }
-
-// String renders the protection compactly.
-func (p Protection) String() string {
-	if p == (Protection{}) {
-		return "none"
-	}
-	out := ""
-	add := func(on bool, s string) {
-		if !on {
-			return
-		}
-		if out != "" {
-			out += "+"
-		}
-		out += s
-	}
-	add(p.WX, "W⊕X")
-	add(p.ASLR, "ASLR")
-	add(p.PIE, "PIE")
-	add(p.CFI, "CFI")
-	add(p.Canary, "canary")
-	add(p.DiversitySeed != 0, "diversity")
-	if out == "" {
-		out = "none"
-	}
-	return out
-}
+func PaperLevels() []Protection { return campaign.PaperLevels() }
 
 // Outcome classifies what an attack achieved.
-type Outcome string
+type Outcome = campaign.Outcome
 
-// Attack outcomes.
+// Attack outcomes (see internal/campaign for the definitions).
 const (
-	// OutcomeShell is remote code execution: a root shell spawned.
-	OutcomeShell Outcome = "SHELL"
-	// OutcomeCrash is denial of service: the daemon died without giving
-	// the attacker execution.
-	OutcomeCrash Outcome = "CRASH"
-	// OutcomeBlocked means a mitigation detected and stopped the attack
-	// (CFI veto or canary abort).
-	OutcomeBlocked Outcome = "BLOCKED"
-	// OutcomeNoEffect means the victim survived unharmed.
-	OutcomeNoEffect Outcome = "NO-EFFECT"
-	// OutcomeBuildFail means no payload could be constructed for the
-	// combination (e.g. ret2libc on a register-argument architecture).
-	OutcomeBuildFail Outcome = "NO-PAYLOAD"
+	OutcomeShell     = campaign.OutcomeShell
+	OutcomeCrash     = campaign.OutcomeCrash
+	OutcomeBlocked   = campaign.OutcomeBlocked
+	OutcomeNoEffect  = campaign.OutcomeNoEffect
+	OutcomeBuildFail = campaign.OutcomeBuildFail
 )
 
 // AttackResult is one cell of the experiment matrix.
@@ -115,6 +71,10 @@ type Lab struct {
 	ReconSeed, TargetSeed int64
 	// Build selects the victim variant (vulnerable 1.34 by default).
 	Build victim.BuildOpts
+	// Workers sets the campaign worker-pool size for RunFleet/RunMatrix;
+	// 0 means GOMAXPROCS. The count never changes results, only wall
+	// clock.
+	Workers int
 
 	reconBuild *victim.BuildOpts
 }
@@ -136,27 +96,18 @@ func (l *Lab) reconOpts() victim.BuildOpts {
 }
 
 // targetConfig renders a Protection into a kernel config plus the hooks
-// that must be armed after load.
+// that must be armed after load (delegates to the campaign layer).
 func (l *Lab) targetConfig(arch isa.Arch, p Protection) (kernel.Config, victim.BuildOpts, *defense.ShadowStack, error) {
-	cfg := kernel.Config{WX: p.WX, ASLR: p.ASLR, PIE: p.PIE, Seed: l.TargetSeed}
-	opts := l.Build
-	opts.Canary = opts.Canary || p.Canary
-	var ss *defense.ShadowStack
-	if p.CFI {
-		ss = defense.NewShadowStack()
-		cfg.Hooks = ss
-	}
-	if p.DiversitySeed != 0 {
-		u, err := victim.BuildProgram(arch, opts)
-		if err != nil {
-			return cfg, opts, nil, err
-		}
-		if _, err := defense.EquivSubstitute(u, p.DiversitySeed); err != nil {
-			return cfg, opts, nil, err
-		}
-		cfg.LinkOpts = defense.DiversityOptions(u, p.DiversitySeed)
-	}
-	return cfg, opts, ss, nil
+	return campaign.TargetSetup(arch, p, l.Build, l.TargetSeed)
+}
+
+// engine returns a fresh campaign engine wired to the lab's seeds.
+func (l *Lab) engine() *campaign.Engine {
+	return campaign.New(campaign.Config{
+		Workers:   l.Workers,
+		RootSeed:  l.TargetSeed,
+		ReconSeed: l.ReconSeed,
+	})
 }
 
 // newTargetDaemon loads a victim daemon under a protection level.
@@ -222,26 +173,18 @@ func FireAt(d *victim.Daemon, ex *exploit.Exploit) (kernel.RunResult, error) {
 }
 
 // Classify maps a kernel run result to an attack outcome.
-func Classify(res kernel.RunResult) (Outcome, string) {
-	switch res.Status {
-	case kernel.StatusShell:
-		return OutcomeShell, res.String()
-	case kernel.StatusFault, kernel.StatusTimeout:
-		return OutcomeCrash, res.String()
-	case kernel.StatusCFI, kernel.StatusAborted:
-		return OutcomeBlocked, res.String()
-	case kernel.StatusReturned, kernel.StatusExited:
-		return OutcomeNoEffect, res.String()
-	default:
-		return OutcomeNoEffect, res.String()
-	}
-}
+func Classify(res kernel.RunResult) (Outcome, string) { return campaign.Classify(res) }
 
 // RunMatrix reproduces the §III experiment matrix (experiment E8): every
 // exploit kind against every paper protection level on both
 // architectures. The diagonal of working exploits and the off-diagonal
 // failures (injection vs W⊕X, ret2libc vs ASLR) are the paper's central
 // result.
+//
+// The matrix delegates to the campaign engine: all 30 cells fan out
+// across the lab's worker pool, each (arch, posture) configuration is
+// reconned once instead of once per kind, and results come back in the
+// fixed arch → level → kind order regardless of scheduling.
 func (l *Lab) RunMatrix() ([]AttackResult, error) {
 	kinds := []exploit.Kind{
 		exploit.KindDoS,
@@ -250,16 +193,29 @@ func (l *Lab) RunMatrix() ([]AttackResult, error) {
 		exploit.KindRopExeclp,
 		exploit.KindRopMemcpy,
 	}
-	var out []AttackResult
+	var scenarios []campaign.Scenario
 	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
 		for _, p := range PaperLevels() {
 			for _, kind := range kinds {
-				r, err := l.RunAttack(arch, kind, p)
-				if err != nil {
-					return out, fmt.Errorf("matrix %s/%s/%s: %w", arch, kind, p, err)
-				}
-				out = append(out, r)
+				scenarios = append(scenarios, campaign.Scenario{
+					Arch: arch, Kind: kind, Protection: p,
+					Build: l.Build, ReconBuild: l.reconBuild,
+					TargetSeed: l.TargetSeed,
+				})
 			}
+		}
+	}
+	rep, err := l.engine().Run(scenarios)
+	if err != nil {
+		return nil, fmt.Errorf("matrix: %w", err)
+	}
+	out := make([]AttackResult, len(rep.Scenarios))
+	for i := range rep.Scenarios {
+		sr := &rep.Scenarios[i]
+		d := &sr.Devices[0]
+		out[i] = AttackResult{
+			Arch: sr.Scenario.Arch, Kind: sr.Scenario.Kind, Protection: sr.Scenario.Protection,
+			Outcome: d.Outcome, Detail: d.Detail, Run: d.Run,
 		}
 	}
 	return out, nil

@@ -3,11 +3,9 @@ package core
 import (
 	"fmt"
 
-	"connlab/internal/dnsserver"
+	"connlab/internal/campaign"
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
-	"connlab/internal/netsim"
-	"connlab/internal/victim"
 )
 
 // FleetConfig parameterizes the mass-compromise scenario the paper
@@ -21,6 +19,11 @@ type FleetConfig struct {
 	// 1.35 firmware (0 = none patched).
 	Devices      int
 	PatchedEvery int
+	// Workers overrides the lab's campaign worker-pool size for this
+	// sweep; 0 inherits Lab.Workers (which defaults to GOMAXPROCS). One
+	// worker is the sequential path — it still recons once per
+	// configuration, not once per device.
+	Workers int
 }
 
 // DeviceOutcome is one fleet member's fate.
@@ -37,6 +40,9 @@ type FleetReport struct {
 	Owned, Crashed, Survived int
 	// Hijacked counts DNS lookups the rogue resolver answered.
 	Hijacked int
+	// ReconBuilds counts how many times attacker-side reconnaissance
+	// actually ran — one per configuration, however large the fleet.
+	ReconBuilds int
 }
 
 // String renders a summary line.
@@ -51,101 +57,47 @@ func (r *FleetReport) String() string {
 // one payload, many victims, which is exactly why the paper worries about
 // Mirai-style recreation. Patched devices parse the response safely and
 // survive.
+//
+// The sweep delegates to the campaign engine: recon, payload
+// construction, and the victim program build happen once for the
+// configuration (cached), each device then runs through its own
+// simulated radio world on whichever worker picks it up, and every
+// device keeps its historical ASLR seed (TargetSeed+100+i), so outcomes
+// match the old sequential runner bit for bit.
 func (l *Lab) RunFleet(cfg FleetConfig) (*FleetReport, error) {
 	if cfg.Devices <= 0 {
 		cfg.Devices = 8
 	}
-	rep := &FleetReport{}
-
-	net := netsim.New()
-	net.AddAP(&netsim.AccessPoint{
-		Name: "home-router", SSID: trustedSSID, Signal: 50,
-		PoolBase: legitPool, Gateway: legitGW, DNS: resolverIP,
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = l.Workers
+	}
+	eng := campaign.New(campaign.Config{
+		Workers:   workers,
+		RootSeed:  l.TargetSeed,
+		ReconSeed: l.ReconSeed,
 	})
-	resolverHost, err := net.AddHost("resolver", resolverIP)
+	crep, err := eng.Run([]campaign.Scenario{{
+		Arch: cfg.Arch, Kind: cfg.Kind, Protection: cfg.Protection,
+		Build: l.Build, ReconBuild: l.reconBuild,
+		Devices: cfg.Devices, PatchedEvery: cfg.PatchedEvery,
+		TargetSeed: l.TargetSeed,
+		Pineapple:  true,
+	}})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := dnsserver.RunResolver(resolverHost, map[string][4]byte{
-		"time.iot-vendor.example": {93, 184, 216, 34},
-	}); err != nil {
-		return nil, err
+	sr := &crep.Scenarios[0]
+	rep := &FleetReport{
+		Owned: sr.Owned, Crashed: sr.Crashed, Survived: sr.Survived,
+		Hijacked:    sr.Hijacked,
+		ReconBuilds: int(crep.ReconCache.Builds),
 	}
-
-	// Attacker: one recon, one payload, one pineapple.
-	tgt, err := l.Recon(cfg.Arch, cfg.Protection)
-	if err != nil {
-		return nil, err
+	for i := range sr.Devices {
+		d := &sr.Devices[i]
+		rep.Devices = append(rep.Devices, DeviceOutcome{
+			Name: d.Name, Patched: d.Patched, Outcome: d.Outcome,
+		})
 	}
-	ex, err := exploit.Build(tgt, cfg.Kind)
-	if err != nil {
-		return nil, err
-	}
-	pineHost, err := net.AddHost("pineapple", pineappleIP)
-	if err != nil {
-		return nil, err
-	}
-	mitm, err := dnsserver.RunMITM(pineHost, ex.Response)
-	if err != nil {
-		return nil, err
-	}
-	net.AddAP(&netsim.AccessPoint{
-		Name: "pineapple", SSID: trustedSSID, Signal: 95,
-		PoolBase: roguePool, Gateway: pineappleIP, DNS: pineappleIP,
-	})
-
-	// The fleet: identical devices, some running patched firmware.
-	for i := 0; i < cfg.Devices; i++ {
-		name := fmt.Sprintf("iot-%02d", i)
-		patched := cfg.PatchedEvery > 0 && i%cfg.PatchedEvery == 0
-		host, err := net.AddHost(name, netsim.IP{})
-		if err != nil {
-			return nil, err
-		}
-		tcfg, opts, ss, err := l.targetConfig(cfg.Arch, cfg.Protection)
-		if err != nil {
-			return nil, err
-		}
-		opts.Patched = patched
-		tcfg.Seed = l.TargetSeed + int64(100+i) // every device its own ASLR sample
-		daemon, err := victim.NewDaemon(cfg.Arch, opts, tcfg)
-		if err != nil {
-			return nil, err
-		}
-		if ss != nil {
-			ss.Arm(daemon.Process())
-		}
-		if _, err := dnsserver.RunProxy(host, daemon); err != nil {
-			return nil, err
-		}
-		client, err := dnsserver.NewClient(host)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := host.Station(trustedSSID).Associate(); err != nil {
-			return nil, err
-		}
-		// The device phones home; the rogue resolver answers.
-		if _, err := client.Lookup(netsim.Addr{IP: host.IP, Port: dnsserver.DNSPort},
-			"time.iot-vendor.example"); err != nil {
-			return nil, err
-		}
-		net.Run(64)
-
-		out := DeviceOutcome{Name: name, Patched: patched}
-		switch {
-		case len(daemon.Shells()) > 0:
-			out.Outcome = OutcomeShell
-			rep.Owned++
-		case daemon.Crashed():
-			out.Outcome = OutcomeCrash
-			rep.Crashed++
-		default:
-			out.Outcome = OutcomeNoEffect
-			rep.Survived++
-		}
-		rep.Devices = append(rep.Devices, out)
-	}
-	rep.Hijacked = mitm.Queries
 	return rep, nil
 }

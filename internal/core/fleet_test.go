@@ -43,6 +43,30 @@ func TestFleetSweepOwnsUnpatchedOnly(t *testing.T) {
 	}
 }
 
+// TestFleetReconRunsOncePerConfiguration: a fleet of any size recons its
+// configuration exactly once — the per-device recomputation the old
+// sequential runner did is gone on both the parallel and the
+// single-worker (sequential) path.
+func TestFleetReconRunsOncePerConfiguration(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		lab := NewLab()
+		rep, err := lab.RunFleet(FleetConfig{
+			Arch: isa.ArchX86S, Kind: exploit.KindCodeInjection, Protection: LevelNone,
+			Devices: 6, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.ReconBuilds != 1 {
+			t.Errorf("workers=%d: recon ran %d times for 6 devices, want 1",
+				workers, rep.ReconBuilds)
+		}
+		if rep.Owned != 6 {
+			t.Errorf("workers=%d: owned=%d, want 6", workers, rep.Owned)
+		}
+	}
+}
+
 // TestFleetAllPatchedSurvives: a fully-updated fleet shrugs the campaign
 // off — the paper's first suggested mitigation (patching) at scale.
 func TestFleetAllPatchedSurvives(t *testing.T) {

@@ -1,0 +1,83 @@
+package gadget
+
+import (
+	"bytes"
+	"testing"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+	"connlab/internal/victim"
+)
+
+// fuzzImage wraps raw bytes as an executable .text section the way a
+// linked victim binary would present them.
+func fuzzImage(arch isa.Arch, data []byte) *image.Image {
+	base := image.DefaultProgramLayout(arch).TextBase
+	return &image.Image{
+		Arch: arch,
+		Sections: []image.Section{
+			{Name: ".text", Addr: base, Data: data, Perm: mem.PermRX},
+		},
+	}
+}
+
+// FuzzScan: the ropper-style scanner must handle arbitrary section
+// contents — misaligned words, truncated instruction runs, ret bytes in
+// immediates — without panicking, and every gadget it reports must lie
+// inside the section it was found in.
+func FuzzScan(f *testing.F) {
+	// Seed with real linked victim text (truncated to keep iterations
+	// fast) plus adversarial shapes.
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		u, err := victim.BuildProgram(arch, victim.BuildOpts{})
+		if err != nil {
+			f.Fatalf("build victim: %v", err)
+		}
+		img, err := image.Link(u, image.DefaultProgramLayout(arch), image.Options{})
+		if err != nil {
+			f.Fatalf("link victim: %v", err)
+		}
+		text := img.Section(".text")
+		if text == nil {
+			f.Fatal("victim image has no .text")
+		}
+		data := text.Data
+		if len(data) > 2048 {
+			data = data[:2048]
+		}
+		f.Add(data, arch == isa.ArchARMS)
+	}
+	f.Add(bytes.Repeat([]byte{0xC3}, 64), false)                 // ret-dense x86
+	f.Add([]byte{0x58, 0xC3, 0x5B, 0xC3}, false)                 // pop;ret pairs
+	f.Add(bytes.Repeat([]byte{0x04, 0xE0, 0x9D, 0xE4}, 8), true) // ARM pop words
+	f.Add([]byte{0xC3}, false)
+	f.Add([]byte{}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, arm bool) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		arch := isa.ArchX86S
+		if arm {
+			arch = isa.ArchARMS
+		}
+		img := fuzzImage(arch, data)
+		finder := NewFinder(img)
+		lo := img.Sections[0].Addr
+		hi := lo + uint32(len(data))
+		for _, g := range finder.All() {
+			if g.Addr < lo || g.Addr >= hi {
+				t.Fatalf("gadget %#x outside section [%#x,%#x)", g.Addr, lo, hi)
+			}
+			if len(g.Instrs) == 0 {
+				t.Fatalf("gadget %#x reports no instructions", g.Addr)
+			}
+		}
+		// The character-harvest path must tolerate arbitrary sections too.
+		finder.MemStr('/')
+		finder.FindPopRet(2)
+		finder.FindPopPC(0, 1)
+		finder.FindBlxReg(3)
+	})
+}

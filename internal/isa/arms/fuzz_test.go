@@ -3,6 +3,9 @@ package arms
 import (
 	"testing"
 	"testing/quick"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
 )
 
 // TestQuickDecodeNeverPanics: any 32-bit word either decodes or errors;
@@ -19,4 +22,52 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	if err := quick.Check(prop, &quick.Config{MaxCount: 20000}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzStep: arbitrary words executed as ARM code must always yield a
+// defined event and never panic the emulator. Unknown or truncated
+// encodings must surface as EventFault, not as a Go panic.
+func FuzzStep(f *testing.F) {
+	f.Add([]byte{0x1E, 0xFF, 0x2F, 0xE1})             // bx lr (one byte order or another)
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})             // all-zero word
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // all-ones word
+	f.Add([]byte{0x04, 0xE0, 0x9D, 0xE4, 0x00, 0x00}) // pop {lr} then truncated tail
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) == 0 {
+			return
+		}
+		if len(code) > 4096 {
+			code = code[:4096]
+		}
+		const codeBase, stackBase = 0x00010000, 0x7EFF0000
+		m := mem.New()
+		if _, err := m.Map("code", codeBase, uint32(len(code)), mem.PermRWX); err != nil {
+			t.Fatalf("map code: %v", err)
+		}
+		if f := m.WriteBytes(codeBase, code); f != nil {
+			t.Fatalf("write code: %v", f)
+		}
+		if _, err := m.Map("stack", stackBase, 0x2000, mem.PermRW); err != nil {
+			t.Fatalf("map stack: %v", err)
+		}
+		c := New(m)
+		c.SetPC(codeBase)
+		c.SetSP(stackBase + 0x1000)
+		for steps := 0; steps < 256; steps++ {
+			ev := c.Step()
+			switch ev.Kind {
+			case isa.EventRetired, isa.EventSyscall:
+				// keep running
+			case isa.EventFault:
+				if ev.Fault == nil && !ev.Illegal {
+					t.Fatalf("fault event carries neither memory fault nor illegal flag: %+v", ev)
+				}
+				return
+			case isa.EventCFIViolation:
+				return
+			default:
+				t.Fatalf("undefined event kind %d from Step", ev.Kind)
+			}
+		}
+	})
 }

@@ -1,9 +1,13 @@
 package x86s
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
 )
 
 // TestQuickDecodeNeverPanicsOrOverruns: arbitrary byte windows either
@@ -50,4 +54,56 @@ func TestDecodeStability(t *testing.T) {
 			t.Fatalf("unstable decode for % x", buf)
 		}
 	}
+}
+
+// FuzzStep: arbitrary bytes executed as code must always yield a defined
+// event — retired, syscall, or fault — and never panic the emulator,
+// whatever garbage the decoder and ALU are fed. This is the execution
+// counterpart of the decode property above: truncated or unknown opcodes
+// must surface as EventFault (illegal or memory), not as a Go panic.
+func FuzzStep(f *testing.F) {
+	f.Add([]byte{0xC3})                               // ret
+	f.Add([]byte{0x58, 0x5B, 0xC3})                   // pop eax; pop ebx; ret
+	f.Add([]byte{0x90, 0x90, 0xCD, 0x80})             // nops into int 0x80
+	f.Add([]byte{0xE8, 0x00, 0x00, 0x00, 0x00, 0xC3}) // call +0; ret
+	f.Add([]byte{0xFF})                               // truncated group-5
+	f.Add(bytes.Repeat([]byte{0xCC}, 8))              // int3 fill
+	f.Fuzz(func(t *testing.T, code []byte) {
+		if len(code) == 0 {
+			return
+		}
+		if len(code) > 4096 {
+			code = code[:4096]
+		}
+		const codeBase, stackBase = 0x08048000, 0xBFFF0000
+		m := mem.New()
+		if _, err := m.Map("code", codeBase, uint32(len(code)), mem.PermRWX); err != nil {
+			t.Fatalf("map code: %v", err)
+		}
+		if f := m.WriteBytes(codeBase, code); f != nil {
+			t.Fatalf("write code: %v", f)
+		}
+		if _, err := m.Map("stack", stackBase, 0x2000, mem.PermRW); err != nil {
+			t.Fatalf("map stack: %v", err)
+		}
+		c := New(m)
+		c.SetPC(codeBase)
+		c.SetSP(stackBase + 0x1000)
+		for steps := 0; steps < 256; steps++ {
+			ev := c.Step()
+			switch ev.Kind {
+			case isa.EventRetired, isa.EventSyscall:
+				// keep running
+			case isa.EventFault:
+				if ev.Fault == nil && !ev.Illegal {
+					t.Fatalf("fault event carries neither memory fault nor illegal flag: %+v", ev)
+				}
+				return
+			case isa.EventCFIViolation:
+				return
+			default:
+				t.Fatalf("undefined event kind %d from Step", ev.Kind)
+			}
+		}
+	})
 }

@@ -202,6 +202,9 @@ type Daemon struct {
 	arch isa.Arch
 	opts BuildOpts
 	cfg  kernel.Config
+	// prog/libc, when set, are the prebuilt units the daemon loads from
+	// (the campaign engine's per-configuration cache).
+	prog, libc *image.Unit
 
 	crashed bool
 	last    kernel.RunResult
@@ -215,6 +218,18 @@ func NewDaemon(arch isa.Arch, opts BuildOpts, cfg kernel.Config) (*Daemon, error
 		return nil, err
 	}
 	return &Daemon{proc: proc, arch: arch, opts: opts, cfg: cfg}, nil
+}
+
+// NewDaemonWith loads a daemon from prebuilt program and libc units —
+// the fast path for fleets, where one build serves every device. Linking
+// and loading only read the units, so the same units may be shared by
+// any number of concurrent loads.
+func NewDaemonWith(prog, libc *image.Unit, cfg kernel.Config) (*Daemon, error) {
+	proc, err := kernel.Load(prog, libc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{proc: proc, arch: prog.Arch, cfg: cfg, prog: prog, libc: libc}, nil
 }
 
 // Process exposes the underlying process (for the debugger and tests).
@@ -277,7 +292,13 @@ func (d *Daemon) Shells() []kernel.ShellSpawn { return d.proc.Shells() }
 // Restart replaces the dead process with a fresh load (same config; a new
 // ASLR sample), as an init system respawning the daemon would.
 func (d *Daemon) Restart() error {
-	proc, err := Load(d.arch, d.opts, d.cfg)
+	var proc *kernel.Process
+	var err error
+	if d.prog != nil && d.libc != nil {
+		proc, err = kernel.Load(d.prog, d.libc, d.cfg)
+	} else {
+		proc, err = Load(d.arch, d.opts, d.cfg)
+	}
 	if err != nil {
 		return err
 	}

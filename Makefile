@@ -30,5 +30,7 @@ fuzz:
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/arms/
 	$(GO) test -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/gadget/
 
+# Full benchmark run; writes ns/op and allocs/op per benchmark to
+# BENCH_2.json (see scripts/bench.sh for BENCHTIME/OUT overrides).
 bench:
-	$(GO) test -bench . -benchmem .
+	sh scripts/bench.sh

@@ -19,7 +19,10 @@ import (
 	"connlab/internal/gadget"
 	"connlab/internal/image"
 	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/isa/x86s"
 	"connlab/internal/kernel"
+	"connlab/internal/mem"
 	"connlab/internal/victim"
 )
 
@@ -309,6 +312,105 @@ func BenchmarkCampaignMatrix(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks ---
+
+// BenchmarkRecon measures one full attacker-side reconnaissance (replica
+// build + link + gadget scan + frame discovery) per iteration, under the
+// hardest posture (W⊕X+ASLR). This is the dominant per-trial cost the
+// campaign engine amortizes; the interpreter hot path is what it spends
+// its time in.
+func BenchmarkRecon(b *testing.B) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		b.Run(string(arch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exploit.Recon(arch, victim.BuildOpts{},
+					kernel.Config{WX: true, ASLR: true, Seed: 1001}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStepX86S measures one x86s interpreter step on a hot loop
+// mixing memory loads/stores, ALU, stack traffic, and a branch — the
+// instruction mix of the emulated parser.
+func BenchmarkStepX86S(b *testing.B) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	a := x86s.NewAsm()
+	a.Label("loop").
+		MovRM(x86s.EAX, x86s.EBX, 0).
+		AddRI(x86s.EAX, 1).
+		MovMR(x86s.EBX, 0, x86s.EAX).
+		PushR(x86s.EAX).
+		PopR(x86s.EDX).
+		Jmp("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := x86s.New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(x86s.EBX, 0x4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			b.Fatalf("step: %v", ev)
+		}
+	}
+}
+
+// BenchmarkStepARMS is the arms analog of BenchmarkStepX86S.
+func BenchmarkStepARMS(b *testing.B) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	a := arms.NewAsm()
+	a.Label("loop").
+		Ldr(arms.R0, arms.R4, 0).
+		AddI(arms.R0, arms.R0, 1).
+		Str(arms.R0, arms.R4, 0).
+		Push(arms.R0, arms.R1).
+		Pop(arms.R0, arms.R1).
+		BAlways("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := arms.New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(arms.R4, 0x4000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			b.Fatalf("step: %v", ev)
+		}
+	}
+}
 
 // BenchmarkEmulatorThroughput measures emulated instructions per second
 // on the benign parse path (both architectures).

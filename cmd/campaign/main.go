@@ -20,6 +20,7 @@ import (
 	"connlab/internal/campaign"
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
+	"connlab/internal/profiling"
 	"connlab/internal/victim"
 )
 
@@ -30,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	preset := fs.String("preset", "fleet", "campaign preset: fleet, matrix, or sweep")
@@ -50,9 +51,21 @@ func run(args []string, stdout io.Writer) error {
 	patched := fs.Bool("patched", false, "deploy the patched (1.35) firmware fleet-wide")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
 	canonical := fs.Bool("canonical", false, "print the byte-stable canonical report (no timings)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	arch := isa.Arch(*archFlag)
 	if arch != isa.ArchX86S && arch != isa.ArchARMS {

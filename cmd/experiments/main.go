@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"connlab/internal/core"
+	"connlab/internal/profiling"
 )
 
 func main() {
@@ -22,16 +23,28 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	exp := fs.String("exp", "all", "experiment id (e1..e12) or all")
 	reconSeed := fs.Int64("recon-seed", 1001, "attacker replica seed")
 	targetSeed := fs.Int64("target-seed", 2002, "target machine seed")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	lab := core.NewLab()
 	lab.ReconSeed = *reconSeed

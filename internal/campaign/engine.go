@@ -112,8 +112,25 @@ type Engine struct {
 	// linkOptions caches the §IV diversity permutations.
 	linkOptions *Cache[linkKey, image.Options]
 
+	// pool holds idle daemons for fixed-layout configurations (no
+	// ASLR/PIE/diversity), recycled between devices instead of relinking
+	// and remapping per trial. Recycling replays the per-device seed's
+	// random stream, so a pooled daemon is byte-identical to a fresh load
+	// and the report stays deterministic for any worker count.
+	pool   map[poolKey][]*victim.Daemon
+	poolMu sync.Mutex
+
 	// Per-stage wall time, accumulated across workers (nanoseconds).
 	nsRecon, nsPayload, nsVictimBuild, nsAttack atomic.Int64
+}
+
+// poolKey identifies daemons that are interchangeable under recycling: same
+// program/libc units and the same fixed memory layout.
+type poolKey struct {
+	arch    isa.Arch
+	opts    victim.BuildOpts
+	wx      bool
+	entropy int
 }
 
 type reconKey struct {
@@ -154,6 +171,7 @@ func New(cfg Config) *Engine {
 		units:       NewCache[unitKey, *image.Unit](),
 		libcs:       NewCache[isa.Arch, *image.Unit](),
 		linkOptions: NewCache[linkKey, image.Options](),
+		pool:        make(map[poolKey][]*victim.Daemon),
 	}
 }
 
@@ -260,6 +278,43 @@ func (e *Engine) newDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.Conf
 	return victim.NewDaemonWith(prog, libc, cfg)
 }
 
+// poolable reports whether a daemon loaded under cfg has a seed-independent
+// memory layout and can therefore be recycled for another device's seed.
+func poolable(cfg kernel.Config) bool {
+	return !cfg.ASLR && !cfg.PIE && cfg.LinkOpts.Order == nil && cfg.LinkOpts.Pad == nil
+}
+
+// acquireDaemon returns a device daemon for cfg, recycling an idle pooled
+// one when the layout allows it and loading fresh otherwise.
+func (e *Engine) acquireDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.Config) (*victim.Daemon, error) {
+	if poolable(cfg) {
+		k := poolKey{arch: arch, opts: opts, wx: cfg.WX, entropy: cfg.ASLREntropyPages}
+		e.poolMu.Lock()
+		list := e.pool[k]
+		var d *victim.Daemon
+		if n := len(list); n > 0 {
+			d, e.pool[k] = list[n-1], list[:n-1]
+		}
+		e.poolMu.Unlock()
+		if d != nil && d.Recycle(cfg) {
+			return d, nil
+		}
+	}
+	return e.newDaemon(arch, opts, cfg)
+}
+
+// releaseDaemon parks a daemon for reuse by a later device of the same
+// configuration class.
+func (e *Engine) releaseDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.Config, d *victim.Daemon) {
+	if d == nil || !poolable(cfg) {
+		return
+	}
+	k := poolKey{arch: arch, opts: opts, wx: cfg.WX, entropy: cfg.ASLREntropyPages}
+	e.poolMu.Lock()
+	e.pool[k] = append(e.pool[k], d)
+	e.poolMu.Unlock()
+}
+
 // timeStage returns a func that, when deferred, accumulates the elapsed
 // time into the given stage counter.
 func (e *Engine) timeStage(ns *atomic.Int64) func() {
@@ -354,8 +409,8 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 	return rep, nil
 }
 
-// runDevice executes one trial: cached recon, cached payload, a fresh
-// victim, delivery, classification.
+// runDevice executes one trial: cached recon, cached payload, a fresh (or
+// recycled, which is indistinguishable) victim, delivery, classification.
 func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
 	seed := e.deviceSeed(s, si, di)
 	patched := s.PatchedEvery > 0 && di%s.PatchedEvery == 0
@@ -382,12 +437,13 @@ func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
 		r.Err = err.Error()
 		return r
 	}
-	d, err := e.newDaemon(s.Arch, opts, cfg)
+	d, err := e.acquireDaemon(s.Arch, opts, cfg)
 	if err != nil {
 		r.Outcome = OutcomeError
 		r.Err = err.Error()
 		return r
 	}
+	defer e.releaseDaemon(s.Arch, opts, cfg, d)
 	if ss != nil {
 		ss.Arm(d.Process())
 	}

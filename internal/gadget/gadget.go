@@ -107,6 +107,7 @@ func NewFinder(img *image.Image) *Finder {
 // scanX86 finds every decodable suffix ending exactly on a ret byte.
 func (f *Finder) scanX86(sec image.Section) {
 	const lookback = 24
+	dec := newSecDecoder(sec.Data)
 	for i, b := range sec.Data {
 		if b != 0xC3 {
 			continue
@@ -118,7 +119,7 @@ func (f *Finder) scanX86(sec image.Section) {
 			if start < 0 {
 				continue
 			}
-			instrs, pops, ok := decodeRunX86(sec.Data[start : retOff+1])
+			instrs, pops, ok := decodeRunX86(dec, start, retOff+1)
 			if !ok || len(instrs) > maxGadgetInstrs {
 				continue
 			}
@@ -132,20 +133,59 @@ func (f *Finder) scanX86(sec image.Section) {
 	}
 }
 
-// decodeRunX86 decodes b as consecutive instructions that must end with
-// ret at the last byte. It also extracts the trailing pop-run registers.
-func decodeRunX86(b []byte) (instrs []string, pops []int, ok bool) {
-	off := 0
-	var decoded []x86s.Instr
-	for off < len(b) {
-		in, err := x86s.Decode(b[off:])
+// secDecoder memoizes decode results per section offset, so the lookback
+// windows of neighboring ret bytes — which overlap almost entirely — decode
+// each start offset once instead of once per window. Decoding against the
+// full section tail instead of a window truncated at the ret is equivalent:
+// the decoder is prefix-deterministic, so extra bytes can only turn a
+// truncation failure into a longer instruction, which then overshoots the
+// ret byte and is rejected exactly like the truncated decode was.
+type secDecoder struct {
+	data []byte
+	// size[off] is 0 while undecoded, -1 for an illegal/truncated decode,
+	// else the instruction length at off.
+	size  []int8
+	instr []x86s.Instr
+}
+
+func newSecDecoder(data []byte) *secDecoder {
+	return &secDecoder{data: data, size: make([]int8, len(data)), instr: make([]x86s.Instr, len(data))}
+}
+
+// at decodes the instruction starting at off, memoized.
+func (d *secDecoder) at(off int) (x86s.Instr, bool) {
+	switch d.size[off] {
+	case 0:
+		in, err := x86s.Decode(d.data[off:])
 		if err != nil {
+			d.size[off] = -1
+			return x86s.Instr{}, false
+		}
+		d.size[off] = int8(in.Size)
+		d.instr[off] = in
+		return in, true
+	case -1:
+		return x86s.Instr{}, false
+	default:
+		return d.instr[off], true
+	}
+}
+
+// decodeRunX86 decodes [start, end) as consecutive instructions that must
+// end with ret at the last byte. It also extracts the trailing pop-run
+// registers.
+func decodeRunX86(dec *secDecoder, start, end int) (instrs []string, pops []int, ok bool) {
+	off := start
+	var decoded []x86s.Instr
+	for off < end {
+		in, valid := dec.at(off)
+		if !valid {
 			return nil, nil, false
 		}
 		decoded = append(decoded, in)
 		off += int(in.Size)
 	}
-	if off != len(b) || len(decoded) == 0 || decoded[len(decoded)-1].Op != x86s.OpRet {
+	if off != end || len(decoded) == 0 || decoded[len(decoded)-1].Op != x86s.OpRet {
 		return nil, nil, false
 	}
 	// A useful gadget must not transfer control before its ret.

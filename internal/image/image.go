@@ -250,7 +250,7 @@ func (img *Image) MapInto(m *mem.Memory, namePrefix string) error {
 		if err != nil {
 			return fmt.Errorf("map %s: %w", s.Name, err)
 		}
-		copy(seg.Data, s.Data)
+		seg.Populate(0, s.Data)
 	}
 	return nil
 }

@@ -12,6 +12,19 @@ type flags struct {
 	n, z, c, v bool
 }
 
+// dcSize is the number of slots in the decoded-instruction cache
+// (direct-mapped on the word-aligned PC).
+const dcSize = 1024
+
+// dcEntry is one decode-cache slot: the instruction decoded at pc while the
+// memory layout generation was gen. gen 0 (the zero value) never matches a
+// live Memory, whose generations start at 1.
+type dcEntry struct {
+	pc  uint32
+	gen uint64
+	in  Instr
+}
+
 // CPU is a simulated arms hardware thread.
 type CPU struct {
 	regs   [numRegs]uint32 // r15 (pc) lives here too
@@ -19,6 +32,13 @@ type CPU struct {
 	m      *mem.Memory
 	hooks  isa.Hooks
 	icount uint64
+
+	// dc caches decode results for instructions in non-writable segments,
+	// keyed to mem.Memory.Gen() exactly like the x86s cache: while the
+	// generation is unchanged a non-writable segment's bytes cannot
+	// change, so a matching entry replays both the decode and the
+	// execute-permission check. Writable (RWX) mappings are never cached.
+	dc [dcSize]dcEntry
 }
 
 var _ isa.CPU = (*CPU)(nil)
@@ -71,6 +91,14 @@ func (c *CPU) SetHooks(h isa.Hooks) { c.hooks = h }
 
 // InstrCount implements isa.CPU.
 func (c *CPU) InstrCount() uint64 { return c.icount }
+
+// ResetState returns registers (pc included) and flags to their power-on
+// (all zero) values, as if the CPU were freshly constructed. The
+// instruction counter keeps running; callers consume deltas.
+func (c *CPU) ResetState() {
+	c.regs = [numRegs]uint32{}
+	c.fl = flags{}
+}
 
 // read reads a source register; reading pc yields the address of the next
 // instruction, a simplification of ARM's pc+8.
@@ -134,17 +162,30 @@ func (c *CPU) control(kind isa.ControlKind, from, to, ret uint32) *isa.Event {
 // Step implements isa.CPU.
 func (c *CPU) Step() isa.Event {
 	pc := c.regs[PC]
-	w, f := c.m.Fetch(pc, InstrSize)
-	if f != nil {
-		return isa.FaultEvent(pc, f)
-	}
-	if len(w) < InstrSize {
-		return isa.IllegalEvent(pc)
-	}
-	word := uint32(w[0]) | uint32(w[1])<<8 | uint32(w[2])<<16 | uint32(w[3])<<24
-	in, err := Decode(word)
-	if err != nil {
-		return isa.IllegalEvent(pc)
+	gen := c.m.Gen()
+	slot := &c.dc[(pc>>2)&(dcSize-1)]
+	var in Instr
+	if slot.pc == pc && slot.gen == gen {
+		in = slot.in
+	} else {
+		// Fixed-width fast path: one combined segment/permission/bounds
+		// check, no window slice. A short fetch (segment ends mid-word) is
+		// an illegal instruction, exactly like a truncated Fetch window.
+		word, perm, short, f := c.m.Fetch32(pc)
+		if f != nil {
+			return isa.FaultEvent(pc, f)
+		}
+		if short {
+			return isa.IllegalEvent(pc)
+		}
+		var err error
+		in, err = Decode(word)
+		if err != nil {
+			return isa.IllegalEvent(pc)
+		}
+		if perm&mem.PermWrite == 0 {
+			*slot = dcEntry{pc: pc, gen: gen, in: in}
+		}
 	}
 	next := pc + InstrSize
 	fault := func(f *mem.Fault) isa.Event { return isa.FaultEvent(pc, f) }

@@ -1,0 +1,154 @@
+package arms
+
+import (
+	"testing"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+// movR0 assembles movw r0, #v — the decode-cache probe instruction.
+func movR0(t *testing.T, v uint16) []byte {
+	t.Helper()
+	code, err := NewAsm().MovW(R0, v).Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code.Bytes
+}
+
+// stepRetired single-steps and fails the test on any non-retired event.
+func stepRetired(t *testing.T, c *CPU) {
+	t.Helper()
+	if ev := c.Step(); ev.Kind != isa.EventRetired {
+		t.Fatalf("step: %+v", ev)
+	}
+}
+
+// TestDecodeCacheInvalidatedBySetPerm mirrors the x86s test: after the
+// legitimate patch sequence (SetPerm RW, write, SetPerm RX) the CPU must
+// decode the new word, not replay the cached instruction.
+func TestDecodeCacheInvalidatedBySetPerm(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movR0(t, 1))
+	c := New(m)
+
+	for i := 0; i < 2; i++ {
+		c.SetPC(0x1000)
+		stepRetired(t, c)
+		if got := c.Reg(R0); got != 1 {
+			t.Fatalf("r0 = %d, want 1 (iteration %d)", got, i)
+		}
+	}
+
+	if err := m.SetPerm("text", mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteBytes(0x1000, movR0(t, 2)); f != nil {
+		t.Fatal(f)
+	}
+	if err := m.SetPerm("text", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(R0); got != 2 {
+		t.Errorf("r0 after patch = %d, want 2 (stale decode cache)", got)
+	}
+}
+
+// TestDecodeCacheInvalidatedByUnmap: a cached instruction must not execute
+// from a segment that has since been unmapped.
+func TestDecodeCacheInvalidatedByUnmap(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movR0(t, 1))
+	c := New(m)
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+
+	m.Unmap("text")
+	c.SetPC(0x1000)
+	ev := c.Step()
+	if ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultUnmapped {
+		t.Errorf("step after unmap = %+v, want unmapped fault", ev)
+	}
+}
+
+// TestDecodeCacheSkipsWritableSegments: self-modifying code in an RWX
+// mapping must see every store immediately.
+func TestDecodeCacheSkipsWritableSegments(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movR0(t, 1))
+	c := New(m)
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(R0); got != 1 {
+		t.Fatalf("r0 = %d, want 1", got)
+	}
+
+	if f := m.WriteBytes(0x1000, movR0(t, 2)); f != nil {
+		t.Fatal(f)
+	}
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(R0); got != 2 {
+		t.Errorf("r0 after self-modify = %d, want 2 (writable segment was cached)", got)
+	}
+}
+
+// TestStepZeroAllocs asserts the arms hot loop allocates nothing per
+// instruction once the decode cache is warm.
+func TestStepZeroAllocs(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsm()
+	a.Label("loop").
+		Ldr(R0, R4, 0).
+		AddI(R0, R0, 1).
+		Str(R0, R4, 0).
+		Push(R0, R1).
+		Pop(R0, R1).
+		BAlways("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(R4, 0x4000)
+	for i := 0; i < 64; i++ {
+		stepRetired(t, c)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			t.Fatalf("step: %+v", ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f objects per instruction, want 0", allocs)
+	}
+}

@@ -10,6 +10,19 @@ type flags struct {
 	zf, sf, cf, of bool
 }
 
+// dcSize is the number of slots in the decoded-instruction cache
+// (direct-mapped on the low bits of the PC).
+const dcSize = 1024
+
+// dcEntry is one decode-cache slot: the instruction decoded at pc while the
+// memory layout generation was gen. gen 0 (the zero value) never matches a
+// live Memory, whose generations start at 1.
+type dcEntry struct {
+	pc  uint32
+	gen uint64
+	in  Instr
+}
+
 // CPU is a simulated x86s hardware thread.
 type CPU struct {
 	regs   [numRegs]uint32
@@ -18,6 +31,15 @@ type CPU struct {
 	m      *mem.Memory
 	hooks  isa.Hooks
 	icount uint64
+
+	// dc caches decode results for instructions in non-writable segments.
+	// Validity is keyed to mem.Memory.Gen(): while the generation is
+	// unchanged, a non-writable segment's bytes cannot change (every store
+	// needs PermWrite, and SetPerm/Map/Unmap/Reset all bump the
+	// generation), so a matching entry replays both the decode and the
+	// execute-permission check that produced it. Writable (RWX) mappings
+	// are never cached — self-modifying shellcode always re-decodes.
+	dc [dcSize]dcEntry
 }
 
 var _ isa.CPU = (*CPU)(nil)
@@ -70,6 +92,16 @@ func (c *CPU) SetHooks(h isa.Hooks) { c.hooks = h }
 
 // InstrCount implements isa.CPU.
 func (c *CPU) InstrCount() uint64 { return c.icount }
+
+// ResetState returns registers, PC and flags to their power-on (all zero)
+// values, as if the CPU were freshly constructed. The instruction counter
+// keeps running (it is monotonic; callers consume deltas) and the decode
+// cache is kept — a memory-generation bump already invalidates it.
+func (c *CPU) ResetState() {
+	c.regs = [numRegs]uint32{}
+	c.eip = 0
+	c.fl = flags{}
+}
 
 // reg8 reads byte register i (0-3 low bytes, 4-7 high bytes).
 func (c *CPU) reg8(i int) uint8 {
@@ -192,13 +224,24 @@ const maxInstrLen = 12
 // instruction, reporting the outcome.
 func (c *CPU) Step() isa.Event {
 	pc := c.eip
-	window, f := c.m.Fetch(pc, maxInstrLen)
-	if f != nil {
-		return isa.FaultEvent(pc, f)
-	}
-	in, err := Decode(window)
-	if err != nil {
-		return isa.IllegalEvent(pc)
+	gen := c.m.Gen()
+	slot := &c.dc[pc&(dcSize-1)]
+	var in Instr
+	if slot.pc == pc && slot.gen == gen {
+		in = slot.in
+	} else {
+		window, perm, f := c.m.FetchWindow(pc, maxInstrLen)
+		if f != nil {
+			return isa.FaultEvent(pc, f)
+		}
+		var err error
+		in, err = Decode(window)
+		if err != nil {
+			return isa.IllegalEvent(pc)
+		}
+		if perm&mem.PermWrite == 0 {
+			*slot = dcEntry{pc: pc, gen: gen, in: in}
+		}
 	}
 	next := pc + in.Size
 

@@ -1,0 +1,183 @@
+package x86s
+
+import (
+	"testing"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+// movEAX encodes mov eax, imm32 (5 bytes), the probe instruction for the
+// decode-cache tests: its immediate makes stale decodes observable.
+func movEAX(v uint32) []byte {
+	return []byte{0xB8, byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+// stepRetired single-steps and fails the test on any non-retired event.
+func stepRetired(t *testing.T, c *CPU) {
+	t.Helper()
+	if ev := c.Step(); ev.Kind != isa.EventRetired {
+		t.Fatalf("step: %+v", ev)
+	}
+}
+
+// TestDecodeCacheInvalidatedBySetPerm pins the cache-safety contract: after
+// the legitimate patch sequence (SetPerm RW, write, SetPerm RX) the CPU
+// must decode the new bytes, not replay the cached instruction.
+func TestDecodeCacheInvalidatedBySetPerm(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+
+	// Execute twice so the second step runs from the cache.
+	for i := 0; i < 2; i++ {
+		c.SetPC(0x1000)
+		stepRetired(t, c)
+		if got := c.Reg(EAX); got != 1 {
+			t.Fatalf("eax = %d, want 1 (iteration %d)", got, i)
+		}
+	}
+
+	if err := m.SetPerm("text", mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteBytes(0x1000, movEAX(2)); f != nil {
+		t.Fatal(f)
+	}
+	if err := m.SetPerm("text", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(EAX); got != 2 {
+		t.Errorf("eax after patch = %d, want 2 (stale decode cache)", got)
+	}
+}
+
+// TestDecodeCacheInvalidatedByUnmap: a cached instruction must not execute
+// from a segment that has since been unmapped.
+func TestDecodeCacheInvalidatedByUnmap(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+
+	m.Unmap("text")
+	c.SetPC(0x1000)
+	ev := c.Step()
+	if ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultUnmapped {
+		t.Errorf("step after unmap = %+v, want unmapped fault", ev)
+	}
+}
+
+// TestDecodeCacheSkipsWritableSegments: self-modifying code in an RWX
+// mapping must see every write immediately — writable segments are never
+// cached, since their bytes can change without a generation bump.
+func TestDecodeCacheSkipsWritableSegments(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(EAX); got != 1 {
+		t.Fatalf("eax = %d, want 1", got)
+	}
+
+	// Plain store, no SetPerm, no generation bump: the new bytes must
+	// still be decoded.
+	if f := m.WriteBytes(0x1000, movEAX(2)); f != nil {
+		t.Fatal(f)
+	}
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(EAX); got != 2 {
+		t.Errorf("eax after self-modify = %d, want 2 (writable segment was cached)", got)
+	}
+}
+
+// TestDecodeCacheRespectsWX: under W^X an RWX mapping is not executable,
+// and because writable segments are never cached, flipping it to RX later
+// must re-check permissions rather than replay a cached fault-free decode.
+func TestDecodeCacheRespectsWX(t *testing.T) {
+	m := mem.New()
+	m.SetWX(true)
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	ev := c.Step()
+	if ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultProtection {
+		t.Fatalf("exec from RWX under W^X = %+v, want protection fault", ev)
+	}
+
+	if err := m.SetPerm("text", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPC(0x1000)
+	stepRetired(t, c)
+	if got := c.Reg(EAX); got != 1 {
+		t.Errorf("eax = %d, want 1", got)
+	}
+}
+
+// TestStepZeroAllocs asserts the interpreter hot loop allocates nothing
+// per instruction once the decode cache is warm.
+func TestStepZeroAllocs(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsm()
+	a.Label("loop").
+		MovRM(EAX, EBX, 0).
+		AddRI(EAX, 1).
+		MovMR(EBX, 0, EAX).
+		PushR(EAX).
+		PopR(EDX).
+		Jmp("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(EBX, 0x4000)
+	// Warm the decode cache and the segment hints.
+	for i := 0; i < 64; i++ {
+		stepRetired(t, c)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			t.Fatalf("step: %+v", ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f objects per instruction, want 0", allocs)
+	}
+}

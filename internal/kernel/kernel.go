@@ -195,6 +195,62 @@ type Process struct {
 	shells []ShellSpawn
 	rng    *rand.Rand
 	budget uint64
+
+	// guardAddr/canary record the seeded stack-protector guard (guardAddr
+	// 0 when the program declares none), letting a same-seed Recycle
+	// rewrite it without reconstructing the random stream.
+	guardAddr uint32
+	canary    uint32
+}
+
+// Layout is the seed-derived address-space placement a Load(cfg) produces.
+type Layout struct {
+	// ProgSlide is the PIE slide applied to every program section base
+	// (0 without PIE).
+	ProgSlide uint32
+	// LibcBase is the libc link base after any ASLR slide.
+	LibcBase uint32
+	// StackTop is the highest stack address.
+	StackTop uint32
+}
+
+// layoutFor consumes the layout draws from rng in Load's exact order. It is
+// the single source of layout-randomization policy: Load, Recycle's stream
+// replay, and LayoutFor all go through it.
+func layoutFor(arch isa.Arch, cfg Config, rng *rand.Rand) Layout {
+	var l Layout
+	if cfg.PIE {
+		l.ProgSlide = uint32(rng.Intn(0x800)) * Page
+	}
+	l.LibcBase = image.DefaultLibcBase(arch)
+	if cfg.ASLR {
+		entropy := cfg.ASLREntropyPages
+		if entropy <= 0 {
+			entropy = 0x1000
+		}
+		l.LibcBase += uint32(rng.Intn(entropy)) * Page
+	}
+	// Without W⊕X the stack is executable, the historical default the
+	// paper's first experiments rely on (the permission itself is applied
+	// at map time).
+	l.StackTop = 0xBFFF8000
+	if arch == isa.ArchARMS {
+		l.StackTop = 0x7EFF8000
+	}
+	if cfg.ASLR {
+		l.StackTop -= uint32(rng.Intn(0x800)) * 16
+		l.StackTop &^= 15
+	}
+	return l
+}
+
+// LayoutFor predicts the placement Load(cfg) would produce for arch — the
+// libc base, stack top and PIE slide — without linking or mapping anything.
+// Reconnaissance uses it to sample a replica's address constants cheaply;
+// the sample is identical to loading a full replica and reading the same
+// addresses.
+func LayoutFor(arch isa.Arch, cfg Config) Layout {
+	return layoutFor(arch, cfg, rand.New(rand.NewSource(cfg.Seed)))
 }
 
 // Load links the program unit (at its fixed non-PIE layout unless cfg.PIE)
@@ -203,32 +259,23 @@ type Process struct {
 // declares one.
 func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	lay := layoutFor(prog.Arch, cfg, rng)
 
 	// Program link.
 	progLayout := image.DefaultProgramLayout(prog.Arch)
 	if cfg.PIE {
-		slide := uint32(rng.Intn(0x800)) * Page
-		progLayout.TextBase += slide
-		progLayout.RODataBase += slide
-		progLayout.GOTBase += slide
-		progLayout.DataBase += slide
-		progLayout.BSSBase += slide
+		progLayout.TextBase += lay.ProgSlide
+		progLayout.RODataBase += lay.ProgSlide
+		progLayout.GOTBase += lay.ProgSlide
+		progLayout.DataBase += lay.ProgSlide
+		progLayout.BSSBase += lay.ProgSlide
 	}
 	progImg, err := image.Link(prog, progLayout, cfg.LinkOpts)
 	if err != nil {
 		return nil, fmt.Errorf("link program: %w", err)
 	}
 
-	// Libc link at (possibly slid) base.
-	libcBase := image.DefaultLibcBase(prog.Arch)
-	if cfg.ASLR {
-		entropy := cfg.ASLREntropyPages
-		if entropy <= 0 {
-			entropy = 0x1000
-		}
-		libcBase += uint32(rng.Intn(entropy)) * Page
-	}
-	libcImg, err := image.Link(libc, image.LibraryLayout(libcBase), image.Options{})
+	libcImg, err := image.Link(libc, image.LibraryLayout(lay.LibcBase), image.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("link libc: %w", err)
 	}
@@ -255,14 +302,7 @@ func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 
 	// Stack. Without W⊕X the stack is executable, the historical default
 	// the paper's first experiments rely on.
-	stackTop := uint32(0xBFFF8000)
-	if prog.Arch == isa.ArchARMS {
-		stackTop = 0x7EFF8000
-	}
-	if cfg.ASLR {
-		stackTop -= uint32(rng.Intn(0x800)) * 16
-		stackTop &^= 15
-	}
+	stackTop := lay.StackTop
 	perm := mem.PermRWX
 	if cfg.WX {
 		perm = mem.PermRW
@@ -305,6 +345,12 @@ func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 		p.budget = DefaultInstrBudget
 	}
 
+	// Seal the canary-free baseline: everything mapped and linked so far is
+	// what Reset restores when the process is recycled. The canary below is
+	// written through the accessors, so a Reset removes it and Recycle
+	// reseeds it from the new configuration's stream.
+	m.Seal()
+
 	// Canary guard: like glibc, a random value with a zero low byte (the
 	// zero byte terminates accidental string copies; the lab's
 	// length-prefixed overflow is unaffected, which is why canaries must
@@ -314,8 +360,75 @@ func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 		if f := m.WriteU32(guard, v); f != nil {
 			return nil, fmt.Errorf("load: seed canary: %w", f)
 		}
+		p.guardAddr, p.canary = guard, v
 	}
 	return p, nil
+}
+
+// Recycle rewinds the process to a freshly loaded state for cfg without
+// relinking images or remapping segments: memory resets to the sealed
+// post-load baseline, the CPU returns to power-on state, and the random
+// stream a fresh Load(cfg) would have drawn (layout slides, canary) is
+// replayed, so a recycled process is indistinguishable from a new one. It
+// reports false — leaving the process untouched — when cfg could produce a
+// different memory layout than the one mapped: a changed protection axis,
+// diversity link options, or a different seed while ASLR/PIE slides are in
+// play. Callers fall back to a fresh Load on false.
+func (p *Process) Recycle(cfg Config) bool {
+	if !p.m.Sealed() {
+		return false
+	}
+	old := p.cfg
+	if old.WX != cfg.WX || old.ASLR != cfg.ASLR || old.PIE != cfg.PIE ||
+		old.ASLREntropyPages != cfg.ASLREntropyPages {
+		return false
+	}
+	// Diversity relinks the program; a recycled mapping cannot honor it.
+	if old.LinkOpts.Order != nil || old.LinkOpts.Pad != nil ||
+		cfg.LinkOpts.Order != nil || cfg.LinkOpts.Pad != nil {
+		return false
+	}
+	// With ASLR or PIE the slides are seed-derived, so only the exact same
+	// seed reproduces the mapped layout. Without them the layout is fixed
+	// and any seed works (the canary is reseeded below).
+	if cfg.Seed != old.Seed && (cfg.ASLR || cfg.PIE) {
+		return false
+	}
+	if !p.m.Reset() {
+		return false
+	}
+
+	type stateResetter interface{ ResetState() }
+	p.cpu.(stateResetter).ResetState()
+	p.cpu.SetHooks(cfg.Hooks)
+
+	sameSeed := cfg.Seed == old.Seed
+	p.cfg = cfg
+	p.budget = cfg.InstrBudget
+	if p.budget == 0 {
+		p.budget = DefaultInstrBudget
+	}
+	p.stdout.Reset()
+	p.shells = nil
+
+	if !sameSeed {
+		// Replay the layout draws Load(cfg) would have made before the
+		// canary, so the canary comes from the same point of the stream.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		_ = layoutFor(p.arch, cfg, rng)
+		p.rng = rng
+		if p.guardAddr != 0 {
+			p.canary = rng.Uint32()<<8 | 0
+		}
+	}
+	// With the same seed every draw replays to the value Load produced, so
+	// the recorded canary is rewritten as is — no stream reconstruction.
+	if p.guardAddr != 0 {
+		if f := p.m.WriteU32(p.guardAddr, p.canary); f != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Arch returns the process architecture.

@@ -89,17 +89,48 @@ func (p *Process) setupCall(addr uint32, args []uint32) error {
 
 // Run executes until a terminal event: sentinel return, shell spawn, exit,
 // fault, CFI kill, or budget exhaustion.
+//
+// The loop is the interpreter's outermost hot path: unlike StepHandled
+// (kept for the debugger, which wants a RunResult per step), it constructs
+// a RunResult only at terminal events instead of zeroing one per
+// instruction.
 func (p *Process) Run() RunResult {
-	start := p.cpu.InstrCount()
+	cpu := p.cpu
+	start := cpu.InstrCount()
+	if cpu.PC() == Sentinel {
+		return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel}
+	}
 	for {
-		if res, done := p.StepHandled(); done {
-			res.Instructions = p.cpu.InstrCount() - start
-			return res
+		ev := cpu.Step()
+		switch ev.Kind {
+		case isa.EventRetired:
+			if ev.PC == Sentinel {
+				return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
+					Instructions: cpu.InstrCount() - start}
+			}
+		case isa.EventSyscall:
+			if res, done := p.syscall(); done {
+				res.Instructions = cpu.InstrCount() - start
+				return res
+			}
+			if cpu.PC() == Sentinel {
+				return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
+					Instructions: cpu.InstrCount() - start}
+			}
+		case isa.EventFault:
+			return RunResult{Status: StatusFault, Fault: ev.Fault, Illegal: ev.Illegal, PC: ev.PC,
+				Instructions: cpu.InstrCount() - start}
+		case isa.EventCFIViolation:
+			return RunResult{Status: StatusCFI, PC: ev.PC, Reason: ev.Reason,
+				Instructions: cpu.InstrCount() - start}
+		default:
+			return RunResult{Status: StatusFault, PC: ev.PC, Illegal: true,
+				Instructions: cpu.InstrCount() - start}
 		}
-		if p.cpu.InstrCount()-start >= p.budget {
+		if cpu.InstrCount()-start >= p.budget {
 			return RunResult{
-				Status: StatusTimeout, PC: p.cpu.PC(),
-				Instructions: p.cpu.InstrCount() - start,
+				Status: StatusTimeout, PC: cpu.PC(),
+				Instructions: cpu.InstrCount() - start,
 			}
 		}
 	}

@@ -7,10 +7,16 @@
 //
 // The address space is the substrate every other component builds on: the
 // loader maps program images into it, the CPU emulators fetch and execute
-// from it, and the vulnerable victim code corrupts it.
+// from it, and the vulnerable victim code corrupts it. Because the CPU
+// interpreters perform several accesses per emulated instruction, the
+// accessors are engineered as hot paths: the last-hit segment is memoized
+// per access kind (stack, data and text accesses each keep their own
+// streak), every width-typed load/store bounds-checks exactly once, and the
+// non-fault path performs no allocation.
 package mem
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 )
@@ -118,11 +124,21 @@ func (f *Fault) Error() string {
 }
 
 // Segment is a contiguous, permissioned region of the address space.
+//
+// Data is exported for loaders and tests that populate a segment in place
+// before execution starts. Mutating Data directly at runtime bypasses both
+// the dirty-range tracking Reset relies on and the Gen counter decode
+// caches key their validity to; runtime stores must go through the Memory
+// accessors.
 type Segment struct {
 	Name string
 	Base uint32
 	Perm Perm
 	Data []byte
+
+	// dirtyLo/dirtyHi is the half-open byte range written through the
+	// Memory accessors since the last Seal/Reset (lo > hi means clean).
+	dirtyLo, dirtyHi uint32
 }
 
 // Size returns the segment length in bytes.
@@ -136,18 +152,74 @@ func (s *Segment) Contains(addr uint32) bool {
 	return addr >= s.Base && addr < s.End()
 }
 
+// Populate copies b into the segment at off, bypassing permissions (it is
+// the loader's channel for filling text and read-only data) but recording
+// the write in the dirty tracking, so a later Seal knows the segment is no
+// longer the zero-fill Map produced. It must not be used once execution
+// has started: it does not bump the memory generation.
+func (s *Segment) Populate(off uint32, b []byte) {
+	copy(s.Data[off:], b)
+	if len(b) > 0 {
+		s.markDirty(off, uint32(len(b)))
+	}
+}
+
+// markDirty widens the dirty watermarks to cover [off, off+n).
+func (s *Segment) markDirty(off, n uint32) {
+	if off < s.dirtyLo {
+		s.dirtyLo = off
+	}
+	if off+n > s.dirtyHi {
+		s.dirtyHi = off + n
+	}
+}
+
+// clean resets the dirty watermarks to the empty range.
+func (s *Segment) clean() {
+	s.dirtyLo = s.Size()
+	s.dirtyHi = 0
+}
+
+// sealedSeg is one segment's baseline for Reset. data is nil when the
+// segment was all-zero at Seal time (the common stack/heap case), letting
+// Reset clear instead of copy.
+type sealedSeg struct {
+	seg  *Segment
+	perm Perm
+	data []byte
+}
+
 // Memory is a simulated 32-bit address space composed of non-overlapping
 // segments. The zero value is an empty address space with W⊕X disabled.
 //
 // Memory is not safe for concurrent use; each simulated process owns its
-// own Memory.
+// own Memory. (Even read-only lookups update the internal segment
+// memoization.)
 type Memory struct {
 	segs []*Segment // sorted by Base
 	wx   bool
+
+	// hint[a] is the index of the segment last hit by access kind a.
+	// Stack, data and instruction streams each ride their own streak, so
+	// the binary search in seg only runs when a streak breaks. Stale
+	// values are self-validating: the index is bounds-checked and the
+	// segment Contains-checked before use.
+	hint [4]int
+
+	// gen counts layout/permission generations: Map, Unmap, SetPerm and
+	// Reset bump it. Decoded-instruction caches key their validity to it —
+	// while gen is unchanged, the bytes of a non-writable segment cannot
+	// change (W⊕X aside, a write needs PermWrite, and changing permissions
+	// bumps gen). It starts at 1 so a zero-valued cache entry never
+	// validates.
+	gen uint64
+
+	// sealed is the Reset baseline captured by Seal, nil before sealing.
+	sealed []sealedSeg
 }
 
 // New returns an empty address space.
-func New() *Memory { return &Memory{} }
+func New() *Memory { return &Memory{gen: 1} }
 
 // SetWX enables or disables the W⊕X policy. With W⊕X on, Fetch from a
 // writable segment faults even if the segment claims PermExec; this mirrors
@@ -156,6 +228,11 @@ func (m *Memory) SetWX(on bool) { m.wx = on }
 
 // WX reports whether the W⊕X policy is enabled.
 func (m *Memory) WX() bool { return m.wx }
+
+// Gen returns the current layout/permission generation. Decode caches
+// (see isa/x86s) compare it to decide whether previously decoded
+// instruction bytes can still be trusted.
+func (m *Memory) Gen() uint64 { return m.gen }
 
 // Map creates a segment. It fails if the range overlaps an existing segment
 // or wraps the 32-bit address space.
@@ -173,8 +250,10 @@ func (m *Memory) Map(name string, base, size uint32, perm Perm) (*Segment, error
 		}
 	}
 	seg := &Segment{Name: name, Base: base, Perm: perm, Data: make([]byte, size)}
+	seg.clean()
 	m.segs = append(m.segs, seg)
 	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
+	m.gen++
 	return seg, nil
 }
 
@@ -184,6 +263,7 @@ func (m *Memory) Unmap(name string) {
 	for i, s := range m.segs {
 		if s.Name == name {
 			m.segs = append(m.segs[:i], m.segs[i+1:]...)
+			m.gen++
 			return
 		}
 	}
@@ -207,9 +287,17 @@ func (m *Memory) Segment(name string) *Segment {
 	return nil
 }
 
-// Find returns the segment containing addr, or nil.
-func (m *Memory) Find(addr uint32) *Segment {
-	// Binary search over sorted bases.
+// seg returns the segment containing addr for an access of the given kind,
+// or nil. The per-kind memo recycles the binary search across the long
+// same-segment streaks CPU emulation produces (consecutive stack pushes,
+// straight-line fetches); a stale hint is harmless because whatever
+// segment passes the Contains check is by construction the right one.
+func (m *Memory) seg(addr uint32, access Access) *Segment {
+	if h := m.hint[access]; h < len(m.segs) {
+		if s := m.segs[h]; s.Contains(addr) {
+			return s
+		}
+	}
 	lo, hi := 0, len(m.segs)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -220,9 +308,15 @@ func (m *Memory) Find(addr uint32) *Segment {
 		}
 	}
 	if lo < len(m.segs) && m.segs[lo].Contains(addr) {
+		m.hint[access] = lo
 		return m.segs[lo]
 	}
 	return nil
+}
+
+// Find returns the segment containing addr, or nil.
+func (m *Memory) Find(addr uint32) *Segment {
+	return m.seg(addr, AccessRead)
 }
 
 // SetPerm changes the permissions of the named segment.
@@ -232,6 +326,7 @@ func (m *Memory) SetPerm(name string, perm Perm) error {
 		return fmt.Errorf("setperm: no segment %q", name)
 	}
 	s.Perm = perm
+	m.gen++
 	return nil
 }
 
@@ -244,15 +339,19 @@ func (m *Memory) fault(kind FaultKind, access Access, addr uint32) *Fault {
 }
 
 // check locates the segment for a [addr, addr+n) access and validates
-// permissions. Accesses may not span segments: real exploits in this lab
-// never need to, and spanning would hide layout bugs.
+// permissions, bounds-checking exactly once for the whole width. Accesses
+// may not span segments: real exploits in this lab never need to, and
+// spanning would hide layout bugs. The bounds comparison is written
+// overflow-safe: off+n can wrap uint32 for accesses near the top of a
+// segment with a huge (attacker-controlled) length, which must fault, not
+// pass.
 func (m *Memory) check(addr, n uint32, access Access) (*Segment, uint32, *Fault) {
-	s := m.Find(addr)
+	s := m.seg(addr, access)
 	if s == nil {
 		return nil, 0, m.fault(FaultUnmapped, access, addr)
 	}
 	off := addr - s.Base
-	if off+n > s.Size() {
+	if n > s.Size()-off { // off < Size via Contains; never underflows
 		return nil, 0, m.fault(FaultUnmapped, access, s.End())
 	}
 	switch access {
@@ -300,11 +399,12 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) *Fault {
 		return f
 	}
 	copy(s.Data[off:], b)
+	s.markDirty(off, uint32(len(b)))
 	return nil
 }
 
-// ReadU8 loads one byte.
-func (m *Memory) ReadU8(addr uint32) (uint8, *Fault) {
+// Load8 loads one byte, bounds-checking once.
+func (m *Memory) Load8(addr uint32) (uint8, *Fault) {
 	s, off, f := m.check(addr, 1, AccessRead)
 	if f != nil {
 		return 0, f
@@ -312,101 +412,234 @@ func (m *Memory) ReadU8(addr uint32) (uint8, *Fault) {
 	return s.Data[off], nil
 }
 
-// WriteU8 stores one byte.
-func (m *Memory) WriteU8(addr uint32, v uint8) *Fault {
+// Store8 stores one byte, bounds-checking once.
+func (m *Memory) Store8(addr uint32, v uint8) *Fault {
 	s, off, f := m.check(addr, 1, AccessWrite)
 	if f != nil {
 		return f
 	}
 	s.Data[off] = v
+	s.markDirty(off, 1)
 	return nil
 }
 
-// ReadU16 loads a little-endian 16-bit value.
-func (m *Memory) ReadU16(addr uint32) (uint16, *Fault) {
+// Load16 loads a little-endian 16-bit value, bounds-checking once for both
+// bytes.
+func (m *Memory) Load16(addr uint32) (uint16, *Fault) {
 	s, off, f := m.check(addr, 2, AccessRead)
 	if f != nil {
 		return 0, f
 	}
-	return uint16(s.Data[off]) | uint16(s.Data[off+1])<<8, nil
+	d := s.Data[off : off+2 : off+2]
+	return uint16(d[0]) | uint16(d[1])<<8, nil
 }
 
-// WriteU16 stores a little-endian 16-bit value.
-func (m *Memory) WriteU16(addr uint32, v uint16) *Fault {
+// Store16 stores a little-endian 16-bit value, bounds-checking once.
+func (m *Memory) Store16(addr uint32, v uint16) *Fault {
 	s, off, f := m.check(addr, 2, AccessWrite)
 	if f != nil {
 		return f
 	}
-	s.Data[off] = byte(v)
-	s.Data[off+1] = byte(v >> 8)
+	d := s.Data[off : off+2 : off+2]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	s.markDirty(off, 2)
 	return nil
 }
 
-// ReadU32 loads a little-endian 32-bit value.
-func (m *Memory) ReadU32(addr uint32) (uint32, *Fault) {
+// Load32 loads a little-endian 32-bit value, bounds-checking once for all
+// four bytes — the interpreter's hottest accessor (stack pops, pointer
+// loads).
+func (m *Memory) Load32(addr uint32) (uint32, *Fault) {
 	s, off, f := m.check(addr, 4, AccessRead)
 	if f != nil {
 		return 0, f
 	}
-	d := s.Data[off : off+4]
+	d := s.Data[off : off+4 : off+4]
 	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, nil
 }
 
-// WriteU32 stores a little-endian 32-bit value.
-func (m *Memory) WriteU32(addr uint32, v uint32) *Fault {
+// Store32 stores a little-endian 32-bit value, bounds-checking once.
+func (m *Memory) Store32(addr uint32, v uint32) *Fault {
 	s, off, f := m.check(addr, 4, AccessWrite)
 	if f != nil {
 		return f
 	}
-	s.Data[off] = byte(v)
-	s.Data[off+1] = byte(v >> 8)
-	s.Data[off+2] = byte(v >> 16)
-	s.Data[off+3] = byte(v >> 24)
+	d := s.Data[off : off+4 : off+4]
+	d[0] = byte(v)
+	d[1] = byte(v >> 8)
+	d[2] = byte(v >> 16)
+	d[3] = byte(v >> 24)
+	s.markDirty(off, 4)
 	return nil
 }
+
+// ReadU8 loads one byte.
+func (m *Memory) ReadU8(addr uint32) (uint8, *Fault) { return m.Load8(addr) }
+
+// WriteU8 stores one byte.
+func (m *Memory) WriteU8(addr uint32, v uint8) *Fault { return m.Store8(addr, v) }
+
+// ReadU16 loads a little-endian 16-bit value.
+func (m *Memory) ReadU16(addr uint32) (uint16, *Fault) { return m.Load16(addr) }
+
+// WriteU16 stores a little-endian 16-bit value.
+func (m *Memory) WriteU16(addr uint32, v uint16) *Fault { return m.Store16(addr, v) }
+
+// ReadU32 loads a little-endian 32-bit value.
+func (m *Memory) ReadU32(addr uint32) (uint32, *Fault) { return m.Load32(addr) }
+
+// WriteU32 stores a little-endian 32-bit value.
+func (m *Memory) WriteU32(addr uint32, v uint32) *Fault { return m.Store32(addr, v) }
 
 // Fetch reads up to n instruction bytes at addr, enforcing execute
 // permission and the W⊕X policy. Fewer than n bytes may be returned when
 // the segment ends before addr+n; callers decode what they receive.
+//
+// The returned slice aliases the segment's storage (no copy): callers must
+// only read it and must not retain it across stores. Both CPU decoders
+// consume the window immediately.
 func (m *Memory) Fetch(addr, n uint32) ([]byte, *Fault) {
+	w, _, f := m.FetchWindow(addr, n)
+	return w, f
+}
+
+// FetchWindow is Fetch plus the containing segment's permissions, which
+// decode caches use to decide whether the returned bytes are immutable
+// while Gen() is unchanged (they are exactly when the segment is not
+// writable).
+func (m *Memory) FetchWindow(addr, n uint32) ([]byte, Perm, *Fault) {
 	s, off, f := m.check(addr, 1, AccessExec)
 	if f != nil {
-		return nil, f
+		return nil, 0, f
 	}
 	end := off + n
-	if end > s.Size() {
+	if end > s.Size() || end < off {
 		end = s.Size()
 	}
-	out := make([]byte, end-off)
-	copy(out, s.Data[off:end])
-	return out, nil
+	return s.Data[off:end:end], s.Perm, nil
+}
+
+// Fetch32 is the fixed-width fetch fast path for 4-byte-instruction ISAs
+// (arms): one combined segment/bounds/permission check, no allocation.
+// short=true (with no fault) means the segment ended within the
+// instruction word, which callers report as an illegal instruction — the
+// same outcome a truncated Fetch window produces. perm is the containing
+// segment's permissions, for decode caches (see FetchWindow).
+func (m *Memory) Fetch32(addr uint32) (word uint32, perm Perm, short bool, f *Fault) {
+	s, off, f := m.check(addr, 1, AccessExec)
+	if f != nil {
+		return 0, 0, false, f
+	}
+	if s.Size()-off < 4 {
+		return 0, s.Perm, true, nil
+	}
+	d := s.Data[off : off+4 : off+4]
+	return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24, s.Perm, false, nil
 }
 
 // ReadCString reads a NUL-terminated string starting at addr, up to max
-// bytes (not counting the terminator).
+// bytes (not counting the terminator). It scans segment-at-a-time rather
+// than bounds-checking per byte, and like the byte-wise loop it replaces it
+// follows contiguous segments.
 func (m *Memory) ReadCString(addr, max uint32) (string, *Fault) {
 	var out []byte
-	for i := uint32(0); i < max; i++ {
-		b, f := m.ReadU8(addr + i)
+	for max > 0 {
+		s, off, f := m.check(addr, 1, AccessRead)
 		if f != nil {
 			return "", f
 		}
-		if b == 0 {
-			break
+		n := s.Size() - off
+		if n > max {
+			n = max
 		}
-		out = append(out, b)
+		chunk := s.Data[off : off+n]
+		if i := bytes.IndexByte(chunk, 0); i >= 0 {
+			if out == nil {
+				return string(chunk[:i]), nil
+			}
+			return string(append(out, chunk[:i]...)), nil
+		}
+		out = append(out, chunk...)
+		addr += n
+		max -= n
 	}
 	return string(out), nil
 }
 
+// Seal captures the current contents and permissions of every segment as
+// the baseline Reset restores. The kernel seals an address space at the
+// end of a load; campaign fleets and recon probe loops then recycle the
+// space with Reset instead of linking and mapping a fresh one.
+// Seal relies on the dirty tracking to spot still-zero segments: a segment
+// no accessor or Populate call has touched since Map holds exactly the
+// zero fill Map gave it, so the megabyte stack and heap are sealed without
+// being scanned or copied.
+func (m *Memory) Seal() {
+	m.sealed = make([]sealedSeg, len(m.segs))
+	for i, s := range m.segs {
+		ss := sealedSeg{seg: s, perm: s.Perm}
+		if s.dirtyHi > s.dirtyLo {
+			ss.data = make([]byte, len(s.Data))
+			copy(ss.data, s.Data)
+		}
+		m.sealed[i] = ss
+		s.clean()
+	}
+}
+
+// Sealed reports whether Seal has captured a baseline.
+func (m *Memory) Sealed() bool { return m.sealed != nil }
+
+// Reset restores the address space to the sealed baseline: every
+// accessor-written byte range is restored (or re-zeroed, for segments that
+// were all-zero at Seal time — the stack/heap fast path, which avoids
+// re-clearing a megabyte of stack that a trial only scribbled a few
+// kilobytes of), and sealed permissions return. It reports false — leaving
+// the space untouched — if Seal was never called or the segment set has
+// changed since (a mapped or unmapped segment cannot be reconciled).
+//
+// Reset bumps Gen: decode caches revalidate, and stale hints are
+// harmless by construction. Writes that bypassed the accessors (direct
+// Segment.Data stores) are invisible to the dirty tracking and survive a
+// Reset; runtime code must not do that (see Segment).
+func (m *Memory) Reset() bool {
+	if m.sealed == nil || len(m.sealed) != len(m.segs) {
+		return false
+	}
+	for i, ss := range m.sealed {
+		if m.segs[i] != ss.seg {
+			return false
+		}
+	}
+	for _, ss := range m.sealed {
+		s := ss.seg
+		s.Perm = ss.perm
+		if s.dirtyHi > s.dirtyLo {
+			dst := s.Data[s.dirtyLo:s.dirtyHi]
+			if ss.data == nil {
+				clear(dst)
+			} else {
+				copy(dst, ss.data[s.dirtyLo:s.dirtyHi])
+			}
+		}
+		s.clean()
+	}
+	m.gen++
+	return true
+}
+
 // Clone returns a deep copy of the address space, used for snapshot/restore
-// style debugging and for diversity experiments that perturb one copy.
+// style debugging and for diversity experiments that perturb one copy. The
+// clone starts unsealed and with a fresh generation.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{wx: m.wx, segs: make([]*Segment, len(m.segs))}
+	c := &Memory{wx: m.wx, gen: 1, segs: make([]*Segment, len(m.segs))}
 	for i, s := range m.segs {
 		d := make([]byte, len(s.Data))
 		copy(d, s.Data)
-		c.segs[i] = &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d}
+		cs := &Segment{Name: s.Name, Base: s.Base, Perm: s.Perm, Data: d}
+		cs.clean()
+		c.segs[i] = cs
 	}
 	return c
 }

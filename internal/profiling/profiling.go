@@ -1,0 +1,51 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the CLI
+// tools to runtime/pprof. The profiles feed the hot-path work recorded in
+// the README's Performance section:
+//
+//	go run ./cmd/campaign -preset fleet -devices 32 -cpuprofile cpu.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either may be empty to skip that profile. The returned stop
+// function finishes both and must be called exactly once (defer it).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

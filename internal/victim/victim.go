@@ -289,6 +289,22 @@ func (d *Daemon) HandleResponse(pkt []byte) (kernel.RunResult, error) {
 // Shells reports shells spawned inside the daemon process.
 func (d *Daemon) Shells() []kernel.ShellSpawn { return d.proc.Shells() }
 
+// Recycle rewinds the daemon to a freshly started state for cfg without
+// rebuilding or reloading, via kernel.Process.Recycle. It reports false
+// when the existing process cannot reproduce a fresh Load(cfg) (layout
+// config changed, or a new seed while ASLR/PIE is on); callers then build
+// a new daemon instead.
+func (d *Daemon) Recycle(cfg kernel.Config) bool {
+	if !d.proc.Recycle(cfg) {
+		return false
+	}
+	d.cfg = cfg
+	d.crashed = false
+	d.last = kernel.RunResult{}
+	d.handled = 0
+	return true
+}
+
 // Restart replaces the dead process with a fresh load (same config; a new
 // ASLR sample), as an init system respawning the daemon would.
 func (d *Daemon) Restart() error {

@@ -1,0 +1,52 @@
+#!/bin/sh
+# Micro-benchmark harness: runs the root-package benchmarks (Step loops,
+# Recon, gadget scan, campaign fleet) and records ns/op and allocs/op per
+# benchmark in BENCH_2.json, the machine-readable companion to the
+# Performance table in EXPERIMENTS.md.
+#
+# Each benchmark runs in its own process: the heavyweight campaign
+# benchmarks otherwise leave enough heap behind to inflate GC-sensitive
+# neighbors like Recon by 30%+.
+#
+#   BENCHTIME=5s OUT=/tmp/bench.json sh scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_2.json}"
+TMP="$(mktemp)"
+BIN="$(mktemp)"
+trap 'rm -f "$TMP" "$BIN"' EXIT
+
+go test -c -o "$BIN" .
+
+for name in $("$BIN" -test.list 'Benchmark.*'); do
+    "$BIN" -test.run '^$' -test.bench "^${name}\$" -test.benchmem \
+        -test.benchtime "$BENCHTIME" | tee -a "$TMP"
+done
+
+# Token-scan each result line rather than relying on column positions:
+# benchmarks that ReportMetric extra values (e.g. instrs/op) have more
+# fields than the plain ns/op + allocs/op shape.
+awk '
+/^Benchmark/ {
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (!($1 in seen)) order[n++] = $1
+    seen[$1] = "{\"ns_per_op\": " ns ", \"allocs_per_op\": " \
+        (allocs == "" ? "null" : allocs) "}"
+}
+END {
+    printf "{\n"
+    for (i = 0; i < n; i++)
+        printf "  \"%s\": %s%s\n", order[i], seen[order[i]], (i < n - 1 ? "," : "")
+    printf "}\n"
+}
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"

@@ -10,3 +10,6 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/campaign/... ./internal/core/...
+# One iteration of every micro-benchmark: catches benchmarks that no
+# longer compile or fail at runtime without paying for a timed run.
+go test -run '^$' -bench . -benchtime 1x .

@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench
+.PHONY: check fmt vet build test race fuzz bench
 
-check: vet build test race
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on: $$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -26,11 +30,14 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzDecodeMessage -fuzztime $(FUZZTIME) ./internal/dns/
 	$(GO) test -fuzz FuzzSkipName -fuzztime $(FUZZTIME) ./internal/dns/
+	$(GO) test -fuzz FuzzEncodeDecodeRoundTrip -fuzztime $(FUZZTIME) ./internal/dns/
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/x86s/
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/arms/
 	$(GO) test -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/gadget/
 
 # Full benchmark run; writes ns/op and allocs/op per benchmark to
-# BENCH_2.json (see scripts/bench.sh for BENCHTIME/OUT overrides).
+# BENCH_3.json, then compares against the most recent earlier
+# BENCH_*.json and fails on a >10% ns/op regression (see scripts/bench.sh
+# for BENCHTIME/OUT/BASE/COMPARE overrides).
 bench:
 	sh scripts/bench.sh

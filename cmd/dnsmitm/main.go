@@ -72,7 +72,7 @@ func run() error {
 	if _, err := dnsserver.RunProxy(deviceHost, daemon); err != nil {
 		return err
 	}
-	mitm, err := dnsserver.RunMITM(attackerHost, ex.Response)
+	mitm, err := dnsserver.RunMITMWire(attackerHost, ex.AppendResponse)
 	if err != nil {
 		return err
 	}

@@ -105,6 +105,10 @@ type Engine struct {
 	// payloads caches built exploits per configuration and kind,
 	// including construction failures (OutcomeBuildFail is a verdict).
 	payloads *Cache[payloadKey, *exploit.Exploit]
+	// packets caches the encoded attack response per payload: the lab's
+	// synthetic query is a constant, so the crafted wire bytes are too —
+	// one splice serves every device of a configuration.
+	packets *Cache[payloadKey, []byte]
 	// units and libcs cache the victim-side program units that every
 	// device load links from.
 	units *Cache[unitKey, *image.Unit]
@@ -168,6 +172,7 @@ func New(cfg Config) *Engine {
 		cfg:         cfg,
 		recons:      NewCache[reconKey, *exploit.Target](),
 		payloads:    NewCache[payloadKey, *exploit.Exploit](),
+		packets:     NewCache[payloadKey, []byte](),
 		units:       NewCache[unitKey, *image.Unit](),
 		libcs:       NewCache[isa.Arch, *image.Unit](),
 		linkOptions: NewCache[linkKey, image.Options](),
@@ -216,6 +221,28 @@ func (e *Engine) payload(s Scenario, tgt *exploit.Target) (*exploit.Exploit, err
 	return e.payloads.Get(k, func() (*exploit.Exploit, error) {
 		defer e.timeStage(&e.nsPayload)()
 		return exploit.Build(tgt, s.Kind)
+	})
+}
+
+// attackQueryWire is the encoded form of the lab's synthetic lookup — the
+// query every direct-delivery trial pretends the victim forwarded
+// upstream. It is a compile-time constant of the lab, built once.
+var attackQueryWire = func() []byte {
+	b, err := dns.NewQuery(0x1337, "time.iot-vendor.example", dns.TypeA).Encode()
+	if err != nil {
+		panic(fmt.Sprintf("campaign: attack query: %v", err))
+	}
+	return b
+}()
+
+// attackPacket returns the cached crafted response for a scenario's
+// payload. The query is fixed, so the packet is a pure function of the
+// exploit; victims copy it into their own heap, so one buffer is safe to
+// share across devices and workers.
+func (e *Engine) attackPacket(s Scenario, ex *exploit.Exploit) ([]byte, error) {
+	k := payloadKey{recon: e.reconKeyFor(s), kind: s.Kind}
+	return e.packets.Get(k, func() ([]byte, error) {
+		return ex.AppendResponse(nil, attackQueryWire)
 	})
 }
 
@@ -409,6 +436,31 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 	return rep, nil
 }
 
+// RunOne executes a single trial of a scenario through the engine's
+// caches — the single-cell counterpart of Run for callers (like the core
+// lab) that fire attacks one at a time but want recon, payloads, program
+// units and crafted packets shared across calls. The device is addressed
+// as (scenario 0, device 0), so a pinned TargetSeed is used verbatim.
+func (e *Engine) RunOne(s Scenario) DeviceResult {
+	return e.runDevice(s, 0, 0)
+}
+
+// Recon exposes the cached attacker-side reconnaissance for a scenario's
+// configuration (the Kind field is irrelevant to recon and may be zero).
+func (e *Engine) Recon(s Scenario) (*exploit.Target, error) {
+	return e.recon(s)
+}
+
+// Payload exposes the cached exploit for a scenario. The returned exploit
+// is shared and read-only.
+func (e *Engine) Payload(s Scenario) (*exploit.Exploit, error) {
+	tgt, err := e.recon(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.payload(s, tgt)
+}
+
 // runDevice executes one trial: cached recon, cached payload, a fresh (or
 // recycled, which is indistinguishable) victim, delivery, classification.
 func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
@@ -470,7 +522,7 @@ func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
 		return r
 	}
 
-	pkt, err := ex.Response(dns.NewQuery(0x1337, "time.iot-vendor.example", dns.TypeA))
+	pkt, err := e.attackPacket(s, ex)
 	if err != nil {
 		r.Outcome = OutcomeError
 		r.Err = err.Error()

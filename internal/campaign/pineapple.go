@@ -50,7 +50,7 @@ func pineappleDeliver(d *victim.Daemon, ex *exploit.Exploit) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	mitm, err := dnsserver.RunMITM(pineHost, ex.Response)
+	mitm, err := dnsserver.RunMITMWire(pineHost, ex.AppendResponse)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"connlab/internal/campaign"
@@ -77,6 +78,14 @@ type Lab struct {
 	Workers int
 
 	reconBuild *victim.BuildOpts
+
+	// eng is the lab's persistent campaign engine: recon, payloads,
+	// program units and crafted packets cached across RunAttack /
+	// AutoExploit / RunMatrix calls. Recreated when the seeds or worker
+	// count change (engCfg remembers what it was built with); the victim
+	// build is part of every cache key, so Build changes need no reset.
+	eng    *campaign.Engine
+	engCfg campaign.Config
 }
 
 // NewLab returns a lab with the default seeds.
@@ -101,13 +110,29 @@ func (l *Lab) targetConfig(arch isa.Arch, p Protection) (kernel.Config, victim.B
 	return campaign.TargetSetup(arch, p, l.Build, l.TargetSeed)
 }
 
-// engine returns a fresh campaign engine wired to the lab's seeds.
+// engine returns the lab's persistent campaign engine, wired to the
+// current seeds and worker count.
 func (l *Lab) engine() *campaign.Engine {
-	return campaign.New(campaign.Config{
+	cfg := campaign.Config{
 		Workers:   l.Workers,
 		RootSeed:  l.TargetSeed,
 		ReconSeed: l.ReconSeed,
-	})
+	}
+	if l.eng == nil || l.engCfg != cfg {
+		l.eng = campaign.New(cfg)
+		l.engCfg = cfg
+	}
+	return l.eng
+}
+
+// scenario renders one lab attack cell as a single-device campaign
+// scenario.
+func (l *Lab) scenario(arch isa.Arch, kind exploit.Kind, p Protection) campaign.Scenario {
+	return campaign.Scenario{
+		Arch: arch, Kind: kind, Protection: p,
+		Build: l.Build, ReconBuild: l.reconBuild,
+		TargetSeed: l.TargetSeed,
+	}
 }
 
 // newTargetDaemon loads a victim daemon under a protection level.
@@ -129,36 +154,23 @@ func (l *Lab) newTargetDaemon(arch isa.Arch, p Protection) (*victim.Daemon, erro
 // Recon performs the attacker-side reconnaissance for an architecture,
 // assuming the target's W⊕X/ASLR posture (the attacker replicates the
 // environment; CFI/diversity are invisible to recon, which is the point
-// of measuring them).
+// of measuring them). Recon is cached in the lab's engine: one build per
+// (arch, posture, firmware) configuration, however many attacks reuse it.
 func (l *Lab) Recon(arch isa.Arch, p Protection) (*exploit.Target, error) {
-	replicaCfg := kernel.Config{WX: p.WX, ASLR: p.ASLR, Seed: l.ReconSeed}
-	return exploit.Recon(arch, l.reconOpts(), replicaCfg)
+	return l.engine().Recon(l.scenario(arch, "", p))
 }
 
 // RunAttack recons, builds one exploit kind, and fires it at a fresh
-// victim under the protection level.
+// victim under the protection level. All attacker-side artifacts come
+// from the lab engine's caches, so repeated attacks on one configuration
+// pay for recon, payload construction and packet assembly once.
 func (l *Lab) RunAttack(arch isa.Arch, kind exploit.Kind, p Protection) (AttackResult, error) {
 	out := AttackResult{Arch: arch, Kind: kind, Protection: p}
-	tgt, err := l.Recon(arch, p)
-	if err != nil {
-		return out, fmt.Errorf("recon %s: %w", arch, err)
+	d := l.engine().RunOne(l.scenario(arch, kind, p))
+	if d.Err != "" {
+		return out, errors.New(d.Err)
 	}
-	ex, err := exploit.Build(tgt, kind)
-	if err != nil {
-		out.Outcome = OutcomeBuildFail
-		out.Detail = err.Error()
-		return out, nil
-	}
-	d, err := l.newTargetDaemon(arch, p)
-	if err != nil {
-		return out, err
-	}
-	res, err := FireAt(d, ex)
-	if err != nil {
-		return out, err
-	}
-	out.Run = res
-	out.Outcome, out.Detail = Classify(res)
+	out.Outcome, out.Detail, out.Run = d.Outcome, d.Detail, d.Run
 	return out, nil
 }
 
@@ -231,11 +243,10 @@ func (l *Lab) AutoExploit(arch isa.Arch, p Protection) (*exploit.Exploit, Attack
 	if err != nil {
 		return nil, res, err
 	}
-	tgt, err := l.Recon(arch, p)
-	if err != nil {
-		return nil, res, err
-	}
-	ex, err := exploit.Build(tgt, kind)
+	// The verification run above already built (or failed to build) this
+	// exact payload; hand back the cached artifact rather than redoing
+	// recon and construction. Exploits are read-only once built.
+	ex, err := l.engine().Payload(l.scenario(arch, kind, p))
 	if err != nil {
 		return nil, res, err
 	}

@@ -147,7 +147,7 @@ func (l *Lab) RunPineapple(cfg PineappleConfig) (*PineappleReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	mitm, err := dnsserver.RunMITM(pineHost, ex.Response)
+	mitm, err := dnsserver.RunMITMWire(pineHost, ex.AppendResponse)
 	if err != nil {
 		return nil, err
 	}

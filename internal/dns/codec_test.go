@@ -1,0 +1,349 @@
+package dns
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refEncode is the original map-based encoder, kept as the reference the
+// append-style codec must match byte for byte: the compression
+// dictionary maps each lowercased dotted suffix to its first occurrence.
+func refEncode(m *Message) ([]byte, error) {
+	if len(m.Questions) > maxSectionCount || len(m.Answers) > maxSectionCount ||
+		len(m.Authority) > maxSectionCount || len(m.Additional) > maxSectionCount {
+		return nil, ErrBadFormat
+	}
+	var buf []byte
+	offsets := make(map[string]int)
+	u16 := func(v uint16) { buf = append(buf, byte(v>>8), byte(v)) }
+	name := func(n string) error {
+		labels, err := SplitName(n)
+		if err != nil {
+			return err
+		}
+		for i := range labels {
+			suffix := strings.ToLower(strings.Join(labels[i:], "."))
+			if off, ok := offsets[suffix]; ok && off < 0x4000 {
+				u16(0xC000 | uint16(off))
+				return nil
+			}
+			if len(buf) < 0x4000 {
+				offsets[suffix] = len(buf)
+			}
+			buf = append(buf, byte(len(labels[i])))
+			buf = append(buf, labels[i]...)
+		}
+		buf = append(buf, 0)
+		return nil
+	}
+	u16(m.ID)
+	u16(m.flagWord())
+	u16(uint16(len(m.Questions)))
+	u16(uint16(len(m.Answers)))
+	u16(uint16(len(m.Authority)))
+	u16(uint16(len(m.Additional)))
+	for _, q := range m.Questions {
+		if err := name(q.Name); err != nil {
+			return nil, err
+		}
+		u16(uint16(q.Type))
+		u16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, r := range sec {
+			if r.RawName != nil {
+				buf = append(buf, r.RawName...)
+			} else if err := name(r.Name); err != nil {
+				return nil, err
+			}
+			u16(uint16(r.Type))
+			u16(uint16(r.Class))
+			buf = append(buf, byte(r.TTL>>24), byte(r.TTL>>16), byte(r.TTL>>8), byte(r.TTL))
+			u16(uint16(len(r.Data)))
+			buf = append(buf, r.Data...)
+		}
+	}
+	return buf, nil
+}
+
+func codecCorpus(t testing.TB) []*Message {
+	t.Helper()
+	var msgs []*Message
+
+	q := NewQuery(0x1337, "time.iot-vendor.example", TypeA)
+	msgs = append(msgs, q)
+
+	r := NewResponse(q)
+	r.Answers = []RR{
+		A("time.iot-vendor.example", 300, [4]byte{93, 184, 216, 34}),
+		A("time.iot-vendor.example", 300, [4]byte{10, 0, 0, 1}),
+	}
+	msgs = append(msgs, r)
+
+	// Shared-suffix compression across distinct names, mixed case (the
+	// dictionary is case-insensitive but the wire preserves case).
+	mixed := NewQuery(2, "A.Example.COM", TypeA)
+	mr := NewResponse(mixed)
+	mr.Answers = []RR{
+		A("b.a.eXample.com", 60, [4]byte{1, 2, 3, 4}),
+		A("c.b.a.example.COM", 60, [4]byte{5, 6, 7, 8}),
+		A("example.com", 60, [4]byte{9, 9, 9, 9}),
+	}
+	mr.Authority = []RR{{Name: "EXAMPLE.com", Type: TypeNS, Class: ClassIN, TTL: 1, Data: []byte{0}}}
+	mr.Additional = []RR{{Name: "a.example.com.", Type: TypeTXT, Class: ClassIN, TTL: 1, Data: []byte("t")}}
+	msgs = append(msgs, mr)
+
+	// Root name, trailing dots, RawName bypass.
+	root := &Message{ID: 9, Questions: []Question{{Name: "", Type: TypeA, Class: ClassIN}}}
+	root.Answers = []RR{{Name: ".", Type: TypeA, Class: ClassIN, TTL: 5, Data: []byte{1, 1, 1, 1}}}
+	msgs = append(msgs, root)
+
+	raw := NewResponse(q)
+	rawName := bytes.Repeat(append([]byte{63}, bytes.Repeat([]byte{'x'}, 63)...), 5)
+	rawName = append(rawName, 0)
+	raw.Answers = []RR{{RawName: rawName, Type: TypeA, Class: ClassIN, TTL: 1, Data: []byte{1, 2, 3, 4}}}
+	msgs = append(msgs, raw)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		m := &Message{
+			ID:       uint16(rng.Uint32()),
+			Response: rng.Intn(2) == 1,
+			RD:       rng.Intn(2) == 1,
+			RA:       rng.Intn(2) == 1,
+			AA:       rng.Intn(2) == 1,
+			Opcode:   Opcode(rng.Intn(2)),
+			RCode:    RCode(rng.Intn(6)),
+		}
+		// A small name pool makes shared suffixes (and thus compression
+		// pointers) likely.
+		pool := []string{randomName(rng), randomName(rng), randomName(rng)}
+		pool = append(pool, "sub."+pool[0], "deep.sub."+pool[0], strings.ToUpper(pool[1]))
+		pick := func() string { return pool[rng.Intn(len(pool))] }
+		m.Questions = []Question{{Name: pick(), Type: TypeA, Class: ClassIN}}
+		for i := 0; i < rng.Intn(5); i++ {
+			data := make([]byte, rng.Intn(8))
+			rng.Read(data)
+			m.Answers = append(m.Answers, RR{Name: pick(), Type: TypeA, Class: ClassIN,
+				TTL: rng.Uint32(), Data: data})
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			m.Authority = append(m.Authority, RR{Name: pick(), Type: TypeNS, Class: ClassIN,
+				TTL: rng.Uint32(), Data: []byte{0}})
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// TestEncodeMatchesReference: the append-style encoder reproduces the
+// original encoder's output byte for byte, compression pointers
+// included — the property that keeps every recorded transcript stable.
+func TestEncodeMatchesReference(t *testing.T) {
+	for i, m := range codecCorpus(t) {
+		want, err := refEncode(m)
+		if err != nil {
+			t.Fatalf("msg %d: reference encode: %v", i, err)
+		}
+		got, err := m.Encode()
+		if err != nil {
+			t.Fatalf("msg %d: encode: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("msg %d: encoding diverged\n got: % x\nwant: % x", i, got, want)
+		}
+	}
+}
+
+// TestAppendMessageRelativeOffsets: appending after existing bytes must
+// still produce a self-contained message (compression offsets relative
+// to the message start, not the buffer start).
+func TestAppendMessageRelativeOffsets(t *testing.T) {
+	q := NewQuery(3, "a.b.example", TypeA)
+	r := NewResponse(q)
+	r.Answers = []RR{A("a.b.example", 60, [4]byte{1, 2, 3, 4})}
+	plain, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("0123456789abcdef")
+	appended, err := AppendMessage(append([]byte(nil), prefix...), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(appended[:len(prefix)], prefix) {
+		t.Fatal("prefix clobbered")
+	}
+	if !bytes.Equal(appended[len(prefix):], plain) {
+		t.Fatalf("appended message differs from standalone encoding\n got: % x\nwant: % x",
+			appended[len(prefix):], plain)
+	}
+}
+
+// TestCodecAllocs pins the zero-alloc properties the wire path relies
+// on: Append into a warm buffer does no heap work at all, Encode does
+// exactly one allocation (the result), and a warm decode allocates only
+// the message skeleton (names interned, RR data aliased).
+func TestCodecAllocs(t *testing.T) {
+	q := NewQuery(0x1337, "time.iot-vendor.example", TypeA)
+	r := NewResponse(q)
+	r.Answers = []RR{
+		A("time.iot-vendor.example", 300, [4]byte{93, 184, 216, 34}),
+		A("time.iot-vendor.example", 300, [4]byte{10, 0, 0, 1}),
+	}
+	buf := make([]byte, 0, 256)
+	if n := testing.AllocsPerRun(200, func() {
+		var err error
+		if _, err = r.Append(buf); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 0 {
+		t.Errorf("Append into warm buffer: %.1f allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := r.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 1 {
+		t.Errorf("Encode: %.1f allocs/op, want 1", n)
+	}
+	wire, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	Decode(wire) // warm the intern table
+	// Message + Questions + Answers backing arrays.
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := Decode(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 3 {
+		t.Errorf("warm Decode: %.1f allocs/op, want <= 3", n)
+	}
+}
+
+func TestViewAgreesWithDecode(t *testing.T) {
+	for i, m := range codecCorpus(t) {
+		wire, err := m.Encode()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		full, err := Decode(wire)
+		if err != nil {
+			continue // e.g. RawName payloads only ParseHeader can stomach
+		}
+		v, err := ParseView(wire)
+		if err != nil {
+			t.Fatalf("msg %d: ParseView: %v", i, err)
+		}
+		if v.Hdr.ID != full.ID || v.Hdr.Response != full.Response ||
+			int(v.Hdr.QDCount) != len(full.Questions) ||
+			int(v.Hdr.ANCount) != len(full.Answers) {
+			t.Fatalf("msg %d: view header %+v disagrees with %+v", i, v.Hdr, full)
+		}
+		if len(full.Questions) == 0 {
+			continue
+		}
+		got, err := v.Question()
+		if err != nil {
+			t.Fatalf("msg %d: view question: %v", i, err)
+		}
+		if got != full.Questions[0] {
+			t.Fatalf("msg %d: view question %+v != %+v", i, got, full.Questions[0])
+		}
+	}
+}
+
+func TestViewQuestionBytes(t *testing.T) {
+	q := NewQuery(7, "ab.cd", TypeMX)
+	wire, err := q.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseView(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, ok, err := v.QuestionBytes()
+	if err != nil || !ok {
+		t.Fatalf("QuestionBytes: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(qb, wire[HeaderSize:]) {
+		t.Errorf("question bytes % x, want % x", qb, wire[HeaderSize:])
+	}
+	end, err := v.QuestionEnd()
+	if err != nil || end != len(wire) {
+		t.Errorf("QuestionEnd = %d, %v; want %d", end, err, len(wire))
+	}
+
+	// A question name using a compression pointer is not spliceable.
+	ptr := make([]byte, HeaderSize)
+	ptr[5] = 1 // QDCount
+	ptr = append(ptr, 1, 'a', 0xC0, 0x00, 0, 1, 0, 1)
+	pv, err := ParseView(ptr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := pv.QuestionBytes(); err != nil || ok {
+		t.Errorf("compressed question: ok=%v err=%v, want ok=false", ok, err)
+	}
+
+	// Header-only datagram: no question to find.
+	hv, err := ParseView(make([]byte, HeaderSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.QuestionEnd(); err == nil {
+		t.Error("QuestionEnd on header-only datagram succeeded")
+	}
+}
+
+// FuzzEncodeDecodeRoundTrip: for any bytes the strict decoder accepts,
+// encode→decode→re-encode must be a fixed point, and the lazy View must
+// agree with the full decoder on the header and first question.
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b)
+		if err != nil {
+			return
+		}
+		wire, err := m.Encode()
+		if err != nil {
+			return // decodable but not re-encodable (e.g. odd names) is fine
+		}
+		m2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v\nwire: % x", err, wire)
+		}
+		again, err := m2.Encode()
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(wire, again) {
+			t.Fatalf("encode is not a fixed point\nfirst:  % x\nsecond: % x", wire, again)
+		}
+
+		v, err := ParseView(b)
+		if err != nil {
+			t.Fatalf("decoded message but ParseView failed: %v", err)
+		}
+		if v.Hdr.ID != m.ID || int(v.Hdr.QDCount) != len(m.Questions) ||
+			int(v.Hdr.ANCount) != len(m.Answers) {
+			t.Fatalf("view header %+v disagrees with decoded %+v", v.Hdr, m)
+		}
+		if len(m.Questions) > 0 {
+			q, err := v.Question()
+			if err != nil {
+				t.Fatalf("full decoder accepted question, view refused: %v", err)
+			}
+			if q != m.Questions[0] {
+				t.Fatalf("view question %+v != decoded %+v", q, m.Questions[0])
+			}
+		}
+	})
+}

@@ -1,9 +1,6 @@
 package dns
 
-import (
-	"fmt"
-	"strings"
-)
+import "fmt"
 
 // decoder walks a wire-format message.
 type decoder struct {
@@ -33,15 +30,26 @@ func (d *decoder) u32() (uint32, error) {
 // name decodes a possibly-compressed name starting at the cursor. This is
 // the SAFE decompressor: bounded output, bounded pointer hops — the checks
 // whose absence in Connman's get_name is the whole story of the lab.
+// The dotted form is assembled in a stack scratch buffer and interned, so
+// repeat names (the common case on the attack path) cost no allocation.
 func (d *decoder) name() (string, error) {
-	var sb strings.Builder
+	var scratch [maxNameLen]byte
+	out, err := d.nameBytes(scratch[:0])
+	if err != nil {
+		return "", err
+	}
+	return intern(out), nil
+}
+
+// nameBytes appends the dotted form of the name at the cursor to out.
+func (d *decoder) nameBytes(out []byte) ([]byte, error) {
 	pos := d.pos
 	hops := 0
 	jumped := false
 	total := 0
 	for {
 		if pos >= len(d.b) {
-			return "", ErrTruncatedMsg
+			return nil, ErrTruncatedMsg
 		}
 		c := d.b[pos]
 		switch {
@@ -49,13 +57,13 @@ func (d *decoder) name() (string, error) {
 			if !jumped {
 				d.pos = pos + 1
 			}
-			return sb.String(), nil
+			return out, nil
 		case c&0xC0 == 0xC0:
 			if pos+1 >= len(d.b) {
-				return "", ErrTruncatedMsg
+				return nil, ErrTruncatedMsg
 			}
 			if hops++; hops > maxPointerHops {
-				return "", ErrPointerLoop
+				return nil, ErrPointerLoop
 			}
 			target := int(c&0x3F)<<8 | int(d.b[pos+1])
 			if !jumped {
@@ -64,26 +72,26 @@ func (d *decoder) name() (string, error) {
 			}
 			if target >= pos {
 				// Forward pointers enable trivial loops; refuse them.
-				return "", ErrPointerLoop
+				return nil, ErrPointerLoop
 			}
 			pos = target
 		case c&0xC0 != 0:
-			return "", fmt.Errorf("%w: reserved label type %#x", ErrBadFormat, c)
+			return nil, fmt.Errorf("%w: reserved label type %#x", ErrBadFormat, c)
 		default:
 			l := int(c)
 			if l > maxLabelLen {
-				return "", ErrLabelTooLong
+				return nil, ErrLabelTooLong
 			}
 			if pos+1+l > len(d.b) {
-				return "", ErrTruncatedMsg
+				return nil, ErrTruncatedMsg
 			}
 			if total += l + 1; total > maxNameLen {
-				return "", ErrNameTooLong
+				return nil, ErrNameTooLong
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			if len(out) > 0 {
+				out = append(out, '.')
 			}
-			sb.Write(d.b[pos+1 : pos+1+l])
+			out = append(out, d.b[pos+1:pos+1+l]...)
 			pos += 1 + l
 			if !jumped {
 				d.pos = pos
@@ -132,8 +140,9 @@ func (d *decoder) rr() (RR, error) {
 	if d.pos+int(rdlen) > len(d.b) {
 		return RR{}, ErrTruncatedMsg
 	}
-	data := make([]byte, rdlen)
-	copy(data, d.b[d.pos:d.pos+int(rdlen)])
+	// Data aliases the input buffer (capped so appends cannot clobber the
+	// following record); see the Decode doc comment.
+	data := d.b[d.pos : d.pos+int(rdlen) : d.pos+int(rdlen)]
 	d.pos += int(rdlen)
 	return RR{Name: n, Type: Type(t), Class: Class(c), TTL: ttl, Data: data}, nil
 }
@@ -141,8 +150,12 @@ func (d *decoder) rr() (RR, error) {
 // Decode parses a wire-format message with full validation. It rejects
 // oversized names, pointer loops, and truncated sections — everything the
 // vulnerable emulated parser does not.
+//
+// The returned RR.Data slices alias b: callers that retain the message
+// past the lifetime of the input buffer must copy either the buffer or
+// the record data first.
 func Decode(b []byte) (*Message, error) {
-	d := &decoder{b: b}
+	d := decoder{b: b}
 	id, err := d.u16()
 	if err != nil {
 		return nil, err
@@ -151,7 +164,7 @@ func Decode(b []byte) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts := make([]uint16, 4)
+	var counts [4]uint16
 	for i := range counts {
 		if counts[i], err = d.u16(); err != nil {
 			return nil, err
@@ -162,6 +175,9 @@ func Decode(b []byte) (*Message, error) {
 	}
 	m := &Message{ID: id}
 	setFlagWord(m, fl)
+	if counts[0] > 0 {
+		m.Questions = make([]Question, 0, counts[0])
+	}
 	for i := 0; i < int(counts[0]); i++ {
 		q, err := d.question()
 		if err != nil {
@@ -169,14 +185,26 @@ func Decode(b []byte) (*Message, error) {
 		}
 		m.Questions = append(m.Questions, q)
 	}
-	secs := []*[]RR{&m.Answers, &m.Authority, &m.Additional}
-	for s, sec := range secs {
-		for i := 0; i < int(counts[s+1]); i++ {
+	for s := 0; s < 3; s++ {
+		n := int(counts[s+1])
+		if n == 0 {
+			continue
+		}
+		rrs := make([]RR, 0, n)
+		for i := 0; i < n; i++ {
 			r, err := d.rr()
 			if err != nil {
 				return nil, fmt.Errorf("record %d/%d: %w", s, i, err)
 			}
-			*sec = append(*sec, r)
+			rrs = append(rrs, r)
+		}
+		switch s {
+		case 0:
+			m.Answers = rrs
+		case 1:
+			m.Authority = rrs
+		case 2:
+			m.Additional = rrs
 		}
 	}
 	return m, nil

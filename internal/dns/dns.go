@@ -201,6 +201,28 @@ func setFlagWord(m *Message, w uint16) {
 	m.RCode = RCode(w & 0xF)
 }
 
+// ResponseFlags returns the header flag word a NewResponse to a query
+// with this header would encode: QR and RA set, RD echoed, the given
+// rcode, everything else clear.
+func (h Header) ResponseFlags(rcode RCode) uint16 {
+	w := uint16(flagQR | flagRA)
+	if h.RD {
+		w |= flagRD
+	}
+	return w | uint16(rcode&0xF)
+}
+
+// AppendHeader appends a raw 12-byte message header.
+func AppendHeader(dst []byte, id, flags, qd, an, ns, ar uint16) []byte {
+	return append(dst,
+		byte(id>>8), byte(id),
+		byte(flags>>8), byte(flags),
+		byte(qd>>8), byte(qd),
+		byte(an>>8), byte(an),
+		byte(ns>>8), byte(ns),
+		byte(ar>>8), byte(ar))
+}
+
 // SplitName splits a dotted name into validated labels.
 func SplitName(name string) ([]string, error) {
 	name = strings.TrimSuffix(name, ".")

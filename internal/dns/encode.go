@@ -5,43 +5,175 @@ import (
 	"strings"
 )
 
-// encoder carries the output buffer and the compression dictionary.
-type encoder struct {
-	buf []byte
-	// offsets maps a canonical name suffix to its first occurrence, for
-	// RFC 1035 §4.1.4 compression pointers.
-	offsets map[string]int
+// appender is the zero-allocation encoder state: output goes to a
+// caller-supplied buffer and the RFC 1035 §4.1.4 compression dictionary
+// is a small array of message-relative offsets of previously written
+// names, compared against the wire bytes already emitted instead of
+// being keyed by materialised suffix strings.
+type appender struct {
+	buf  []byte
+	base int // message start within buf; offsets are relative to it
+	// The dictionary is a fixed in-struct array (kept by value so the
+	// whole appender stays on the caller's stack) with a heap overflow
+	// slice that only giant multi-name messages ever touch.
+	nOffs int
+	offs  [32]uint16
+	extra []uint16
 }
 
-func (e *encoder) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
-func (e *encoder) u32(v uint32) {
+func (e *appender) register(off uint16) {
+	if e.nOffs < len(e.offs) {
+		e.offs[e.nOffs] = off
+		e.nOffs++
+		return
+	}
+	e.extra = append(e.extra, off)
+}
+
+func (e *appender) u16(v uint16) { e.buf = append(e.buf, byte(v>>8), byte(v)) }
+func (e *appender) u32(v uint32) {
 	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-// name encodes a dotted name with compression.
-func (e *encoder) name(name string) error {
-	labels, err := SplitName(name)
-	if err != nil {
+// validateName applies the SplitName checks (empty labels, label and
+// total length limits) without splitting into heap-allocated labels.
+func validateName(name string) error {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	total := 0
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i != len(name) && name[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 {
+			return fmt.Errorf("%w: empty label in %q", ErrBadFormat, name)
+		}
+		if l > maxLabelLen {
+			return fmt.Errorf("%w: %q", ErrLabelTooLong, name[start:i])
+		}
+		total += l + 1
+		start = i + 1
+	}
+	if total+1 > maxNameLen {
+		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	return nil
+}
+
+func foldASCII(c byte) byte {
+	if 'A' <= c && c <= 'Z' {
+		return c + 'a' - 'A'
+	}
+	return c
+}
+
+// wireNameEquals reports whether the already-encoded name at
+// message-relative offset off spells exactly the dotted suffix,
+// ASCII-case-insensitively, following compression pointers. This is the
+// append-mode replacement for the old map keyed by lowercased suffix
+// strings: the wire already stores every registered suffix, so it is
+// compared in place.
+func (e *appender) wireNameEquals(off int, suffix string) bool {
+	b := e.buf[e.base:]
+	si := 0
+	hops := 0
+	for {
+		if off >= len(b) {
+			return false
+		}
+		c := b[off]
+		switch {
+		case c == 0:
+			return si == len(suffix)
+		case c&0xC0 == 0xC0:
+			if off+1 >= len(b) {
+				return false
+			}
+			if hops++; hops > maxPointerHops {
+				return false
+			}
+			off = int(c&0x3F)<<8 | int(b[off+1])
+		default:
+			l := int(c)
+			if off+1+l > len(b) {
+				return false
+			}
+			if si > 0 {
+				if si >= len(suffix) || suffix[si] != '.' {
+					return false
+				}
+				si++
+			}
+			if si+l > len(suffix) {
+				return false
+			}
+			for i := 0; i < l; i++ {
+				if foldASCII(b[off+1+i]) != foldASCII(suffix[si+i]) {
+					return false
+				}
+			}
+			si += l
+			off += 1 + l
+		}
+	}
+}
+
+// lookup scans the registered suffix offsets in registration order and
+// returns the first whose wire spelling matches suffix.
+func (e *appender) lookup(suffix string) (uint16, bool) {
+	for i := 0; i < e.nOffs; i++ {
+		if e.wireNameEquals(int(e.offs[i]), suffix) {
+			return e.offs[i], true
+		}
+	}
+	for _, off := range e.extra {
+		if e.wireNameEquals(int(off), suffix) {
+			return off, true
+		}
+	}
+	return 0, false
+}
+
+// name encodes a dotted name with compression. Registration follows the
+// original encoder exactly: each unseen suffix is registered at its
+// first occurrence (only while the message is still below the 0x4000
+// pointer horizon) and later occurrences become pointers.
+func (e *appender) name(name string) error {
+	if err := validateName(name); err != nil {
 		return err
 	}
-	for i := range labels {
-		suffix := strings.ToLower(strings.Join(labels[i:], "."))
-		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
-			e.u16(0xC000 | uint16(off))
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		e.buf = append(e.buf, 0)
+		return nil
+	}
+	for start := 0; start < len(name); {
+		suffix := name[start:]
+		if off, ok := e.lookup(suffix); ok {
+			e.u16(0xC000 | off)
 			return nil
 		}
-		if len(e.buf) < 0x4000 {
-			e.offsets[suffix] = len(e.buf)
+		if off := len(e.buf) - e.base; off < 0x4000 {
+			e.register(uint16(off))
 		}
-		e.buf = append(e.buf, byte(len(labels[i])))
-		e.buf = append(e.buf, labels[i]...)
+		end := start
+		for end < len(name) && name[end] != '.' {
+			end++
+		}
+		e.buf = append(e.buf, byte(end-start))
+		e.buf = append(e.buf, name[start:end]...)
+		start = end + 1
 	}
 	e.buf = append(e.buf, 0)
 	return nil
 }
 
 // question encodes one question entry.
-func (e *encoder) question(q Question) error {
+func (e *appender) question(q Question) error {
 	if err := e.name(q.Name); err != nil {
 		return err
 	}
@@ -54,7 +186,7 @@ func (e *encoder) question(q Question) error {
 // compression entirely: the bytes go on the wire verbatim. This is the
 // exploit-delivery hook — everything else about the record stays
 // well-formed so the response passes the victim's sanity checks.
-func (e *encoder) rr(r RR) error {
+func (e *appender) rr(r RR) error {
 	if r.RawName != nil {
 		e.buf = append(e.buf, r.RawName...)
 	} else if err := e.name(r.Name); err != nil {
@@ -71,13 +203,15 @@ func (e *encoder) rr(r RR) error {
 	return nil
 }
 
-// Encode serializes the message to wire format.
-func (m *Message) Encode() ([]byte, error) {
+// Append serializes the message to wire format, appending to dst and
+// returning the extended buffer. Compression offsets are relative to
+// len(dst), so the result is a self-contained message wherever it lands.
+func (m *Message) Append(dst []byte) ([]byte, error) {
 	if len(m.Questions) > maxSectionCount || len(m.Answers) > maxSectionCount ||
 		len(m.Authority) > maxSectionCount || len(m.Additional) > maxSectionCount {
 		return nil, fmt.Errorf("%w: section too large", ErrBadFormat)
 	}
-	e := &encoder{offsets: make(map[string]int)}
+	e := appender{buf: dst, base: len(dst)}
 	e.u16(m.ID)
 	e.u16(m.flagWord())
 	e.u16(uint16(len(m.Questions)))
@@ -89,26 +223,75 @@ func (m *Message) Encode() ([]byte, error) {
 			return nil, err
 		}
 	}
-	for _, sec := range [][]RR{m.Answers, m.Authority, m.Additional} {
-		for _, r := range sec {
-			if err := e.rr(r); err != nil {
-				return nil, err
-			}
+	for _, r := range m.Answers {
+		if err := e.rr(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range m.Authority {
+		if err := e.rr(r); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range m.Additional {
+		if err := e.rr(r); err != nil {
+			return nil, err
 		}
 	}
 	return e.buf, nil
 }
 
+// AppendMessage appends m's wire encoding to dst.
+func AppendMessage(dst []byte, m *Message) ([]byte, error) {
+	return m.Append(dst)
+}
+
+// wireCap returns an upper bound on the encoded size (compression only
+// shrinks it), so Encode can allocate the result exactly once.
+func (m *Message) wireCap() int {
+	n := HeaderSize
+	for _, q := range m.Questions {
+		n += len(q.Name) + 2 + 4
+	}
+	n += rrCap(m.Answers)
+	n += rrCap(m.Authority)
+	n += rrCap(m.Additional)
+	return n
+}
+
+func rrCap(sec []RR) int {
+	n := 0
+	for _, r := range sec {
+		if r.RawName != nil {
+			n += len(r.RawName)
+		} else {
+			n += len(r.Name) + 2
+		}
+		n += 10 + len(r.Data)
+	}
+	return n
+}
+
+// Encode serializes the message to wire format.
+func (m *Message) Encode() ([]byte, error) {
+	return m.Append(make([]byte, 0, m.wireCap()))
+}
+
 // AppendRawName encodes a dotted name without compression, appending to
 // dst. It is the building block for hand-crafted label streams.
 func AppendRawName(dst []byte, name string) ([]byte, error) {
-	labels, err := SplitName(name)
-	if err != nil {
+	if err := validateName(name); err != nil {
 		return nil, err
 	}
-	for _, l := range labels {
-		dst = append(dst, byte(len(l)))
-		dst = append(dst, l...)
+	name = strings.TrimSuffix(name, ".")
+	for start := 0; start < len(name); {
+		end := start
+		for end < len(name) && name[end] != '.' {
+			end++
+		}
+		dst = append(dst, byte(end-start))
+		dst = append(dst, name[start:end]...)
+		start = end + 1
 	}
 	return append(dst, 0), nil
 }

@@ -1,0 +1,44 @@
+package dns
+
+import "sync"
+
+// Decoded names are overwhelmingly drawn from a tiny working set (the
+// lab's zone plus the exploit's fixed query name), so the decoder
+// interns small names: the map lookup on a []byte key compiles to a
+// no-allocation probe, and a hit returns the shared string instead of
+// materialising a new one per packet.
+//
+// The table is bounded in both entry count and key length so hostile
+// traffic (fuzzers, the MITM's victims) cannot grow it without limit;
+// once full, misses simply allocate like an uninterned decode would.
+const (
+	internMaxLen     = 64
+	internMaxEntries = 4096
+)
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 64)
+)
+
+func intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > internMaxLen {
+		return string(b)
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) < internMaxEntries {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}

@@ -1,0 +1,89 @@
+package dns
+
+import "fmt"
+
+// View is a lazy reading of one wire-format message: the fixed header is
+// parsed eagerly, the first question is located or decoded on demand, and
+// the resource-record sections are never materialised. It is the fast
+// path for forwarding roles (proxy, MITM, resolver) that only need to
+// rewrite IDs and splice payloads, not inspect every record.
+//
+// A View aliases the packet it was parsed from; it is only valid while
+// that buffer is.
+type View struct {
+	b    []byte
+	Hdr  Header
+	qEnd int // offset just past question 0; 0 until located
+}
+
+// ParseView parses the header and wraps the packet.
+func ParseView(b []byte) (View, error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return View{}, err
+	}
+	return View{b: b, Hdr: h}, nil
+}
+
+// Bytes returns the underlying packet.
+func (v *View) Bytes() []byte { return v.b }
+
+// QuestionEnd returns the offset just past the first question, locating
+// it with a frame-level SkipName walk (no name decoding).
+func (v *View) QuestionEnd() (int, error) {
+	if v.qEnd != 0 {
+		return v.qEnd, nil
+	}
+	if v.Hdr.QDCount == 0 {
+		return 0, fmt.Errorf("%w: no question", ErrBadFormat)
+	}
+	off, err := SkipName(v.b, HeaderSize)
+	if err != nil {
+		return 0, err
+	}
+	off += 4 // qtype + qclass
+	if off > len(v.b) {
+		return 0, ErrTruncatedMsg
+	}
+	v.qEnd = off
+	return off, nil
+}
+
+// QuestionBytes returns the wire bytes of the first question (name,
+// type, class), aliasing the packet. ok is false when the question name
+// uses compression pointers: such bytes are not self-contained and
+// cannot be spliced into another message verbatim.
+func (v *View) QuestionBytes() (qb []byte, ok bool, err error) {
+	end, err := v.QuestionEnd()
+	if err != nil {
+		return nil, false, err
+	}
+	for off := HeaderSize; ; {
+		c := v.b[off]
+		if c == 0 {
+			break
+		}
+		if c&0xC0 != 0 {
+			return nil, false, nil
+		}
+		off += 1 + int(c)
+	}
+	return v.b[HeaderSize:end], true, nil
+}
+
+// Question decodes the first question with full validation, interning
+// the name exactly like Decode.
+func (v *View) Question() (Question, error) {
+	if v.Hdr.QDCount == 0 {
+		return Question{}, fmt.Errorf("%w: no question", ErrBadFormat)
+	}
+	d := decoder{b: v.b, pos: HeaderSize}
+	q, err := d.question()
+	if err != nil {
+		return Question{}, err
+	}
+	if v.qEnd == 0 {
+		v.qEnd = d.pos
+	}
+	return q, nil
+}

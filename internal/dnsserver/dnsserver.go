@@ -24,6 +24,9 @@ type Resolver struct {
 	// Queries counts requests served.
 	Queries int
 	sock    *netsim.UDPSocket
+	// scratch is the reusable response-assembly buffer of the fast path
+	// (SendTo copies, so it is free to reuse immediately).
+	scratch []byte
 }
 
 // RunResolver binds a resolver on the host's port 53.
@@ -38,6 +41,62 @@ func RunResolver(h *netsim.Host, zone map[string][4]byte) (*Resolver, error) {
 }
 
 func (r *Resolver) handle(dg netsim.Datagram) {
+	if v, err := dns.ParseView(dg.Payload); err == nil && r.handleFast(dg, &v) {
+		return
+	}
+	r.handleSlow(dg)
+}
+
+// handleFast answers the canonical query shape — header + exactly one
+// plain-named question and nothing else — by splicing the question bytes
+// into a reusable buffer instead of decode + re-encode. The output is
+// byte-identical to the slow path; anything unusual falls through to it.
+func (r *Resolver) handleFast(dg netsim.Datagram, v *dns.View) bool {
+	if v.Hdr.Response || v.Hdr.QDCount != 1 ||
+		v.Hdr.ANCount != 0 || v.Hdr.NSCount != 0 || v.Hdr.ARCount != 0 {
+		return false
+	}
+	qb, plain, err := v.QuestionBytes()
+	if err != nil || !plain {
+		return false
+	}
+	q, err := v.Question()
+	if err != nil {
+		return false
+	}
+	if end, _ := v.QuestionEnd(); end != len(dg.Payload) {
+		return false // trailing bytes: let the full decoder judge them
+	}
+	if q.Name == "" {
+		// The root name is the one name the compressing encoder writes
+		// literally rather than as a pointer to the question.
+		return false
+	}
+	r.Queries++
+	ip, hit := r.Zone[q.Name]
+	hit = hit && q.Type == dns.TypeA
+	rcode := dns.RCodeOK
+	an := uint16(1)
+	if !hit {
+		rcode, an = dns.RCodeNXDomain, 0
+	}
+	out := dns.AppendHeader(r.scratch[:0], v.Hdr.ID, v.Hdr.ResponseFlags(rcode), 1, an, 0, 0)
+	out = append(out, qb...)
+	if hit {
+		out = append(out, 0xC0, dns.HeaderSize) // NAME: pointer to the question
+		out = append(out, 0, byte(dns.TypeA), 0, byte(dns.ClassIN))
+		out = append(out, 0, 0, 1, 44) // TTL 300
+		out = append(out, 0, 4, ip[0], ip[1], ip[2], ip[3])
+	}
+	r.scratch = out
+	r.sock.SendTo(dg.Src, out)
+	return true
+}
+
+// handleSlow is the original full-decode path, kept for the shapes the
+// splice cannot reproduce bit-for-bit (compressed or root question
+// names, trailing bytes, extra sections).
+func (r *Resolver) handleSlow(dg netsim.Datagram) {
 	q, err := dns.Decode(dg.Payload)
 	if err != nil || q.Response || len(q.Questions) != 1 {
 		return // drop garbage, like a real server
@@ -60,20 +119,37 @@ func (r *Resolver) handle(dg netsim.Datagram) {
 // package's payloads plug in here.
 type Crafter func(q *dns.Message) ([]byte, error)
 
+// WireCrafter crafts a malicious response directly from the query's wire
+// bytes, appending to dst (a reusable buffer) — the zero-copy form of
+// Crafter that exploit.Exploit.AppendResponse satisfies.
+type WireCrafter func(dst, query []byte) ([]byte, error)
+
 // MITM is the attacker's server: it answers every query it sees with a
 // crafted response that mirrors the query (ID, question, flags) and
 // carries the exploit in the answer record.
 type MITM struct {
 	Craft Crafter
+	// CraftWire, when set, takes precedence over Craft: responses are
+	// spliced straight from the query packet into a reusable buffer.
+	CraftWire WireCrafter
 	// Queries counts hijacked lookups; Errors counts craft failures.
 	Queries int
 	Errors  int
 	sock    *netsim.UDPSocket
+	scratch []byte
 }
 
 // RunMITM binds the malicious server on the host's port 53.
 func RunMITM(h *netsim.Host, craft Crafter) (*MITM, error) {
-	m := &MITM{Craft: craft}
+	return runMITM(h, &MITM{Craft: craft})
+}
+
+// RunMITMWire binds the malicious server with a wire-level crafter.
+func RunMITMWire(h *netsim.Host, craft WireCrafter) (*MITM, error) {
+	return runMITM(h, &MITM{CraftWire: craft})
+}
+
+func runMITM(h *netsim.Host, m *MITM) (*MITM, error) {
 	sock, err := h.Bind(DNSPort, m.handle)
 	if err != nil {
 		return nil, fmt.Errorf("mitm on %s: %w", h.Name, err)
@@ -83,6 +159,10 @@ func RunMITM(h *netsim.Host, craft Crafter) (*MITM, error) {
 }
 
 func (m *MITM) handle(dg netsim.Datagram) {
+	if m.CraftWire != nil {
+		m.handleWire(dg)
+		return
+	}
 	q, err := dns.Decode(dg.Payload)
 	if err != nil || q.Response || len(q.Questions) != 1 {
 		return
@@ -93,6 +173,26 @@ func (m *MITM) handle(dg netsim.Datagram) {
 		m.Errors++
 		return
 	}
+	m.sock.SendTo(dg.Src, out)
+}
+
+// handleWire is the fast path: header parse, question validation, then
+// CraftWire splices the response into the reusable scratch buffer.
+func (m *MITM) handleWire(dg netsim.Datagram) {
+	v, err := dns.ParseView(dg.Payload)
+	if err != nil || v.Hdr.Response || v.Hdr.QDCount != 1 {
+		return
+	}
+	if _, err := v.Question(); err != nil {
+		return // malformed question: drop, like the decode path would
+	}
+	m.Queries++
+	out, err := m.CraftWire(m.scratch[:0], dg.Payload)
+	if err != nil {
+		m.Errors++
+		return
+	}
+	m.scratch = out
 	m.sock.SendTo(dg.Src, out)
 }
 
@@ -177,7 +277,9 @@ type Client struct {
 func NewClient(h *netsim.Host) (*Client, error) {
 	c := &Client{nextID: 0x1000}
 	sock, err := h.BindEphemeral(func(dg netsim.Datagram) {
-		if m, err := dns.Decode(dg.Payload); err == nil {
+		// Replies outlive the handler, but decoded messages alias the
+		// datagram buffer (RR data) and netsim recycles it — so copy.
+		if m, err := dns.Decode(append([]byte(nil), dg.Payload...)); err == nil {
 			c.Replies = append(c.Replies, m)
 		}
 	})

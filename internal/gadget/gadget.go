@@ -14,6 +14,8 @@ package gadget
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"connlab/internal/image"
 	"connlab/internal/isa"
@@ -80,33 +82,178 @@ func (g Gadget) String() string {
 // maxGadgetInstrs bounds the sequence length reported.
 const maxGadgetInstrs = 6
 
-// Finder scans one linked image.
-type Finder struct {
-	img     *image.Image
+// secIndex is the scan result for one section, position-independent:
+// gadget addresses and memstr offsets are section-relative, so the same
+// index serves every image that places identical bytes at any base —
+// which is how diversified layouts (same content, different addresses)
+// share one scan.
+type secIndex struct {
+	// gadgets hold section-relative addresses, in ascending order.
 	gadgets []Gadget
+	// memPos[c] lists the section-relative offsets of byte value c in
+	// ascending order (ROPgadget's -memstr, precomputed).
+	memPos [256][]uint32
 }
 
-// NewFinder scans the image's executable sections and returns a finder
-// over the discovered gadgets.
+// scanKey identifies a section's scannable content. The hash (FNV-1a
+// over the data) plus length and metadata stands in for the bytes
+// themselves; sections with equal keys get the same index.
+type scanKey struct {
+	arch isa.Arch
+	name string
+	perm mem.Perm
+	size int
+	hash uint64
+}
+
+var (
+	scanMu    sync.Mutex
+	scanCache = make(map[scanKey]*secIndex)
+	// scanBuilds/scanHits instrument the cache for tests and reports.
+	scanBuilds, scanHits atomic.Uint64
+)
+
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sectionIndex returns the (possibly cached) index for a section.
+// buildSecIndex is a pure function of (arch, section content), so a
+// duplicate build racing a cache insert produces an identical index and
+// either copy may win.
+func sectionIndex(arch isa.Arch, sec image.Section) *secIndex {
+	key := scanKey{arch: arch, name: sec.Name, perm: sec.Perm, size: len(sec.Data), hash: fnv64(sec.Data)}
+	scanMu.Lock()
+	idx, ok := scanCache[key]
+	scanMu.Unlock()
+	if ok {
+		scanHits.Add(1)
+		return idx
+	}
+	idx = buildSecIndex(arch, sec)
+	scanBuilds.Add(1)
+	scanMu.Lock()
+	if prior, ok := scanCache[key]; ok {
+		idx = prior
+	} else {
+		scanCache[key] = idx
+	}
+	scanMu.Unlock()
+	return idx
+}
+
+// buildSecIndex scans one section at base 0.
+func buildSecIndex(arch isa.Arch, sec image.Section) *secIndex {
+	idx := &secIndex{}
+	rel := sec
+	rel.Addr = 0
+	if sec.Perm&mem.PermExec != 0 {
+		if arch == isa.ArchARMS {
+			idx.gadgets = scanARM(rel)
+		} else {
+			idx.gadgets = scanX86(rel)
+		}
+		sort.Slice(idx.gadgets, func(i, j int) bool { return idx.gadgets[i].Addr < idx.gadgets[j].Addr })
+	}
+	for off, b := range sec.Data {
+		idx.memPos[b] = append(idx.memPos[b], uint32(off))
+	}
+	return idx
+}
+
+// ScanCacheStats reports how many section scans were computed vs served
+// from the shared index.
+func ScanCacheStats() (builds, hits uint64) {
+	return scanBuilds.Load(), scanHits.Load()
+}
+
+// placedSec is a cached section index rebased at its image address.
+type placedSec struct {
+	base uint32
+	idx  *secIndex
+}
+
+// Finder serves gadget lookups for one linked image. The underlying
+// scans are shared across finders via the per-content section index and
+// rebased to this image's layout; lookups after construction are
+// O(1) map probes and allocation-free. Returned gadgets share Instrs
+// and Pops backing arrays with the cache — callers must treat them as
+// read-only.
+type Finder struct {
+	img     *image.Image
+	secs    []placedSec
+	gadgets []Gadget
+	popRet  map[int]Gadget
+	popPC   map[uint32]Gadget
+	blx     map[int]Gadget
+}
+
+// NewFinder indexes the image: per-section scans come from the shared
+// cache (computed on first sight of the content), then gadgets are
+// rebased and the lookup tables built.
 func NewFinder(img *image.Image) *Finder {
 	f := &Finder{img: img}
+	total := 0
 	for _, sec := range img.Sections {
-		if sec.Perm&mem.PermExec == 0 {
-			continue
-		}
-		if img.Arch == isa.ArchARMS {
-			f.scanARM(sec)
-		} else {
-			f.scanX86(sec)
+		ps := placedSec{base: sec.Addr, idx: sectionIndex(img.Arch, sec)}
+		f.secs = append(f.secs, ps)
+		total += len(ps.idx.gadgets)
+	}
+	f.gadgets = make([]Gadget, 0, total)
+	for _, ps := range f.secs {
+		for _, g := range ps.idx.gadgets {
+			g.Addr += ps.base
+			f.gadgets = append(f.gadgets, g)
 		}
 	}
 	sort.Slice(f.gadgets, func(i, j int) bool { return f.gadgets[i].Addr < f.gadgets[j].Addr })
+
+	f.popRet = make(map[int]Gadget)
+	f.popPC = make(map[uint32]Gadget)
+	f.blx = make(map[int]Gadget)
+	for _, g := range f.gadgets {
+		switch g.Kind {
+		case KindRet:
+			// Only pure pop-runs qualify (a bare ret is the n=0 case),
+			// mirroring the old linear FindPopRet predicate.
+			if len(g.Instrs) == len(g.Pops)+1 {
+				if _, seen := f.popRet[len(g.Pops)]; !seen {
+					f.popRet[len(g.Pops)] = g
+				}
+			}
+		case KindPopPC:
+			mask := regMask(g.Pops)
+			if _, seen := f.popPC[mask]; !seen {
+				f.popPC[mask] = g
+			}
+		case KindBlxReg:
+			if _, seen := f.blx[g.Reg]; !seen {
+				f.blx[g.Reg] = g
+			}
+		}
+	}
 	return f
 }
 
+// regMask folds a register list into a bitmask key (registers are
+// 0..14; pc never appears in Pops).
+func regMask(regs []int) uint32 {
+	var m uint32
+	for _, r := range regs {
+		m |= 1 << uint(r&31)
+	}
+	return m
+}
+
 // scanX86 finds every decodable suffix ending exactly on a ret byte.
-func (f *Finder) scanX86(sec image.Section) {
+func scanX86(sec image.Section) []Gadget {
 	const lookback = 24
+	var out []Gadget
 	dec := newSecDecoder(sec.Data)
 	for i, b := range sec.Data {
 		if b != 0xC3 {
@@ -123,7 +270,7 @@ func (f *Finder) scanX86(sec image.Section) {
 			if !ok || len(instrs) > maxGadgetInstrs {
 				continue
 			}
-			f.gadgets = append(f.gadgets, Gadget{
+			out = append(out, Gadget{
 				Addr:   sec.Addr + uint32(start),
 				Kind:   KindRet,
 				Instrs: instrs,
@@ -131,6 +278,7 @@ func (f *Finder) scanX86(sec image.Section) {
 			})
 		}
 	}
+	return out
 }
 
 // secDecoder memoizes decode results per section offset, so the lookback
@@ -223,7 +371,8 @@ func decodeRunX86(dec *secDecoder, start, end int) (instrs []string, pops []int,
 }
 
 // scanARM inspects every 4-aligned word.
-func (f *Finder) scanARM(sec image.Section) {
+func scanARM(sec image.Section) []Gadget {
+	var out []Gadget
 	for off := 0; off+4 <= len(sec.Data); off += 4 {
 		w := uint32(sec.Data[off]) | uint32(sec.Data[off+1])<<8 |
 			uint32(sec.Data[off+2])<<16 | uint32(sec.Data[off+3])<<24
@@ -243,19 +392,20 @@ func (f *Finder) scanARM(sec image.Section) {
 					pops = append(pops, r)
 				}
 			}
-			f.gadgets = append(f.gadgets, Gadget{
+			out = append(out, Gadget{
 				Addr: addr, Kind: KindPopPC, Instrs: []string{in.String()}, Pops: pops,
 			})
 		case arms.OpBLX:
-			f.gadgets = append(f.gadgets, Gadget{
+			out = append(out, Gadget{
 				Addr: addr, Kind: KindBlxReg, Instrs: []string{in.String()}, Reg: in.Rd,
 			})
 		case arms.OpBX:
-			f.gadgets = append(f.gadgets, Gadget{
+			out = append(out, Gadget{
 				Addr: addr, Kind: KindBxReg, Instrs: []string{in.String()}, Reg: in.Rd,
 			})
 		}
 	}
+	return out
 }
 
 // All returns every discovered gadget, sorted by address.
@@ -266,79 +416,60 @@ func (f *Finder) All() []Gadget {
 }
 
 // FindPopRet returns an x86s gadget that pops exactly n registers then
-// rets (n=0 is a bare ret).
+// rets (n=0 is a bare ret). O(1): the table holds the lowest-addressed
+// pure pop-run per count, exactly what the old linear scan returned.
 func (f *Finder) FindPopRet(n int) (Gadget, bool) {
-	for _, g := range f.gadgets {
-		if g.Kind != KindRet {
-			continue
-		}
-		if len(g.Instrs) == n+1 && len(g.Pops) == n {
-			return g, true
-		}
-		if n == 0 && len(g.Instrs) == 1 {
-			return g, true
-		}
-	}
-	return Gadget{}, false
+	g, ok := f.popRet[n]
+	return g, ok
 }
 
 // FindPopPC returns an arms pop gadget whose register list (excluding pc)
-// is exactly regs.
+// is exactly regs. O(1) via a register-bitmask key.
 func (f *Finder) FindPopPC(regs ...int) (Gadget, bool) {
-	want := make(map[int]bool, len(regs))
-	for _, r := range regs {
-		want[r] = true
-	}
-	for _, g := range f.gadgets {
-		if g.Kind != KindPopPC || len(g.Pops) != len(regs) {
-			continue
-		}
-		match := true
-		for _, r := range g.Pops {
-			if !want[r] {
-				match = false
-				break
-			}
-		}
-		if match {
-			return g, true
-		}
+	mask := regMask(regs)
+	g, ok := f.popPC[mask]
+	// Duplicate registers in the query fold into one mask bit; the old
+	// predicate required len(Pops) == len(regs), so reject those.
+	if ok && len(g.Pops) == len(regs) {
+		return g, true
 	}
 	return Gadget{}, false
 }
 
 // FindBlxReg returns an arms blx gadget through the given register.
 func (f *Finder) FindBlxReg(reg int) (Gadget, bool) {
-	for _, g := range f.gadgets {
-		if g.Kind == KindBlxReg && g.Reg == reg {
-			return g, true
-		}
-	}
-	return Gadget{}, false
+	g, ok := f.blx[reg]
+	return g, ok
 }
 
 // MemStr searches the image's readable sections for a byte value and
 // returns every address holding it — ROPgadget's -memstr, used to harvest
 // "/bin/sh" characters from a binary that never contains the whole string.
+// The per-section positions come from the shared index; only the merged,
+// rebased result slice is allocated.
 func (f *Finder) MemStr(c byte) []uint32 {
-	var out []uint32
-	for _, sec := range f.img.Sections {
-		for i, b := range sec.Data {
-			if b == c {
-				out = append(out, sec.Addr+uint32(i))
-			}
+	total := 0
+	for _, ps := range f.secs {
+		total += len(ps.idx.memPos[c])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, total)
+	for _, ps := range f.secs {
+		for _, off := range ps.idx.memPos[c] {
+			out = append(out, ps.base+off)
 		}
 	}
 	return out
 }
 
-// MemStrFirst returns the first address holding byte c.
+// MemStrFirst returns the first address holding byte c (sections in
+// image order, offsets ascending). Allocation-free.
 func (f *Finder) MemStrFirst(c byte) (uint32, bool) {
-	for _, sec := range f.img.Sections {
-		for i, b := range sec.Data {
-			if b == c {
-				return sec.Addr + uint32(i), true
-			}
+	for _, ps := range f.secs {
+		if pos := ps.idx.memPos[c]; len(pos) > 0 {
+			return ps.base + pos[0], true
 		}
 	}
 	return 0, false

@@ -1,0 +1,208 @@
+package gadget
+
+import (
+	"testing"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/isa/arms"
+	"connlab/internal/victim"
+)
+
+// TestIndexRebasedAcrossLayouts: linking the same unit at two different
+// bases must reuse the cached per-section scans, with every gadget
+// shifted by exactly the base delta.
+func TestIndexRebasedAcrossLayouts(t *testing.T) {
+	u, err := victim.BuildProgram(isa.ArchX86S, victim.BuildOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := image.DefaultProgramLayout(isa.ArchX86S)
+	img1, err := image.Link(u, base, image.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := NewFinder(img1)
+
+	const shift = 0x00400000
+	moved := base
+	moved.TextBase += shift
+	moved.RODataBase += shift
+	moved.GOTBase += shift
+	moved.DataBase += shift
+	moved.BSSBase += shift
+	img2, err := image.Link(u, moved, image.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sections whose bytes change with the base (the GOT holds absolute
+	// addresses) must rescan; position-independent ones must be cache hits.
+	changed := uint64(0)
+	for i := range img1.Sections {
+		if string(img1.Sections[i].Data) != string(img2.Sections[i].Data) {
+			changed++
+		}
+	}
+	if changed == uint64(len(img1.Sections)) {
+		t.Fatalf("every section changed under rebase; nothing to share")
+	}
+
+	builds0, _ := ScanCacheStats()
+	f2 := NewFinder(img2)
+	builds1, _ := ScanCacheStats()
+	if builds1-builds0 != changed {
+		t.Errorf("rebased image rescanned %d sections, want exactly the %d whose bytes changed",
+			builds1-builds0, changed)
+	}
+
+	g1 := f1.All()
+	g2 := f2.All()
+	if len(g1) == 0 || len(g1) != len(g2) {
+		t.Fatalf("gadget counts: %d vs %d", len(g1), len(g2))
+	}
+	for i := range g1 {
+		if g2[i].Addr != g1[i].Addr+shift {
+			t.Fatalf("gadget %d: %#x vs %#x, want +%#x", i, g1[i].Addr, g2[i].Addr, uint32(shift))
+		}
+	}
+	a1, ok1 := f1.MemStrFirst('/')
+	a2, ok2 := f2.MemStrFirst('/')
+	if !ok1 || !ok2 || a2 != a1+shift {
+		t.Errorf("MemStrFirst: %#x/%v vs %#x/%v", a1, ok1, a2, ok2)
+	}
+}
+
+// TestLookupsMatchLinearReference: the O(1) tables must return exactly
+// what the original linear scans over the sorted gadget list returned.
+func TestLookupsMatchLinearReference(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		f := NewFinder(linkVictim(t, arch))
+		all := f.All()
+
+		for n := 0; n <= 8; n++ {
+			var want Gadget
+			found := false
+			for _, g := range all {
+				if g.Kind == KindRet && ((len(g.Instrs) == n+1 && len(g.Pops) == n) ||
+					(n == 0 && len(g.Instrs) == 1)) {
+					want, found = g, true
+					break
+				}
+			}
+			got, ok := f.FindPopRet(n)
+			if ok != found || (ok && got.Addr != want.Addr) {
+				t.Errorf("%v FindPopRet(%d) = %v,%v; linear = %v,%v", arch, n, got, ok, want, found)
+			}
+		}
+
+		regSets := [][]int{
+			{arms.R0, arms.R1, arms.R2, arms.R3, arms.R5, arms.R6, arms.R7},
+			{arms.R4}, {arms.R4, arms.R5}, {arms.R0}, {},
+		}
+		for _, regs := range regSets {
+			var want Gadget
+			found := false
+			for _, g := range all {
+				if g.Kind != KindPopPC || len(g.Pops) != len(regs) {
+					continue
+				}
+				match := true
+				for i, r := range g.Pops {
+					_ = i
+					in := false
+					for _, q := range regs {
+						if q == r {
+							in = true
+							break
+						}
+					}
+					if !in {
+						match = false
+						break
+					}
+				}
+				if match {
+					want, found = g, true
+					break
+				}
+			}
+			got, ok := f.FindPopPC(regs...)
+			if ok != found || (ok && got.Addr != want.Addr) {
+				t.Errorf("%v FindPopPC(%v) = %v,%v; linear = %v,%v", arch, regs, got, ok, want, found)
+			}
+		}
+
+		for r := 0; r < 8; r++ {
+			var want Gadget
+			found := false
+			for _, g := range all {
+				if g.Kind == KindBlxReg && g.Reg == r {
+					want, found = g, true
+					break
+				}
+			}
+			got, ok := f.FindBlxReg(r)
+			if ok != found || (ok && got.Addr != want.Addr) {
+				t.Errorf("%v FindBlxReg(%d) = %v,%v; linear = %v,%v", arch, r, got, ok, want, found)
+			}
+		}
+
+		img := f.img
+		for c := 0; c < 256; c++ {
+			var want uint32
+			found := false
+			for _, sec := range img.Sections {
+				for i, b := range sec.Data {
+					if b == byte(c) {
+						want, found = sec.Addr+uint32(i), true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			got, ok := f.MemStrFirst(byte(c))
+			if ok != found || got != want {
+				t.Errorf("%v MemStrFirst(%#x) = %#x,%v; linear = %#x,%v", arch, c, got, ok, want, found)
+			}
+			positions := f.MemStr(byte(c))
+			var ref []uint32
+			for _, sec := range img.Sections {
+				for i, b := range sec.Data {
+					if b == byte(c) {
+						ref = append(ref, sec.Addr+uint32(i))
+					}
+				}
+			}
+			if len(positions) != len(ref) {
+				t.Errorf("%v MemStr(%#x): %d positions, want %d", arch, c, len(positions), len(ref))
+				continue
+			}
+			for i := range ref {
+				if positions[i] != ref[i] {
+					t.Errorf("%v MemStr(%#x)[%d] = %#x, want %#x", arch, c, i, positions[i], ref[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestLookupsAllocationFree: after construction, every hot lookup the
+// chain builders use must do zero heap allocations.
+func TestLookupsAllocationFree(t *testing.T) {
+	fx := NewFinder(linkVictim(t, isa.ArchX86S))
+	fa := NewFinder(linkVictim(t, isa.ArchARMS))
+	if n := testing.AllocsPerRun(100, func() {
+		fx.FindPopRet(3)
+		fx.FindPopRet(1)
+		fx.MemStrFirst('/')
+		fa.FindPopPC(arms.R0, arms.R1, arms.R2, arms.R3, arms.R5, arms.R6, arms.R7)
+		fa.FindBlxReg(arms.R3)
+		fa.MemStrFirst('s')
+	}); n > 0 {
+		t.Errorf("lookups allocate %.1f/op, want 0", n)
+	}
+}

@@ -45,7 +45,9 @@ type Datagram struct {
 }
 
 // Handler consumes a datagram delivered to a socket. It runs synchronously
-// inside Network.Run.
+// inside Network.Run. The payload buffer is recycled when the handler
+// returns: handlers that retain payload bytes (directly or through
+// aliasing decoders) must copy them first.
 type Handler func(dg Datagram)
 
 // UDPSocket is a bound port on a host.
@@ -56,10 +58,10 @@ type UDPSocket struct {
 	queue   []Datagram
 }
 
-// SendTo queues a datagram to dst.
+// SendTo queues a datagram to dst. The payload is copied into a pooled
+// buffer, so the caller's slice is free for reuse immediately.
 func (s *UDPSocket) SendTo(dst Addr, payload []byte) {
-	p := make([]byte, len(payload))
-	copy(p, payload)
+	p := append(s.host.net.getBuf(len(payload)), payload...)
 	s.host.net.enqueue(Datagram{
 		Src:     Addr{IP: s.host.IP, Port: s.port},
 		Dst:     dst,
@@ -152,6 +154,9 @@ type Network struct {
 	aps   []*AccessPoint
 	byIP  map[IP]*Host
 	queue []Datagram
+	// free holds recycled payload buffers: a datagram's buffer returns
+	// here once it is dropped or its handler finishes.
+	free [][]byte
 
 	// Delivered counts datagrams handed to sockets, for reporting.
 	Delivered int
@@ -266,6 +271,28 @@ func (s *Station) Associate() (*AccessPoint, error) {
 // enqueue appends to the delivery queue.
 func (n *Network) enqueue(dg Datagram) { n.queue = append(n.queue, dg) }
 
+// getBuf pops a recycled payload buffer with at least the given
+// capacity, or returns a fresh one.
+func (n *Network) getBuf(size int) []byte {
+	for i := len(n.free) - 1; i >= 0; i-- {
+		if b := n.free[i]; cap(b) >= size {
+			n.free[i] = n.free[len(n.free)-1]
+			n.free = n.free[:len(n.free)-1]
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, size)
+}
+
+// putBuf recycles a payload buffer (bounded so a burst of giants does
+// not pin memory forever).
+func (n *Network) putBuf(b []byte) {
+	if cap(b) == 0 || len(n.free) >= 64 {
+		return
+	}
+	n.free = append(n.free, b[:0])
+}
+
 // Step delivers one queued datagram. It reports false when the queue is
 // empty.
 func (n *Network) Step() bool {
@@ -278,19 +305,25 @@ func (n *Network) Step() bool {
 	if !ok {
 		n.Dropped++
 		n.logf("drop %s -> %s (%d bytes): no route", dg.Src, dg.Dst, len(dg.Payload))
+		n.putBuf(dg.Payload)
 		return true
 	}
 	sock, ok := host.sockets[dg.Dst.Port]
 	if !ok {
 		n.Dropped++
 		n.logf("drop %s -> %s (%d bytes): port closed", dg.Src, dg.Dst, len(dg.Payload))
+		n.putBuf(dg.Payload)
 		return true
 	}
 	n.Delivered++
 	n.logf("deliver %s -> %s (%d bytes)", dg.Src, dg.Dst, len(dg.Payload))
 	if sock.handler != nil {
 		sock.handler(dg)
+		// The handler contract says payloads do not outlive the call.
+		n.putBuf(dg.Payload)
 	} else {
+		// Handler-less sockets retain the datagram until Recv; those
+		// buffers stay owned by the receiver and are never recycled.
 		sock.queue = append(sock.queue, dg)
 	}
 	return true

@@ -209,6 +209,10 @@ type Daemon struct {
 	crashed bool
 	last    kernel.RunResult
 	handled int
+	// parseEntry caches the resolved parse_response entry point for the
+	// current process image: symbol lookup is per-load (PIE moves it), so
+	// Restart resets it. Zero means not yet resolved.
+	parseEntry uint32
 }
 
 // NewDaemon loads a fresh victim process and wraps it.
@@ -274,7 +278,14 @@ func (d *Daemon) HandleResponse(pkt []byte) (kernel.RunResult, error) {
 	if f := d.proc.Mem().WriteBytes(addr, pkt); f != nil {
 		return kernel.RunResult{}, fmt.Errorf("victim daemon: stage packet: %w", f)
 	}
-	res, err := d.proc.Call("parse_response", addr, uint32(len(pkt)))
+	if d.parseEntry == 0 {
+		entry, ok := d.proc.Prog.Lookup("parse_response")
+		if !ok {
+			return kernel.RunResult{}, fmt.Errorf("call: undefined function %q", "parse_response")
+		}
+		d.parseEntry = entry
+	}
+	res, err := d.proc.CallAddr(d.parseEntry, addr, uint32(len(pkt)))
 	if err != nil {
 		return kernel.RunResult{}, err
 	}
@@ -321,5 +332,6 @@ func (d *Daemon) Restart() error {
 	d.proc = proc
 	d.crashed = false
 	d.last = kernel.RunResult{}
+	d.parseEntry = 0
 	return nil
 }

@@ -1,20 +1,27 @@
 #!/bin/sh
 # Micro-benchmark harness: runs the root-package benchmarks (Step loops,
 # Recon, gadget scan, campaign fleet) and records ns/op and allocs/op per
-# benchmark in BENCH_2.json, the machine-readable companion to the
+# benchmark in BENCH_3.json, the machine-readable companion to the
 # Performance table in EXPERIMENTS.md.
 #
 # Each benchmark runs in its own process: the heavyweight campaign
 # benchmarks otherwise leave enough heap behind to inflate GC-sensitive
 # neighbors like Recon by 30%+.
 #
+# After writing OUT the script compares against the most recent other
+# BENCH_*.json (or an explicit BASE=file): it prints a per-benchmark
+# ns/op delta table and exits non-zero if any benchmark regressed more
+# than 10%. COMPARE=0 skips the comparison.
+#
 #   BENCHTIME=5s OUT=/tmp/bench.json sh scripts/bench.sh
+#   BASE=BENCH_2.json sh scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
-OUT="${OUT:-BENCH_2.json}"
+OUT="${OUT:-BENCH_3.json}"
+COMPARE="${COMPARE:-1}"
 TMP="$(mktemp)"
 BIN="$(mktemp)"
 trap 'rm -f "$TMP" "$BIN"' EXIT
@@ -50,3 +57,51 @@ END {
 ' "$TMP" > "$OUT"
 
 echo "wrote $OUT"
+
+[ "$COMPARE" = "0" ] && exit 0
+
+# Pick the comparison baseline: explicit BASE, else the newest BENCH_*.json
+# that is not the file just written.
+if [ -z "${BASE:-}" ]; then
+    BASE="$(ls -1 BENCH_*.json 2>/dev/null | grep -Fxv "$(basename "$OUT")" | sort | tail -n 1 || true)"
+fi
+if [ -z "${BASE:-}" ] || [ ! -f "$BASE" ]; then
+    echo "no baseline BENCH_*.json to compare against; skipping comparison"
+    exit 0
+fi
+
+echo
+echo "comparing $OUT against $BASE (ns/op; >10% slower fails):"
+
+# The JSON is the fixed one-benchmark-per-line shape this script writes,
+# so a field scan is enough — no JSON parser needed.
+awk -v fail=10 '
+function parse(line, f,   name, ns) {
+    if (line !~ /"ns_per_op"/) return
+    name = line; sub(/^[ \t]*"/, "", name); sub(/".*/, "", name)
+    ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+    if (f == 1) { base_ns[name] = ns + 0 }
+    else if (!(name in cur_ns)) { cur_ns[name] = ns + 0; order[n++] = name }
+}
+NR == FNR { parse($0, 1); next }
+{ parse($0, 2) }
+END {
+    printf "  %-45s %12s %12s %8s\n", "benchmark", "base", "now", "delta"
+    worst = 0
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in base_ns)) {
+            printf "  %-45s %12s %12.0f %8s\n", name, "-", cur_ns[name], "new"
+            continue
+        }
+        d = 100 * (cur_ns[name] - base_ns[name]) / base_ns[name]
+        printf "  %-45s %12.0f %12.0f %+7.1f%%\n", name, base_ns[name], cur_ns[name], d
+        if (d > worst) { worst = d; worstname = name }
+    }
+    if (worst > fail) {
+        printf "FAIL: %s regressed %.1f%% (limit %d%%)\n", worstname, worst, fail
+        exit 1
+    }
+    printf "ok: no benchmark regressed more than %d%%\n", fail
+}
+' "$BASE" "$OUT"

@@ -1,11 +1,18 @@
 #!/bin/sh
-# Tier-1 verification: vet, build, full test suite, race detector over
-# the concurrent packages. Equivalent to `make check` for environments
-# without make.
+# Tier-1 verification: formatting, vet, build, full test suite, race
+# detector over the concurrent packages. Equivalent to `make check` for
+# environments without make.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# gofmt -l prints offending files without failing; turn any output into
+# a hard failure before spending time on tests.
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" "$UNFORMATTED" >&2
+    exit 1
+fi
 go vet ./...
 go build ./...
 go test ./...

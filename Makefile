@@ -22,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/campaign/... ./internal/core/...
+	$(GO) test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/...
 
 # Short budgeted runs of every native fuzz target (seed corpora already
 # run as part of `make test`).
@@ -36,7 +36,7 @@ fuzz:
 	$(GO) test -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/gadget/
 
 # Full benchmark run; writes ns/op and allocs/op per benchmark to
-# BENCH_3.json, then compares against the most recent earlier
+# BENCH_5.json, then compares against the most recent earlier
 # BENCH_*.json and fails on a >10% ns/op regression (see scripts/bench.sh
 # for BENCHTIME/OUT/BASE/COMPARE overrides).
 bench:

@@ -23,6 +23,7 @@ import (
 	"connlab/internal/isa/x86s"
 	"connlab/internal/kernel"
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -207,6 +208,42 @@ func BenchmarkE12_AutoExploitGen(b *testing.B) {
 				}
 			}
 		}
+	}
+}
+
+// --- telemetry-overhead benchmarks ---
+//
+// The metrics-on twins of E2 and E10 measure the cost of live telemetry
+// on full exploit runs; EXPERIMENTS.md records the on/off deltas. Enable
+// precedes lab construction because instrumented components take their
+// shard handles when built.
+
+// BenchmarkE2_X86CodeInjectionTelemetry is E2 with metrics collection on.
+func BenchmarkE2_X86CodeInjectionTelemetry(b *testing.B) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		r, err := lab.RunAttack(isa.ArchX86S, exploit.KindCodeInjection, core.LevelNone)
+		requireOutcome(b, r, err, core.OutcomeShell)
+	}
+	if telemetry.TakeSnapshot().Counters[telemetry.CtrEmuRuns.Name()] == 0 {
+		b.Fatal("telemetry collected nothing")
+	}
+}
+
+// BenchmarkE10_MitigationsTelemetry is E10 with metrics collection on.
+func BenchmarkE10_MitigationsTelemetry(b *testing.B) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	lab := benchLab()
+	for i := 0; i < b.N; i++ {
+		if _, err := lab.EvaluateMitigations(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if telemetry.TakeSnapshot().Counters[telemetry.CtrEmuRuns.Name()] == 0 {
+		b.Fatal("telemetry collected nothing")
 	}
 }
 

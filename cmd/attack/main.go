@@ -17,6 +17,7 @@ import (
 	"connlab/internal/core"
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -27,7 +28,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("attack", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	archFlag := fs.String("arch", "x86s", "victim architecture: x86s or arms")
@@ -42,7 +43,14 @@ func run(args []string, stdout io.Writer) error {
 	patched := fs.Bool("patched", false, "run the patched (1.35) victim")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
 	seed := fs.Int64("seed", 2002, "target machine seed")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Telemetry must be live before the lab is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
 		return err
 	}
 
@@ -78,5 +86,13 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "protection: %s\n", res.Protection)
 	fmt.Fprintf(stdout, "outcome:    %s\n", res.Outcome)
 	fmt.Fprintf(stdout, "detail:     %s\n", res.Detail)
+	if len(res.Trace) > 0 {
+		fmt.Fprintf(stdout, "hijack flight recorder (%d control transfers):\n", len(res.Trace))
+		fmt.Fprint(stdout, telemetry.FormatControlTrace(res.Trace))
+	}
+	run := &telemetry.RunInfo{Tool: "attack", RootSeed: *seed, Devices: 1, Scenarios: 1}
+	if ferr := tf.Finish(run, nil, res.Trace); ferr != nil {
+		return ferr
+	}
 	return nil
 }

@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"connlab/internal/telemetry"
 )
 
 // TestRunCodeInjection: the classic unprotected pop on x86.
@@ -27,6 +32,49 @@ func TestRunAuto(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "auto-selected strategy:") || !strings.Contains(s, "outcome:") {
 		t.Errorf("unexpected output:\n%s", s)
+	}
+}
+
+// TestRunTrace: -trace arms the flight recorder, prints the hijack
+// trace (E2: the x86 code-injection gadget walk) and writes a parseable
+// Chrome trace and metrics snapshot.
+func TestRunTrace(t *testing.T) {
+	t.Cleanup(telemetry.Disable)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-arch", "x86s", "-kind", "code-injection",
+		"-trace", tracePath, "-metrics", metricsPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "outcome:    SHELL") {
+		t.Fatalf("expected SHELL outcome:\n%s", s)
+	}
+	if !strings.Contains(s, "hijack flight recorder") || !strings.Contains(s, "ret") {
+		t.Errorf("missing flight-recorder dump:\n%s", s)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if raw, err = os.ReadFile(metricsPath); err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot does not parse: %v", err)
+	}
+	if snap.Run == nil || snap.Run.Tool != "attack" || snap.TraceEvents == 0 {
+		t.Errorf("snapshot run=%+v trace_events=%d", snap.Run, snap.TraceEvents)
 	}
 }
 

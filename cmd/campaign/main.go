@@ -20,7 +20,7 @@ import (
 	"connlab/internal/campaign"
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
-	"connlab/internal/profiling"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -51,21 +51,17 @@ func run(args []string, stdout io.Writer) (err error) {
 	patched := fs.Bool("patched", false, "deploy the patched (1.35) firmware fleet-wide")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
 	canonical := fs.Bool("canonical", false, "print the byte-stable canonical report (no timings)")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	jsonOut := fs.String("json", "", "write the full report (config included) as JSON to `file` (- for stdout)")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
-	if err != nil {
+	// Telemetry must be live before the engine is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
 		return err
 	}
-	defer func() {
-		if perr := stopProfiles(); perr != nil && err == nil {
-			err = perr
-		}
-	}()
 
 	arch := isa.Arch(*archFlag)
 	if arch != isa.ArchX86S && arch != isa.ArchARMS {
@@ -130,6 +126,40 @@ func run(args []string, stdout io.Writer) (err error) {
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprint(stdout, rep.Table())
 		}
+		if *jsonOut != "" {
+			if jerr := writeReportJSON(*jsonOut, rep, stdout); jerr != nil && err == nil {
+				err = jerr
+			}
+		}
+		// Flight-recorder events ride in the device results; collect them
+		// for the trace export.
+		var ctl []telemetry.ControlEvent
+		for si := range rep.Scenarios {
+			for di := range rep.Scenarios[si].Devices {
+				ctl = append(ctl, rep.Scenarios[si].Devices[di].Trace...)
+			}
+		}
+		if ferr := tf.Finish(rep.RunInfo("campaign"), rep.StageAggregates(), ctl); ferr != nil && err == nil {
+			err = ferr
+		}
+	} else if ferr := tf.Finish(&telemetry.RunInfo{Tool: "campaign"}, nil, nil); ferr != nil && err == nil {
+		err = ferr
 	}
 	return err
+}
+
+// writeReportJSON writes the report to path, with "-" meaning stdout.
+func writeReportJSON(path string, rep *campaign.Report, stdout io.Writer) error {
+	if path == "-" {
+		return rep.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"connlab/internal/campaign"
+	"connlab/internal/telemetry"
 )
 
 // TestRunFleet: a small pineapple fleet owns the vulnerable devices and
@@ -59,6 +65,52 @@ func TestRunSweep(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "campaign: 3 scenarios, 6 devices") {
 		t.Errorf("expected three paper levels:\n%s", out.String())
+	}
+}
+
+// TestRunMetricsAndJSON: -metrics writes a telemetry snapshot annotated
+// with the campaign's run info and stage aggregates, and -json writes
+// the full report with its engine config embedded.
+func TestRunMetricsAndJSON(t *testing.T) {
+	t.Cleanup(telemetry.Disable)
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	reportPath := filepath.Join(dir, "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-preset", "fleet", "-arch", "x86s", "-kind", "code-injection",
+		"-devices", "3", "-workers", "2",
+		"-metrics", metricsPath, "-json", reportPath,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.Run == nil || snap.Run.Tool != "campaign" || snap.Run.Devices != 3 || snap.Run.Workers != 2 {
+		t.Errorf("snapshot run = %+v, want campaign/3 devices/2 workers", snap.Run)
+	}
+	if snap.Counters[telemetry.CtrEmuRuns.Name()] == 0 {
+		t.Error("snapshot counters empty: emu_runs = 0")
+	}
+	if len(snap.Scenarios) != 1 || snap.Scenarios[0].Devices != 3 {
+		t.Errorf("snapshot scenarios = %+v", snap.Scenarios)
+	}
+	if raw, err = os.ReadFile(reportPath); err != nil {
+		t.Fatal(err)
+	}
+	var rep campaign.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if rep.Config.Workers != 2 || rep.Config.RootSeed != campaign.DefaultRootSeed {
+		t.Errorf("report config = %+v", rep.Config)
 	}
 }
 

@@ -16,10 +16,16 @@
 //	dis [hexaddr] [n]    disassemble n instructions (default 8, at pc)
 //	where                show pc and containing function
 //	q                    quit
+//
+// A non-interactive subcommand inspects telemetry snapshots written by
+// the other tools' -metrics flag:
+//
+//	dbgsh telemetry metrics.json
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -32,14 +38,39 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
 	"connlab/internal/kernel"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "telemetry" {
+		if err := telemetryCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "dbgsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "dbgsh:", err)
 		os.Exit(1)
 	}
+}
+
+// telemetryCmd renders a -metrics snapshot file for terminal inspection.
+func telemetryCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: dbgsh telemetry <snapshot.json>")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return fmt.Errorf("parse %s: %w", args[0], err)
+	}
+	fmt.Print(telemetry.FormatSnapshot(snap))
+	return nil
 }
 
 func run() error {

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"connlab/internal/telemetry"
+)
+
+// TestTelemetryCmd: the telemetry subcommand renders a -metrics snapshot
+// file written by another tool.
+func TestTelemetryCmd(t *testing.T) {
+	t.Cleanup(telemetry.Disable)
+	telemetry.Enable()
+	telemetry.Inc(telemetry.CtrEmuRuns)
+	snap := telemetry.TakeSnapshot()
+	snap.Run = &telemetry.RunInfo{Tool: "campaign", Workers: 2}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := telemetry.WriteSnapshotFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetryCmd([]string{path}); err != nil {
+		t.Fatalf("telemetryCmd: %v", err)
+	}
+}
+
+// TestTelemetryCmdErrors: wrong arity, missing files and non-snapshot
+// JSON are clean errors.
+func TestTelemetryCmdErrors(t *testing.T) {
+	if err := telemetryCmd(nil); err == nil {
+		t.Error("expected a usage error with no arguments")
+	}
+	if err := telemetryCmd([]string{"/nonexistent/m.json"}); err == nil {
+		t.Error("expected an error for a missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetryCmd([]string{bad}); err == nil {
+		t.Error("expected an error for malformed JSON")
+	}
+}

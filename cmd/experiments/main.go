@@ -13,7 +13,7 @@ import (
 	"os"
 
 	"connlab/internal/core"
-	"connlab/internal/profiling"
+	"connlab/internal/telemetry"
 )
 
 func main() {
@@ -30,19 +30,20 @@ func run(args []string, stdout io.Writer) (err error) {
 	reconSeed := fs.Int64("recon-seed", 1001, "attacker replica seed")
 	targetSeed := fs.Int64("target-seed", 2002, "target machine seed")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
-	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
-	if err != nil {
+	// Telemetry must be live before the lab is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
 		return err
 	}
 	defer func() {
-		if perr := stopProfiles(); perr != nil && err == nil {
-			err = perr
+		run := &telemetry.RunInfo{Tool: "experiments"}
+		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {
+			err = ferr
 		}
 	}()
 

@@ -3,6 +3,8 @@ package campaign
 import (
 	"sync"
 	"sync/atomic"
+
+	"connlab/internal/telemetry"
 )
 
 // Cache is a keyed, concurrency-safe, build-once cache (a typed
@@ -16,6 +18,10 @@ type Cache[K comparable, V any] struct {
 	entries map[K]*cacheEntry[V]
 	builds  atomic.Int64
 	hits    atomic.Int64
+
+	// Global telemetry counters mirrored on build/hit when instrumented.
+	ctrBuild, ctrHit telemetry.Counter
+	instrumented     bool
 }
 
 type cacheEntry[V any] struct {
@@ -27,6 +33,14 @@ type cacheEntry[V any] struct {
 // NewCache returns an empty cache.
 func NewCache[K comparable, V any]() *Cache[K, V] {
 	return &Cache[K, V]{entries: make(map[K]*cacheEntry[V])}
+}
+
+// Instrument mirrors the cache's build/hit counters into the named
+// global telemetry counters (cheap no-ops while telemetry is disabled).
+// Returns the cache for construction chaining.
+func (c *Cache[K, V]) Instrument(build, hit telemetry.Counter) *Cache[K, V] {
+	c.ctrBuild, c.ctrHit, c.instrumented = build, hit, true
+	return c
 }
 
 // Get returns the cached value for key, building it with build on first
@@ -48,6 +62,13 @@ func (c *Cache[K, V]) Get(key K, build func() (V, error)) (V, error) {
 	})
 	if !built {
 		c.hits.Add(1)
+	}
+	if c.instrumented {
+		if built {
+			telemetry.Inc(c.ctrBuild)
+		} else {
+			telemetry.Inc(c.ctrHit)
+		}
 	}
 	return e.val, e.err
 }

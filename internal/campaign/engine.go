@@ -14,6 +14,7 @@ import (
 	"connlab/internal/image"
 	"connlab/internal/isa"
 	"connlab/internal/kernel"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -169,12 +170,17 @@ func New(cfg Config) *Engine {
 		cfg.ReconSeed = DefaultReconSeed
 	}
 	return &Engine{
-		cfg:         cfg,
-		recons:      NewCache[reconKey, *exploit.Target](),
-		payloads:    NewCache[payloadKey, *exploit.Exploit](),
-		packets:     NewCache[payloadKey, []byte](),
-		units:       NewCache[unitKey, *image.Unit](),
-		libcs:       NewCache[isa.Arch, *image.Unit](),
+		cfg: cfg,
+		recons: NewCache[reconKey, *exploit.Target]().
+			Instrument(telemetry.CtrReconBuild, telemetry.CtrReconHit),
+		payloads: NewCache[payloadKey, *exploit.Exploit]().
+			Instrument(telemetry.CtrPayloadBuild, telemetry.CtrPayloadHit),
+		packets: NewCache[payloadKey, []byte]().
+			Instrument(telemetry.CtrPacketBuild, telemetry.CtrPacketHit),
+		units: NewCache[unitKey, *image.Unit]().
+			Instrument(telemetry.CtrUnitBuild, telemetry.CtrUnitHit),
+		libcs: NewCache[isa.Arch, *image.Unit]().
+			Instrument(telemetry.CtrUnitBuild, telemetry.CtrUnitHit),
 		linkOptions: NewCache[linkKey, image.Options](),
 		pool:        make(map[poolKey][]*victim.Daemon),
 	}
@@ -324,9 +330,11 @@ func (e *Engine) acquireDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.
 		}
 		e.poolMu.Unlock()
 		if d != nil && d.Recycle(cfg) {
+			telemetry.Inc(telemetry.CtrPoolRecycle)
 			return d, nil
 		}
 	}
+	telemetry.Inc(telemetry.CtrPoolFresh)
 	return e.newDaemon(arch, opts, cfg)
 }
 
@@ -347,6 +355,44 @@ func (e *Engine) releaseDaemon(arch isa.Arch, opts victim.BuildOpts, cfg kernel.
 func (e *Engine) timeStage(ns *atomic.Int64) func() {
 	start := time.Now()
 	return func() { ns.Add(int64(time.Since(start))) }
+}
+
+// stageRecorder times the stages of one device attempt: wall nanoseconds
+// land in the DeviceResult (always — two clock reads per stage against a
+// stage that emulates thousands of instructions), and each stage is
+// mirrored into the telemetry span ring when telemetry is enabled.
+type stageRecorder struct {
+	scenario, device string
+	worker           int
+	tel              bool
+	t0               time.Time
+	span0            int64
+}
+
+func newStageRecorder(scenario, device string, worker int) stageRecorder {
+	return stageRecorder{scenario: scenario, device: device, worker: worker, tel: telemetry.Enabled()}
+}
+
+// begin marks the start of a stage.
+func (sr *stageRecorder) begin() {
+	sr.t0 = time.Now()
+	if sr.tel {
+		sr.span0 = telemetry.SpanNow()
+	}
+}
+
+// end closes the stage begun last, crediting its duration to r's stage
+// slot and the span ring. instr annotates emulated-instruction cost
+// (deliver stage) and is 0 elsewhere.
+func (sr *stageRecorder) end(r *DeviceResult, stage int, instr uint64) {
+	d := int64(time.Since(sr.t0))
+	r.StageNs[stage] += d
+	if sr.tel {
+		telemetry.RecordSpan(telemetry.Span{
+			Scenario: sr.scenario, Device: sr.device, Stage: StageNames[stage],
+			Worker: sr.worker, Start: sr.span0, Dur: d, Instr: instr,
+		})
+	}
 }
 
 // deviceSeed derives the machine seed for device di of scenario si.
@@ -370,7 +416,10 @@ type workItem struct{ si, di int }
 // still carries every completed trial.
 func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 	start := time.Now()
+	resolved := e.cfg
+	resolved.Workers = e.Workers()
 	rep := &Report{
+		Config:    resolved,
 		RootSeed:  e.cfg.RootSeed,
 		ReconSeed: e.cfg.ReconSeed,
 		Workers:   e.Workers(),
@@ -393,7 +442,7 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < e.Workers(); w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -401,9 +450,9 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 					return
 				}
 				it := work[i]
-				rep.Scenarios[it.si].Devices[it.di] = e.runDevice(scenarios[it.si], it.si, it.di)
+				rep.Scenarios[it.si].Devices[it.di] = e.runDevice(scenarios[it.si], it.si, it.di, worker)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -418,6 +467,7 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 				errs = append(errs, fmt.Errorf("%s device %d: %s", sr.Label, di, d.Err))
 			}
 		}
+		sr.aggregateStages()
 		rep.add(sr)
 	}
 	rep.Wall = time.Since(start)
@@ -442,7 +492,7 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 // units and crafted packets shared across calls. The device is addressed
 // as (scenario 0, device 0), so a pinned TargetSeed is used verbatim.
 func (e *Engine) RunOne(s Scenario) DeviceResult {
-	return e.runDevice(s, 0, 0)
+	return e.runDevice(s, 0, 0, 0)
 }
 
 // Recon exposes the cached attacker-side reconnaissance for a scenario's
@@ -463,33 +513,45 @@ func (e *Engine) Payload(s Scenario) (*exploit.Exploit, error) {
 
 // runDevice executes one trial: cached recon, cached payload, a fresh (or
 // recycled, which is indistinguishable) victim, delivery, classification.
-func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
+// Each stage's wall time lands in the result; with telemetry enabled the
+// stages also become spans, and with tracing armed the victim CPU carries
+// a flight recorder whose events come back in the result.
+func (e *Engine) runDevice(s Scenario, si, di, worker int) (r DeviceResult) {
 	seed := e.deviceSeed(s, si, di)
 	patched := s.PatchedEvery > 0 && di%s.PatchedEvery == 0
-	r := DeviceResult{
+	r = DeviceResult{
 		Name:    fmt.Sprintf("iot-%02d", di),
 		Seed:    seed,
 		Patched: patched,
 	}
+	sc := newStageRecorder(s.label(), r.Name, worker)
+
+	sc.begin()
 	tgt, err := e.recon(s)
+	sc.end(&r, StageRecon, 0)
 	if err != nil {
 		r.Outcome = OutcomeError
 		r.Err = fmt.Sprintf("recon %s: %v", s.Arch, err)
 		return r
 	}
+	sc.begin()
 	ex, err := e.payload(s, tgt)
+	sc.end(&r, StagePayload, 0)
 	if err != nil {
 		r.Outcome = OutcomeBuildFail
 		r.Detail = err.Error()
 		return r
 	}
+	sc.begin()
 	cfg, opts, ss, err := e.targetSetup(s, seed, patched)
 	if err != nil {
+		sc.end(&r, StageVictim, 0)
 		r.Outcome = OutcomeError
 		r.Err = err.Error()
 		return r
 	}
 	d, err := e.acquireDaemon(s.Arch, opts, cfg)
+	sc.end(&r, StageVictim, 0)
 	if err != nil {
 		r.Outcome = OutcomeError
 		r.Err = err.Error()
@@ -499,17 +561,32 @@ func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
 	if ss != nil {
 		ss.Arm(d.Process())
 	}
+	if telemetry.TraceOn() {
+		// The recorder is detached before the daemon returns to the pool
+		// (defers run LIFO: detach first, then releaseDaemon).
+		rec := telemetry.NewControlRecorder(telemetry.TraceCap())
+		cpu := d.Process().CPU()
+		cpu.SetRecorder(rec)
+		defer func() {
+			cpu.SetRecorder(nil)
+			r.Trace = rec.Events()
+		}()
+	}
 
 	defer e.timeStage(&e.nsAttack)()
 	if s.Pineapple {
+		sc.begin()
 		hijacked, err := pineappleDeliver(d, ex)
 		if err != nil {
+			sc.end(&r, StageDeliver, 0)
 			r.Outcome = OutcomeError
 			r.Err = err.Error()
 			return r
 		}
 		r.Hijacked = hijacked
 		r.Run = d.LastResult()
+		sc.end(&r, StageDeliver, r.Run.Instructions)
+		sc.begin()
 		switch {
 		case len(d.Shells()) > 0:
 			r.Outcome = OutcomeShell
@@ -519,22 +596,29 @@ func (e *Engine) runDevice(s Scenario, si, di int) DeviceResult {
 			r.Outcome = OutcomeNoEffect
 		}
 		r.Detail = r.Run.String()
+		sc.end(&r, StageVerdict, 0)
 		return r
 	}
 
+	sc.begin()
 	pkt, err := e.attackPacket(s, ex)
 	if err != nil {
+		sc.end(&r, StageDeliver, 0)
 		r.Outcome = OutcomeError
 		r.Err = err.Error()
 		return r
 	}
 	res, err := d.HandleResponse(pkt)
 	if err != nil {
+		sc.end(&r, StageDeliver, 0)
 		r.Outcome = OutcomeError
 		r.Err = err.Error()
 		return r
 	}
 	r.Run = res
+	sc.end(&r, StageDeliver, res.Instructions)
+	sc.begin()
 	r.Outcome, r.Detail = Classify(res)
+	sc.end(&r, StageVerdict, 0)
 	return r
 }

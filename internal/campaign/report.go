@@ -1,12 +1,29 @@
 package campaign
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
 	"connlab/internal/kernel"
+	"connlab/internal/telemetry"
 )
+
+// Attempt stages, in execution order. StageNames is index-aligned and
+// provides the span/report labels.
+const (
+	StageRecon = iota
+	StagePayload
+	StageVictim
+	StageDeliver
+	StageVerdict
+	NumStages
+)
+
+// StageNames labels the attempt stages for spans and reports.
+var StageNames = [NumStages]string{"recon", "payload", "victim", "deliver", "verdict"}
 
 // DeviceResult is one trial's fate.
 type DeviceResult struct {
@@ -26,6 +43,13 @@ type DeviceResult struct {
 	Run kernel.RunResult
 	// Err is set when the trial failed on infrastructure.
 	Err string
+	// StageNs is per-stage wall time for this attempt (indexed by the
+	// Stage* constants). Wall clock, so host-scheduling-dependent — it is
+	// excluded from Canonical and determinism comparisons.
+	StageNs [NumStages]int64 `json:"stage_ns"`
+	// Trace holds the hijack flight-recorder events for this attempt when
+	// tracing is armed (telemetry.EnableTrace / the -trace flag).
+	Trace []telemetry.ControlEvent `json:",omitempty"`
 }
 
 // ScenarioResult aggregates one scenario's fleet.
@@ -37,6 +61,32 @@ type ScenarioResult struct {
 	Owned, Crashed, Blocked, Survived, BuildFail, Errors int
 	// Hijacked sums MITM-answered lookups across the fleet.
 	Hijacked int
+	// ParseInstr is the fleet's emulated-parse cost distribution in
+	// instructions per device — deterministic for a given seed set, so it
+	// is comparable across worker counts (unlike wall time).
+	ParseInstr telemetry.Pct
+	// StageWall holds per-stage wall-time percentiles across the fleet
+	// (nanoseconds), keyed by StageNames. Scheduling-dependent; excluded
+	// from Canonical.
+	StageWall map[string]telemetry.Pct `json:",omitempty"`
+}
+
+// aggregateStages fills ParseInstr and StageWall from the fleet results.
+func (sr *ScenarioResult) aggregateStages() {
+	instr := make([]uint64, 0, len(sr.Devices))
+	var stage [NumStages][]int64
+	for di := range sr.Devices {
+		d := &sr.Devices[di]
+		instr = append(instr, d.Run.Instructions)
+		for s := 0; s < NumStages; s++ {
+			stage[s] = append(stage[s], d.StageNs[s])
+		}
+	}
+	sr.ParseInstr = telemetry.Percentiles(instr)
+	sr.StageWall = make(map[string]telemetry.Pct, NumStages)
+	for s := 0; s < NumStages; s++ {
+		sr.StageWall[StageNames[s]] = telemetry.PercentilesNs(stage[s])
+	}
 }
 
 // count tallies one device outcome.
@@ -68,6 +118,11 @@ type StageTimings struct {
 
 // Report is the aggregated outcome of a campaign run.
 type Report struct {
+	// Config is the resolved engine configuration the campaign ran under
+	// (workers, root/recon seeds), so a serialized report is
+	// self-describing — it can be tied back to its run parameters and
+	// reproduced without external context.
+	Config Config
 	// RootSeed and ReconSeed reproduce the campaign bit for bit.
 	RootSeed, ReconSeed int64
 	// Workers is the pool size the campaign ran with. It never affects
@@ -151,6 +206,42 @@ func (r *Report) Canonical() string {
 	fmt.Fprintf(&sb, "total owned=%d crashed=%d blocked=%d survived=%d no-payload=%d errors=%d hijacked=%d\n",
 		r.Owned, r.Crashed, r.Blocked, r.Survived, r.BuildFail, r.Errors, r.Hijacked)
 	return sb.String()
+}
+
+// WriteJSON serializes the full report — config included, so the
+// snapshot is self-describing — as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// StageAggregates converts the per-scenario stage statistics into the
+// telemetry snapshot's scenario entries.
+func (r *Report) StageAggregates() []telemetry.ScenarioStages {
+	out := make([]telemetry.ScenarioStages, 0, len(r.Scenarios))
+	for si := range r.Scenarios {
+		sr := &r.Scenarios[si]
+		out = append(out, telemetry.ScenarioStages{
+			Label:       sr.Label,
+			Devices:     len(sr.Devices),
+			ParseInstr:  sr.ParseInstr,
+			StageWallNs: sr.StageWall,
+		})
+	}
+	return out
+}
+
+// RunInfo describes the campaign for a telemetry snapshot.
+func (r *Report) RunInfo(tool string) *telemetry.RunInfo {
+	return &telemetry.RunInfo{
+		Tool:      tool,
+		Workers:   r.Workers,
+		RootSeed:  r.RootSeed,
+		ReconSeed: r.ReconSeed,
+		Scenarios: len(r.Scenarios),
+		Devices:   r.TotalDevices(),
+	}
 }
 
 // Table renders the per-configuration outcome table.

@@ -17,6 +17,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
 	"connlab/internal/kernel"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -57,6 +58,10 @@ type AttackResult struct {
 	Detail string
 	// Run is the raw kernel result when the attack fired.
 	Run kernel.RunResult
+	// Trace holds the hijack flight-recorder events when tracing is armed
+	// (telemetry.EnableTrace / the -trace flag): the exact control-transfer
+	// walk — rets, pop-pc, calls, the final syscall — of the attempt.
+	Trace []telemetry.ControlEvent
 }
 
 // String renders a matrix row.
@@ -171,6 +176,7 @@ func (l *Lab) RunAttack(arch isa.Arch, kind exploit.Kind, p Protection) (AttackR
 		return out, errors.New(d.Err)
 	}
 	out.Outcome, out.Detail, out.Run = d.Outcome, d.Detail, d.Run
+	out.Trace = d.Trace
 	return out, nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"connlab/internal/dns"
 	"connlab/internal/netsim"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -73,6 +74,7 @@ func (r *Resolver) handleFast(dg netsim.Datagram, v *dns.View) bool {
 		return false
 	}
 	r.Queries++
+	telemetry.Inc(telemetry.CtrDNSResolved)
 	ip, hit := r.Zone[q.Name]
 	hit = hit && q.Type == dns.TypeA
 	rcode := dns.RCodeOK
@@ -102,6 +104,7 @@ func (r *Resolver) handleSlow(dg netsim.Datagram) {
 		return // drop garbage, like a real server
 	}
 	r.Queries++
+	telemetry.Inc(telemetry.CtrDNSResolved)
 	resp := dns.NewResponse(q)
 	if ip, ok := r.Zone[q.Questions[0].Name]; ok && q.Questions[0].Type == dns.TypeA {
 		resp.Answers = []dns.RR{dns.A(q.Questions[0].Name, 300, ip)}
@@ -168,6 +171,7 @@ func (m *MITM) handle(dg netsim.Datagram) {
 		return
 	}
 	m.Queries++
+	telemetry.Inc(telemetry.CtrDNSHijacked)
 	out, err := m.Craft(q)
 	if err != nil {
 		m.Errors++
@@ -187,6 +191,7 @@ func (m *MITM) handleWire(dg netsim.Datagram) {
 		return // malformed question: drop, like the decode path would
 	}
 	m.Queries++
+	telemetry.Inc(telemetry.CtrDNSHijacked)
 	out, err := m.CraftWire(m.scratch[:0], dg.Payload)
 	if err != nil {
 		m.Errors++

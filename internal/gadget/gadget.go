@@ -22,6 +22,7 @@ import (
 	"connlab/internal/isa/arms"
 	"connlab/internal/isa/x86s"
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 )
 
 // Kind classifies what terminates a gadget.
@@ -133,10 +134,12 @@ func sectionIndex(arch isa.Arch, sec image.Section) *secIndex {
 	scanMu.Unlock()
 	if ok {
 		scanHits.Add(1)
+		telemetry.Inc(telemetry.CtrGadgetScanHit)
 		return idx
 	}
 	idx = buildSecIndex(arch, sec)
 	scanBuilds.Add(1)
+	telemetry.Inc(telemetry.CtrGadgetScanBuild)
 	scanMu.Lock()
 	if prior, ok := scanCache[key]; ok {
 		idx = prior

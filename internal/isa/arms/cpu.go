@@ -5,6 +5,7 @@ import (
 
 	"connlab/internal/isa"
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 )
 
 // flags is the NZCV condition-flag set, updated by cmp/tst only.
@@ -31,7 +32,15 @@ type CPU struct {
 	fl     flags
 	m      *mem.Memory
 	hooks  isa.Hooks
+	rec    *telemetry.ControlRecorder
 	icount uint64
+
+	// dcMisses counts decode-cache misses: a plain (non-atomic) field —
+	// a CPU is stepped by one goroutine — bumped only on the miss path,
+	// which already pays a full fetch+decode. Hits are derived by the
+	// kernel (instructions retired minus misses), keeping the cache-hit
+	// fast path free of bookkeeping.
+	dcMisses uint64
 
 	// dc caches decode results for instructions in non-writable segments,
 	// keyed to mem.Memory.Gen() exactly like the x86s cache: while the
@@ -89,8 +98,14 @@ func (c *CPU) RegName(i int) string { return RegName(i) }
 // SetHooks implements isa.CPU.
 func (c *CPU) SetHooks(h isa.Hooks) { c.hooks = h }
 
+// SetRecorder implements isa.CPU.
+func (c *CPU) SetRecorder(r *telemetry.ControlRecorder) { c.rec = r }
+
 // InstrCount implements isa.CPU.
 func (c *CPU) InstrCount() uint64 { return c.icount }
+
+// DecodeCacheMisses implements isa.CPU.
+func (c *CPU) DecodeCacheMisses() uint64 { return c.dcMisses }
 
 // ResetState returns registers (pc included) and flags to their power-on
 // (all zero) values, as if the CPU were freshly constructed. The
@@ -148,8 +163,13 @@ func (c *CPU) setFlagsSub(a, b uint32) {
 	c.fl.v = (a^b)&(a^res)&0x80000000 != 0
 }
 
-// control runs the installed hook for a control transfer.
+// control records a control transfer in the flight recorder and runs the
+// installed hook. telemetry.Ctl* values mirror isa.ControlKind, so the
+// kind byte passes straight through.
 func (c *CPU) control(kind isa.ControlKind, from, to, ret uint32) *isa.Event {
+	if c.rec != nil {
+		c.rec.Record(uint8(kind), from, to, c.icount)
+	}
 	if c.hooks == nil {
 		return nil
 	}
@@ -168,6 +188,7 @@ func (c *CPU) Step() isa.Event {
 	if slot.pc == pc && slot.gen == gen {
 		in = slot.in
 	} else {
+		c.dcMisses++
 		// Fixed-width fast path: one combined segment/permission/bounds
 		// check, no window slice. A short fetch (segment ends mid-word) is
 		// an illegal instruction, exactly like a truncated Fetch window.
@@ -332,6 +353,9 @@ func (c *CPU) Step() isa.Event {
 		}
 
 	case OpSvc:
+		if c.rec != nil {
+			c.rec.Record(telemetry.CtlSyscall, pc, c.regs[R7], c.icount)
+		}
 		c.regs[PC] = next
 		c.icount++
 		return isa.Event{Kind: isa.EventSyscall, PC: next}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 )
 
 // Arch identifies a simulated instruction set.
@@ -146,11 +147,21 @@ type CPU interface {
 	RegName(i int) string
 	// SetHooks installs control-flow hooks (nil to remove).
 	SetHooks(h Hooks)
+	// SetRecorder attaches the hijack flight recorder (nil to detach).
+	// While attached, every control transfer — and every syscall entry —
+	// is appended to the recorder's fixed ring; the hot path pays one
+	// nil-check when detached and never allocates either way.
+	SetRecorder(r *telemetry.ControlRecorder)
 	// Step executes one instruction and reports what happened.
 	Step() Event
 	// InstrCount returns the number of instructions retired since reset,
 	// used for run budgets and performance reporting.
 	InstrCount() uint64
+	// DecodeCacheMisses returns the cumulative decode-cache miss count
+	// since construction. It is monotonic; consumers (the kernel's
+	// per-run telemetry flush) take deltas and derive hits as
+	// instructions retired minus misses.
+	DecodeCacheMisses() uint64
 }
 
 // Disassembler renders the instruction at an address, primarily for the

@@ -3,6 +3,7 @@ package x86s
 import (
 	"connlab/internal/isa"
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 )
 
 // flags is the subset of EFLAGS the lab models.
@@ -30,7 +31,15 @@ type CPU struct {
 	fl     flags
 	m      *mem.Memory
 	hooks  isa.Hooks
+	rec    *telemetry.ControlRecorder
 	icount uint64
+
+	// dcMisses counts decode-cache misses: a plain (non-atomic) field —
+	// a CPU is stepped by one goroutine — bumped only on the miss path,
+	// which already pays a full fetch+decode. Hits are derived by the
+	// kernel (instructions retired minus misses), keeping the cache-hit
+	// fast path free of bookkeeping.
+	dcMisses uint64
 
 	// dc caches decode results for instructions in non-writable segments.
 	// Validity is keyed to mem.Memory.Gen(): while the generation is
@@ -90,8 +99,14 @@ func (c *CPU) RegName(i int) string { return RegName(i) }
 // SetHooks implements isa.CPU.
 func (c *CPU) SetHooks(h isa.Hooks) { c.hooks = h }
 
+// SetRecorder implements isa.CPU.
+func (c *CPU) SetRecorder(r *telemetry.ControlRecorder) { c.rec = r }
+
 // InstrCount implements isa.CPU.
 func (c *CPU) InstrCount() uint64 { return c.icount }
+
+// DecodeCacheMisses implements isa.CPU.
+func (c *CPU) DecodeCacheMisses() uint64 { return c.dcMisses }
 
 // ResetState returns registers, PC and flags to their power-on (all zero)
 // values, as if the CPU were freshly constructed. The instruction counter
@@ -205,9 +220,14 @@ func (c *CPU) cond(cc Cond) bool {
 	}
 }
 
-// control runs the installed hook for a control transfer; a hook veto
-// surfaces as a CFI-violation event.
+// control records a control transfer in the flight recorder and runs the
+// installed hook; a hook veto surfaces as a CFI-violation event.
+// telemetry.Ctl* values mirror isa.ControlKind, so the kind byte passes
+// straight through.
 func (c *CPU) control(kind isa.ControlKind, from, to, ret uint32) *isa.Event {
+	if c.rec != nil {
+		c.rec.Record(uint8(kind), from, to, c.icount)
+	}
 	if c.hooks == nil {
 		return nil
 	}
@@ -230,6 +250,7 @@ func (c *CPU) Step() isa.Event {
 	if slot.pc == pc && slot.gen == gen {
 		in = slot.in
 	} else {
+		c.dcMisses++
 		window, perm, f := c.m.FetchWindow(pc, maxInstrLen)
 		if f != nil {
 			return isa.FaultEvent(pc, f)
@@ -429,6 +450,9 @@ func (c *CPU) Step() isa.Event {
 		c.setFlagsLogic(c.regs[in.R1])
 
 	case OpInt:
+		if c.rec != nil {
+			c.rec.Record(telemetry.CtlSyscall, pc, c.regs[EAX], c.icount)
+		}
 		c.eip = next
 		c.icount++
 		return isa.Event{Kind: isa.EventSyscall, PC: next}

@@ -1,0 +1,131 @@
+package x86s
+
+import (
+	"testing"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+	"connlab/internal/telemetry"
+)
+
+// loopCPU builds the standard warm-loop CPU of the zero-alloc tests:
+// load/add/store plus push/pop plus a backwards jump.
+func loopCPU(t *testing.T) *CPU {
+	t.Helper()
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsm()
+	a.Label("loop").
+		MovRM(EAX, EBX, 0).
+		AddRI(EAX, 1).
+		MovMR(EBX, 0, EAX).
+		PushR(EAX).
+		PopR(EDX).
+		Jmp("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(EBX, 0x4000)
+	return c
+}
+
+// TestStepZeroAllocsTelemetryOff pins the observability contract: with
+// telemetry disabled — including after an enable/disable cycle, the
+// worst case for leftover instrumentation — the hot loop still allocates
+// nothing per instruction. The decode-cache miss counter is a plain
+// integer bumped only on the (already slow) miss path and the flight
+// recorder costs one nil-check.
+func TestStepZeroAllocsTelemetryOff(t *testing.T) {
+	telemetry.Enable()
+	telemetry.Disable()
+	c := loopCPU(t)
+	c.SetRecorder(nil) // the disabled default, stated explicitly
+	for i := 0; i < 64; i++ {
+		stepRetired(t, c)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			t.Fatal("step did not retire")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f objects per instruction with telemetry off, want 0", allocs)
+	}
+	misses := c.DecodeCacheMisses()
+	if misses == 0 || c.InstrCount() <= misses {
+		t.Errorf("decode cache: %d misses over %d instructions, want 0 < misses < instructions",
+			misses, c.InstrCount())
+	}
+}
+
+// TestStepZeroAllocsRecorderOn: even with the flight recorder attached
+// and a call/ret pair firing it every loop iteration, Step stays
+// allocation-free — Record writes into a pre-sized ring.
+func TestStepZeroAllocsRecorderOn(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsm()
+	a.Label("loop").
+		CallLabel("fn").
+		Jmp("loop").
+		Label("fn").
+		Ret()
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	rec := telemetry.NewControlRecorder(64)
+	c.SetRecorder(rec)
+	for i := 0; i < 64; i++ {
+		stepRetired(t, c)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev := c.Step(); ev.Kind != isa.EventRetired {
+			t.Fatal("step did not retire")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Step allocates %.1f objects per instruction with the recorder on, want 0", allocs)
+	}
+	if rec.Total() == 0 {
+		t.Fatal("recorder saw no control transfers from the call/ret loop")
+	}
+	var calls, rets int
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case telemetry.CtlCall:
+			calls++
+		case telemetry.CtlReturn:
+			rets++
+		default:
+			t.Fatalf("unexpected control event %+v", ev)
+		}
+	}
+	if calls == 0 || rets == 0 {
+		t.Errorf("recorded %d calls / %d rets, want both > 0", calls, rets)
+	}
+}

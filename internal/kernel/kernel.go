@@ -16,6 +16,7 @@ import (
 	"connlab/internal/isa/arms"
 	"connlab/internal/isa/x86s"
 	"connlab/internal/mem"
+	"connlab/internal/telemetry"
 )
 
 // Sentinel is the poisoned return address the kernel plants for top-level
@@ -196,6 +197,13 @@ type Process struct {
 	rng    *rand.Rand
 	budget uint64
 
+	// tel is the process's telemetry shard (nil while telemetry is
+	// disabled); lastDCMisses remembers the CPU's monotonic
+	// decode-cache totals at the previous flush so each Run contributes
+	// only its own delta.
+	tel          *telemetry.Shard
+	lastDCMisses uint64
+
 	// guardAddr/canary record the seeded stack-protector guard (guardAddr
 	// 0 when the program declares none), letting a same-seed Recycle
 	// rewrite it without reconstructing the random stream.
@@ -340,6 +348,7 @@ func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 		StackTop: stackTop,
 		rng:      rng,
 		budget:   cfg.InstrBudget,
+		tel:      telemetry.Handle(),
 	}
 	if p.budget == 0 {
 		p.budget = DefaultInstrBudget
@@ -410,6 +419,9 @@ func (p *Process) Recycle(cfg Config) bool {
 	}
 	p.stdout.Reset()
 	p.shells = nil
+	// Re-take the telemetry handle: a recycled daemon may outlive the
+	// enablement epoch it was loaded under (Enable doubles as a reset).
+	p.tel = telemetry.Handle()
 
 	if !sameSeed {
 		// Replay the layout draws Load(cfg) would have made before the

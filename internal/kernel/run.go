@@ -7,6 +7,7 @@ import (
 	"connlab/internal/isa"
 	"connlab/internal/isa/arms"
 	"connlab/internal/isa/x86s"
+	"connlab/internal/telemetry"
 )
 
 // maxStrLen bounds strings read from emulated memory.
@@ -95,43 +96,92 @@ func (p *Process) setupCall(addr uint32, args []uint32) error {
 // a RunResult only at terminal events instead of zeroing one per
 // instruction.
 func (p *Process) Run() RunResult {
+	return p.runLoop()
+}
+
+// accountRun flushes one run's worth of telemetry: run/instruction/fault
+// counters, the per-run instruction histogram, and the decode-cache
+// deltas accumulated inside the CPU since the previous flush. The CPUs
+// count only decode-cache misses (the miss path already pays a full
+// fetch+decode, so the bump is free); the hit delta is derived as
+// instructions minus new misses, clamped at zero for the off-by-one a
+// faulting fetch introduces (its Step consults the cache but retires no
+// instruction).
+func (p *Process) accountRun(res RunResult) {
+	t := p.tel
+	t.Inc(telemetry.CtrEmuRuns)
+	t.Add(telemetry.CtrEmuInstr, res.Instructions)
+	t.Observe(telemetry.HistEmuRunInstr, res.Instructions)
+	if res.Status == StatusFault || res.Status == StatusCFI {
+		t.Inc(telemetry.CtrEmuFaults)
+	}
+	misses := p.cpu.DecodeCacheMisses()
+	hitCtr, missCtr := telemetry.CtrX86DecodeHit, telemetry.CtrX86DecodeMiss
+	if p.arch == isa.ArchARMS {
+		hitCtr, missCtr = telemetry.CtrARMSDecodeHit, telemetry.CtrARMSDecodeMiss
+	}
+	missDelta := misses - p.lastDCMisses
+	p.lastDCMisses = misses
+	t.Add(missCtr, missDelta)
+	if res.Instructions > missDelta {
+		t.Add(hitCtr, res.Instructions-missDelta)
+	}
+}
+
+// finish routes a terminal RunResult through the telemetry flush. It is
+// small enough to inline at runLoop's (cold) terminal returns, so the
+// disabled cost is one predicted-not-taken branch per run.
+func (p *Process) finish(res RunResult) RunResult {
+	if p.tel != nil {
+		p.accountRun(res)
+	}
+	return res
+}
+
+// runLoop is the interpreter's outermost hot path, separated from Run so
+// the telemetry flush stays out of the loop. Accounting happens via the
+// inlined finish at each terminal return rather than in Run or a defer:
+// a p.tel branch in Run makes Run non-inlinable and a defer here pins
+// the result to the stack, both of which measurably slow the
+// interpreter even with telemetry disabled.
+func (p *Process) runLoop() RunResult {
 	cpu := p.cpu
 	start := cpu.InstrCount()
 	if cpu.PC() == Sentinel {
-		return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel}
+		return p.finish(RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel})
 	}
 	for {
 		ev := cpu.Step()
 		switch ev.Kind {
 		case isa.EventRetired:
 			if ev.PC == Sentinel {
-				return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
-					Instructions: cpu.InstrCount() - start}
+				return p.finish(RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
+					Instructions: cpu.InstrCount() - start})
 			}
 		case isa.EventSyscall:
 			if res, done := p.syscall(); done {
 				res.Instructions = cpu.InstrCount() - start
-				return res
+				return p.finish(res)
 			}
 			if cpu.PC() == Sentinel {
-				return RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
-					Instructions: cpu.InstrCount() - start}
+				return p.finish(RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel,
+					Instructions: cpu.InstrCount() - start})
 			}
 		case isa.EventFault:
-			return RunResult{Status: StatusFault, Fault: ev.Fault, Illegal: ev.Illegal, PC: ev.PC,
-				Instructions: cpu.InstrCount() - start}
+			return p.finish(RunResult{Status: StatusFault, Fault: ev.Fault, Illegal: ev.Illegal, PC: ev.PC,
+				Instructions: cpu.InstrCount() - start})
 		case isa.EventCFIViolation:
-			return RunResult{Status: StatusCFI, PC: ev.PC, Reason: ev.Reason,
-				Instructions: cpu.InstrCount() - start}
+			return p.finish(RunResult{Status: StatusCFI, PC: ev.PC, Reason: ev.Reason,
+				Instructions: cpu.InstrCount() - start})
 		default:
-			return RunResult{Status: StatusFault, PC: ev.PC, Illegal: true,
-				Instructions: cpu.InstrCount() - start}
+			return p.finish(RunResult{Status: StatusFault, PC: ev.PC, Illegal: true,
+				Instructions: cpu.InstrCount() - start})
 		}
 		if cpu.InstrCount()-start >= p.budget {
-			return RunResult{
+			return p.finish(RunResult{
 				Status: StatusTimeout, PC: cpu.PC(),
 				Instructions: cpu.InstrCount() - start,
-			}
+			})
 		}
 	}
 }

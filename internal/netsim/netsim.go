@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"connlab/internal/telemetry"
 )
 
 // IP is an IPv4 address.
@@ -165,11 +167,19 @@ type Network struct {
 	// Log collects human-readable events when Verbose is set.
 	Verbose bool
 	Events  []string
+
+	// tel is the network's telemetry shard (nil while disabled), taken at
+	// construction like every instrumented component.
+	tel *telemetry.Shard
 }
 
 // New returns an empty network.
 func New() *Network {
-	return &Network{hosts: make(map[string]*Host), byIP: make(map[IP]*Host)}
+	return &Network{
+		hosts: make(map[string]*Host),
+		byIP:  make(map[IP]*Host),
+		tel:   telemetry.Handle(),
+	}
 }
 
 func (n *Network) logf(format string, args ...any) {
@@ -268,8 +278,14 @@ func (s *Station) Associate() (*AccessPoint, error) {
 	return best, nil
 }
 
-// enqueue appends to the delivery queue.
-func (n *Network) enqueue(dg Datagram) { n.queue = append(n.queue, dg) }
+// enqueue appends to the delivery queue, sampling the depth it grew to.
+func (n *Network) enqueue(dg Datagram) {
+	n.queue = append(n.queue, dg)
+	if n.tel != nil {
+		n.tel.Inc(telemetry.CtrNetEnqueued)
+		n.tel.Observe(telemetry.HistNetQueueDepth, uint64(len(n.queue)))
+	}
+}
 
 // getBuf pops a recycled payload buffer with at least the given
 // capacity, or returns a fresh one.
@@ -304,6 +320,9 @@ func (n *Network) Step() bool {
 	host, ok := n.byIP[dg.Dst.IP]
 	if !ok {
 		n.Dropped++
+		if n.tel != nil {
+			n.tel.Inc(telemetry.CtrNetDropped)
+		}
 		n.logf("drop %s -> %s (%d bytes): no route", dg.Src, dg.Dst, len(dg.Payload))
 		n.putBuf(dg.Payload)
 		return true
@@ -311,11 +330,17 @@ func (n *Network) Step() bool {
 	sock, ok := host.sockets[dg.Dst.Port]
 	if !ok {
 		n.Dropped++
+		if n.tel != nil {
+			n.tel.Inc(telemetry.CtrNetDropped)
+		}
 		n.logf("drop %s -> %s (%d bytes): port closed", dg.Src, dg.Dst, len(dg.Payload))
 		n.putBuf(dg.Payload)
 		return true
 	}
 	n.Delivered++
+	if n.tel != nil {
+		n.tel.Inc(telemetry.CtrNetDelivered)
+	}
 	n.logf("deliver %s -> %s (%d bytes)", dg.Src, dg.Dst, len(dg.Payload))
 	if sock.handler != nil {
 		sock.handler(dg)

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSnapshot builds a fully-populated snapshot from fixed inputs.
+// Every value is deterministic, so its JSON rendering doubles as the
+// schema contract.
+func goldenSnapshot() Snapshot {
+	Enable()
+	h := Handle()
+	h.Add(CtrEmuRuns, 4)
+	h.Add(CtrEmuInstr, 1234)
+	Inc(CtrX86DecodeHit)
+	Add(CtrX86DecodeMiss, 2)
+	Inc(CtrReconBuild)
+	Add(CtrReconHit, 3)
+	Inc(CtrPoolRecycle)
+	Inc(CtrPoolFresh)
+	Inc(CtrDNSHijacked)
+	for _, v := range []uint64{0, 5, 5, 300, 70000} {
+		h.Observe(HistEmuRunInstr, v)
+	}
+	h.Observe(HistNetQueueDepth, 2)
+	RecordSpan(Span{Scenario: "x86s/code-injection/none", Device: "dev00",
+		Stage: "recon", Worker: 0, Start: 100, Dur: 50})
+	RecordSpan(Span{Scenario: "x86s/code-injection/none", Device: "dev00",
+		Stage: "deliver", Worker: 0, Start: 150, Dur: 900, Instr: 1234})
+
+	snap := TakeSnapshot()
+	snap.Run = &RunInfo{Tool: "campaign", Workers: 4, RootSeed: 42,
+		ReconSeed: 1001, Scenarios: 1, Devices: 4}
+	snap.Scenarios = []ScenarioStages{{
+		Label: "x86s/code-injection/none", Devices: 4,
+		ParseInstr: Pct{P50: 300, P95: 1234, P99: 1234},
+	}}
+	snap.TraceEvents = 3
+	return snap
+}
+
+// TestSnapshotSchemaGolden pins the exported JSON byte-for-byte. Any
+// field rename, reorder or type change fails here; bump SchemaVersion
+// and regenerate with -update when the change is intentional.
+func TestSnapshotSchemaGolden(t *testing.T) {
+	t.Cleanup(Disable)
+	snap := goldenSnapshot()
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "snapshot.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot JSON drifted from golden schema (schema v%d):\n--- got ---\n%s\n--- want ---\n%s",
+			SchemaVersion, buf.Bytes(), want)
+	}
+	// The golden file must carry the pinned schema version.
+	var back Snapshot
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatalf("golden does not round-trip: %v", err)
+	}
+	if back.SchemaVersion != SchemaVersion {
+		t.Errorf("golden schema_version = %d, want %d", back.SchemaVersion, SchemaVersion)
+	}
+}
+
+// TestWriteChromeTrace: the trace export is a valid trace_event JSON
+// array with spans as duration events and control transfers as instants.
+func TestWriteChromeTrace(t *testing.T) {
+	spans := []Span{{Scenario: "s", Device: "d", Stage: "payload", Worker: 2, Start: 1000, Dur: 500}}
+	ctl := []ControlEvent{
+		{Kind: CtlReturn, From: 0x8048100, To: 0x6000, Instr: 41},
+		{Kind: CtlSyscall, From: 0x6010, To: 11, Instr: 44},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, ctl); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	var durs, instants int
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			durs++
+			if ev["tid"] != float64(2) {
+				t.Errorf("span tid = %v, want worker 2", ev["tid"])
+			}
+		case "i":
+			instants++
+		}
+	}
+	if durs != 1 || instants != 2 {
+		t.Errorf("trace has %d duration / %d instant events, want 1/2:\n%s", durs, instants, buf.String())
+	}
+}
+
+// TestFormatters: terminal renderings stay greppable.
+func TestFormatters(t *testing.T) {
+	t.Cleanup(Disable)
+	out := FormatSnapshot(goldenSnapshot())
+	for _, want := range []string{
+		"schema v1", "tool=campaign", "emu_runs", "emu_run_instructions",
+		"x86s/code-injection/none", "flight-recorder events: 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSnapshot missing %q:\n%s", want, out)
+		}
+	}
+	tr := FormatControlTrace([]ControlEvent{{Kind: CtlReturn, From: 0x8048100, To: 0x6000, Instr: 41}})
+	if !strings.Contains(tr, "ret") || !strings.Contains(tr, "0x00006000") {
+		t.Errorf("FormatControlTrace unexpected:\n%s", tr)
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import "flag"
+
+// Flags bundles the uniform observability flag set shared by every CLI:
+// -metrics/-trace for the telemetry snapshot and Chrome trace, plus the
+// pprof family folded in from the old profiling package.
+type Flags struct {
+	Metrics      string
+	Trace        string
+	TraceEvents  int
+	CPUProfile   string
+	MemProfile   string
+	BlockProfile string
+	MutexProfile string
+
+	stopProfiles func() error
+}
+
+// AddFlags registers the observability flags on fs and returns the
+// holder to Start/Finish around the tool's work.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Metrics, "metrics", "", "write a telemetry snapshot (counters, histograms, stage percentiles) as JSON to `file` (- for stdout)")
+	fs.StringVar(&f.Trace, "trace", "", "arm the hijack flight recorder and write a Chrome trace_event `file` (open in chrome://tracing)")
+	fs.IntVar(&f.TraceEvents, "trace-events", DefaultTraceEvents, "flight-recorder ring capacity in control-transfer events")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file`")
+	fs.StringVar(&f.BlockProfile, "blockprofile", "", "write a goroutine blocking profile to `file`")
+	fs.StringVar(&f.MutexProfile, "mutexprofile", "", "write a mutex contention profile to `file`")
+	return f
+}
+
+// Active reports whether any telemetry output was requested.
+func (f *Flags) Active() bool { return f.Metrics != "" || f.Trace != "" }
+
+// Start enables telemetry/tracing per the parsed flags and arms the
+// requested pprof profiles. Call before constructing the engines to be
+// instrumented; pair with Finish.
+func (f *Flags) Start() error {
+	if f.Metrics != "" {
+		Enable()
+	}
+	if f.Trace != "" {
+		EnableTrace(f.TraceEvents)
+	}
+	stop, err := StartProfiles(f.CPUProfile, f.MemProfile, f.BlockProfile, f.MutexProfile)
+	if err != nil {
+		return err
+	}
+	f.stopProfiles = stop
+	return nil
+}
+
+// Finish writes the requested outputs: the metrics snapshot (annotated
+// with run, the tool's self-description, and any per-scenario stage
+// aggregates), the Chrome trace built from recorded spans plus ctl (the
+// flight-recorder events the tool collected), and the pprof profiles.
+// Safe to call once after the work completes; run and ctl may be nil.
+func (f *Flags) Finish(run *RunInfo, scenarios []ScenarioStages, ctl []ControlEvent) error {
+	if f.Metrics != "" {
+		snap := TakeSnapshot()
+		snap.Run = run
+		snap.Scenarios = scenarios
+		snap.TraceEvents = len(ctl)
+		if err := WriteSnapshotFile(f.Metrics, snap); err != nil {
+			return err
+		}
+	}
+	if f.Trace != "" {
+		if err := WriteChromeTraceFile(f.Trace, Spans(), ctl); err != nil {
+			return err
+		}
+	}
+	if f.stopProfiles != nil {
+		if err := f.stopProfiles(); err != nil {
+			return err
+		}
+		f.stopProfiles = nil
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlagsRoundTrip: the uniform CLI flag set parses, arms telemetry on
+// Start, and Finish writes a loadable snapshot, Chrome trace and every
+// pprof profile.
+func TestFlagsRoundTrip(t *testing.T) {
+	t.Cleanup(Disable)
+	dir := t.TempDir()
+	p := func(name string) string { return filepath.Join(dir, name) }
+
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := AddFlags(fs)
+	err := fs.Parse([]string{
+		"-metrics", p("m.json"), "-trace", p("t.json"), "-trace-events", "64",
+		"-cpuprofile", p("cpu.out"), "-memprofile", p("mem.out"),
+		"-blockprofile", p("block.out"), "-mutexprofile", p("mutex.out"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Active() {
+		t.Error("Active should be true with -metrics set")
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() || !TraceOn() || TraceCap() != 64 {
+		t.Fatalf("Start left enabled=%v traceOn=%v cap=%d", Enabled(), TraceOn(), TraceCap())
+	}
+	Inc(CtrEmuRuns)
+	ctl := []ControlEvent{{Kind: CtlReturn, From: 1, To: 2, Instr: 3}}
+	if err := f.Finish(&RunInfo{Tool: "tool"}, nil, ctl); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(p("m.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot does not parse: %v", err)
+	}
+	if snap.Run == nil || snap.Run.Tool != "tool" || snap.TraceEvents != 1 {
+		t.Errorf("snapshot run=%+v trace_events=%d", snap.Run, snap.TraceEvents)
+	}
+	if snap.Counters[CtrEmuRuns.Name()] != 1 {
+		t.Errorf("emu_runs = %d, want 1", snap.Counters[CtrEmuRuns.Name()])
+	}
+	var events []map[string]any
+	if raw, err = os.ReadFile(p("t.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	for _, name := range []string{"cpu.out", "mem.out", "block.out", "mutex.out"} {
+		st, err := os.Stat(p(name))
+		if err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", name)
+		}
+	}
+}
+
+// TestFlagsInert: with no flags set, Start/Finish touch nothing.
+func TestFlagsInert(t *testing.T) {
+	t.Cleanup(Disable)
+	Disable()
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() {
+		t.Error("Active with no flags")
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Error("Start with no flags must not enable telemetry")
+	}
+	if err := f.Finish(nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles wires the pprof family: CPU profile to cpuPath, heap
+// profile to memPath, blocking profile to blockPath and mutex-contention
+// profile to mutexPath. Any path may be empty to skip that profile. The
+// returned stop function finishes every armed profile and must be called
+// exactly once (defer it).
+//
+//	go run ./cmd/campaign -preset fleet -devices 32 -cpuprofile cpu.out
+//	go tool pprof cpu.out
+func StartProfiles(cpuPath, memPath, blockPath, mutexPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		if blockPath != "" {
+			if err := writeNamedProfile("block", blockPath); err != nil {
+				return err
+			}
+			runtime.SetBlockProfileRate(0)
+		}
+		if mutexPath != "" {
+			if err := writeNamedProfile("mutex", mutexPath); err != nil {
+				return err
+			}
+			runtime.SetMutexProfileFraction(0)
+		}
+		return nil
+	}, nil
+}
+
+func writeNamedProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("%s profile: not available", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("%s profile: %w", name, err)
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("%s profile: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%s profile: %w", name, err)
+	}
+	return nil
+}

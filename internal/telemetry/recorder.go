@@ -1,0 +1,108 @@
+package telemetry
+
+// Control-transfer event kinds recorded by the hijack flight recorder.
+// The first three mirror isa.ControlKind value-for-value so the emulator
+// can forward its own kind byte without a translation table; CtlSyscall
+// extends the set for int 0x80 / svc, the terminal event of a successful
+// execve chain.
+const (
+	CtlCall    uint8 = 1
+	CtlReturn  uint8 = 2
+	CtlJump    uint8 = 3
+	CtlSyscall uint8 = 4
+)
+
+// ctlNames maps event kinds to their export names.
+var ctlNames = [...]string{0: "?", CtlCall: "call", CtlReturn: "ret", CtlJump: "jump", CtlSyscall: "syscall"}
+
+// CtlName returns the export name of a control-event kind.
+func CtlName(kind uint8) string {
+	if int(kind) < len(ctlNames) {
+		return ctlNames[kind]
+	}
+	return "?"
+}
+
+// ControlEvent is one recorded control transfer inside the emulated CPU.
+type ControlEvent struct {
+	Kind  uint8  `json:"kind"`
+	From  uint32 `json:"from"`
+	To    uint32 `json:"to"`
+	Instr uint64 `json:"instr"` // instruction count at the transfer
+}
+
+// ControlRecorder is the hijack flight recorder: a fixed-capacity ring
+// of control-transfer events. Record never allocates and never locks —
+// each recorder belongs to exactly one emulated CPU, which is
+// single-stepped by one goroutine at a time. When the ring wraps the
+// oldest events are overwritten, so after a long benign run the ring
+// still ends with the interesting tail: the smash, the gadget chain and
+// the syscall.
+type ControlRecorder struct {
+	ring []ControlEvent
+	next uint64 // total events ever recorded
+}
+
+// NewControlRecorder returns a recorder with capacity n events
+// (DefaultTraceEvents when n <= 0).
+func NewControlRecorder(n int) *ControlRecorder {
+	if n <= 0 {
+		n = DefaultTraceEvents
+	}
+	return &ControlRecorder{ring: make([]ControlEvent, n)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Safe on a nil receiver (a no-op), so callers can keep an
+// unconditional pointer field and skip only on nil.
+func (r *ControlRecorder) Record(kind uint8, from, to uint32, instr uint64) {
+	if r == nil {
+		return
+	}
+	r.ring[r.next%uint64(len(r.ring))] = ControlEvent{Kind: kind, From: from, To: to, Instr: instr}
+	r.next++
+}
+
+// Len reports how many events are currently held (≤ capacity).
+func (r *ControlRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if r.next < uint64(len(r.ring)) {
+		return int(r.next)
+	}
+	return len(r.ring)
+}
+
+// Total reports how many events were recorded over the recorder's life,
+// including ones the ring has since overwritten.
+func (r *ControlRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next
+}
+
+// Events returns the held events oldest-first as a fresh slice.
+func (r *ControlRecorder) Events() []ControlEvent {
+	if r == nil || r.next == 0 {
+		return nil
+	}
+	n := uint64(len(r.ring))
+	out := make([]ControlEvent, 0, r.Len())
+	start := uint64(0)
+	if r.next > n {
+		start = r.next - n
+	}
+	for i := start; i < r.next; i++ {
+		out = append(out, r.ring[i%n])
+	}
+	return out
+}
+
+// Reset empties the recorder without freeing the ring.
+func (r *ControlRecorder) Reset() {
+	if r != nil {
+		r.next = 0
+	}
+}

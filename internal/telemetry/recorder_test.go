@@ -1,0 +1,90 @@
+package telemetry
+
+import "testing"
+
+// TestTraceRingWrap: once full, the flight recorder overwrites the
+// oldest events and Events returns the surviving tail oldest-first —
+// after a long benign run the ring still ends with the gadget chain.
+func TestTraceRingWrap(t *testing.T) {
+	r := NewControlRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Record(CtlReturn, uint32(i), uint32(i+1), uint64(i))
+	}
+	if r.Total() != 20 || r.Len() != 8 {
+		t.Fatalf("total=%d len=%d, want 20/8", r.Total(), r.Len())
+	}
+	ev := r.Events()
+	if len(ev) != 8 {
+		t.Fatalf("Events returned %d, want 8", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(12 + i); e.Instr != want {
+			t.Errorf("event[%d].Instr = %d, want %d", i, e.Instr, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("Reset did not empty the recorder")
+	}
+}
+
+// TestRecordZeroAllocs: Record is on the emulator's per-control-transfer
+// path and must never allocate, full ring or not.
+func TestRecordZeroAllocs(t *testing.T) {
+	r := NewControlRecorder(16)
+	var i uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(CtlJump, 0x1000, 0x2000, i)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+// TestRecorderNilSafe: every method is a no-op on a nil recorder, the
+// disabled-telemetry form the emulators hold.
+func TestRecorderNilSafe(t *testing.T) {
+	var r *ControlRecorder
+	r.Record(CtlCall, 1, 2, 3)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 || r.Events() != nil {
+		t.Error("nil recorder should report empty")
+	}
+}
+
+// TestCtlName covers the export names, including the mirror of
+// isa.ControlKind values and out-of-range kinds.
+func TestCtlName(t *testing.T) {
+	cases := map[uint8]string{
+		CtlCall: "call", CtlReturn: "ret", CtlJump: "jump", CtlSyscall: "syscall",
+		0: "?", 99: "?",
+	}
+	for kind, want := range cases {
+		if got := CtlName(kind); got != want {
+			t.Errorf("CtlName(%d) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+// TestEnableTraceArming: EnableTrace implies Enable and arms TraceOn;
+// plain Enable leaves the recorder off; Disable clears both.
+func TestEnableTraceArming(t *testing.T) {
+	t.Cleanup(Disable)
+	Disable()
+	if TraceOn() || TraceCap() != 0 {
+		t.Fatal("trace armed while disabled")
+	}
+	Enable()
+	if TraceOn() {
+		t.Error("plain Enable must not arm the flight recorder")
+	}
+	EnableTrace(128)
+	if !Enabled() || !TraceOn() || TraceCap() != 128 {
+		t.Errorf("after EnableTrace(128): enabled=%v on=%v cap=%d", Enabled(), TraceOn(), TraceCap())
+	}
+	EnableTrace(0)
+	if TraceCap() != DefaultTraceEvents {
+		t.Errorf("EnableTrace(0) cap = %d, want default %d", TraceCap(), DefaultTraceEvents)
+	}
+}

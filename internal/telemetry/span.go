@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of one exploit attempt: the campaign engine
+// records recon → payload → delivery → emulated parse → verdict per
+// device. Start is nanoseconds since the process-wide span epoch (the
+// first Enable), so spans from different workers share a timeline.
+type Span struct {
+	Scenario string `json:"scenario"`
+	Device   string `json:"device"`
+	Stage    string `json:"stage"`
+	Worker   int    `json:"worker"`
+	Start    int64  `json:"start_ns"`
+	Dur      int64  `json:"dur_ns"`
+	Instr    uint64 `json:"instr,omitempty"` // emulated instructions, parse stage only
+}
+
+// spanRingCap bounds the span ring: a 64-device × 12-scenario sweep at
+// five stages per attempt fits four times over.
+const spanRingCap = 16384
+
+// spanEpoch anchors span timestamps; set once, on first use.
+var (
+	spanEpochOnce sync.Once
+	spanEpoch     time.Time
+)
+
+// SpanNow returns the current span-timeline timestamp in nanoseconds.
+func SpanNow() int64 {
+	spanEpochOnce.Do(func() { spanEpoch = time.Now() })
+	return time.Since(spanEpoch).Nanoseconds()
+}
+
+// spanRing is a mutex-guarded bounded ring of spans. Spans are recorded
+// a handful of times per attempt (not per instruction), so a plain
+// mutex is cheap and keeps the ring trivially correct.
+type spanRing struct {
+	mu   sync.Mutex
+	ring []Span
+	next uint64
+}
+
+func (sr *spanRing) init(n int) { sr.ring = make([]Span, n) }
+
+func (sr *spanRing) record(s Span) {
+	sr.mu.Lock()
+	sr.ring[sr.next%uint64(len(sr.ring))] = s
+	sr.next++
+	sr.mu.Unlock()
+}
+
+func (sr *spanRing) snapshot() []Span {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.next == 0 {
+		return nil
+	}
+	n := uint64(len(sr.ring))
+	held := sr.next
+	if held > n {
+		held = n
+	}
+	out := make([]Span, 0, held)
+	start := uint64(0)
+	if sr.next > n {
+		start = sr.next - n
+	}
+	for i := start; i < sr.next; i++ {
+		out = append(out, sr.ring[i%n])
+	}
+	return out
+}
+
+// RecordSpan stores one stage span when telemetry is enabled.
+func RecordSpan(s Span) {
+	st := cur.Load()
+	if st == nil {
+		return
+	}
+	st.spans.record(s)
+}
+
+// Spans returns the recorded spans oldest-first (nil when disabled or
+// empty).
+func Spans() []Span {
+	st := cur.Load()
+	if st == nil {
+		return nil
+	}
+	return st.spans.snapshot()
+}

@@ -16,7 +16,7 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/campaign/... ./internal/core/...
+go test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/...
 # One iteration of every micro-benchmark: catches benchmarks that no
 # longer compile or fail at runtime without paying for a timed run.
 go test -run '^$' -bench . -benchtime 1x .

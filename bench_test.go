@@ -449,6 +449,107 @@ func BenchmarkStepARMS(b *testing.B) {
 	}
 }
 
+// BenchmarkBlockStepX86S measures block dispatch over the same hot loop
+// as BenchmarkStepX86S: one op is one StepBlock call chaining 100 loop
+// iterations (600 instructions), with instrs/op and ns/instr reported so
+// the speedup over single-step is read directly off the ns/instr metric.
+func BenchmarkBlockStepX86S(b *testing.B) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	a := x86s.NewAsm()
+	a.Label("loop").
+		MovRM(x86s.EAX, x86s.EBX, 0).
+		AddRI(x86s.EAX, 1).
+		MovMR(x86s.EBX, 0, x86s.EAX).
+		PushR(x86s.EAX).
+		PopR(x86s.EDX).
+		Jmp("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := x86s.New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(x86s.EBX, 0x4000)
+	for i := 0; i < 8; i++ {
+		if ev := c.StepBlock(600); ev.Kind != isa.EventRetired {
+			b.Fatalf("warm: %v", ev)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := c.InstrCount()
+	for i := 0; i < b.N; i++ {
+		if ev := c.StepBlock(600); ev.Kind != isa.EventRetired {
+			b.Fatalf("step block: %v", ev)
+		}
+	}
+	b.StopTimer()
+	instrs := c.InstrCount() - start
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+}
+
+// BenchmarkBlockStepARMS is the arms analog of BenchmarkBlockStepX86S.
+func BenchmarkBlockStepARMS(b *testing.B) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		b.Fatal(err)
+	}
+	a := arms.NewAsm()
+	a.Label("loop").
+		Ldr(arms.R0, arms.R4, 0).
+		AddI(arms.R0, arms.R0, 1).
+		Str(arms.R0, arms.R4, 0).
+		Push(arms.R0, arms.R1).
+		Pop(arms.R0, arms.R1).
+		BAlways("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := arms.New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(arms.R4, 0x4000)
+	for i := 0; i < 8; i++ {
+		if ev := c.StepBlock(600); ev.Kind != isa.EventRetired {
+			b.Fatalf("warm: %v", ev)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := c.InstrCount()
+	for i := 0; i < b.N; i++ {
+		if ev := c.StepBlock(600); ev.Kind != isa.EventRetired {
+			b.Fatalf("step block: %v", ev)
+		}
+	}
+	b.StopTimer()
+	instrs := c.InstrCount() - start
+	b.ReportMetric(float64(instrs)/float64(b.N), "instrs/op")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(instrs), "ns/instr")
+}
+
 // BenchmarkEmulatorThroughput measures emulated instructions per second
 // on the benign parse path (both architectures).
 func BenchmarkEmulatorThroughput(b *testing.B) {

@@ -43,6 +43,12 @@ func TestMetricsMergeDeterministic(t *testing.T) {
 	for _, p := range sumPairs {
 		sumKey[p[0]], sumKey[p[1]] = true, true
 	}
+	// unit_hit rides the scheduling-dependent fresh-load path: only
+	// newDaemon probes the unit caches (two Gets per fresh load), so its
+	// total follows pool_fresh rather than the work performed. unit_build
+	// stays strictly deterministic (one build per distinct key); the hit
+	// count is checked against the fresh-load relation below instead.
+	sumKey[telemetry.CtrUnitHit.Name()] = true
 	for name, v1 := range snap1.Counters {
 		if sumKey[name] {
 			continue
@@ -56,6 +62,16 @@ func TestMetricsMergeDeterministic(t *testing.T) {
 		s8 := snap8.Counters[p[0]] + snap8.Counters[p[1]]
 		if s1 != s8 {
 			t.Errorf("sum %s+%s: workers=1 -> %d, workers=8 -> %d", p[0], p[1], s1, s8)
+		}
+	}
+	for _, snap := range []struct {
+		name string
+		s    telemetry.Snapshot
+	}{{"workers=1", snap1}, {"workers=8", snap8}} {
+		gets := snap.s.Counters[telemetry.CtrUnitBuild.Name()] + snap.s.Counters[telemetry.CtrUnitHit.Name()]
+		fresh := snap.s.Counters[telemetry.CtrPoolFresh.Name()]
+		if gets != 2*fresh {
+			t.Errorf("%s: unit cache gets = %d, want 2 per fresh load (%d)", snap.name, gets, 2*fresh)
 		}
 	}
 	for name, h1 := range snap1.Histograms {

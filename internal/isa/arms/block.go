@@ -1,0 +1,303 @@
+package arms
+
+import (
+	"math/bits"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+)
+
+// Basic-block translation for the fixed-width ISA: straight-line runs of
+// non-writable code pre-decoded into a flat []blockInstr executed by a
+// tight loop. Validity is keyed to mem.Memory.Gen(), checked once per
+// block entry — sufficient because nothing inside a block can move the
+// generation (stores to non-writable segments fault; layout changes only
+// happen between dispatches). Writable code is never translated, so
+// self-modifying shellcode always single-steps and sees its own stores.
+//
+// The executor duplicates Step's per-op semantics deliberately (see the
+// x86s twin for the rationale); the differential lockstep harness in
+// internal/isa/isatest pins the two paths against each other.
+
+// bcSize is the number of block-cache slots (direct-mapped on the
+// word-aligned entry PC).
+const bcSize = 512
+
+// maxBlockInstrs bounds one translated block.
+const maxBlockInstrs = 64
+
+// blockInstr is one pre-decoded instruction of a translated block.
+type blockInstr struct {
+	pc uint32
+	in Instr
+}
+
+// bcEntry is one block-cache slot; see the x86s twin. A matching entry
+// with an empty ins slice is a negative result: the entry PC is known
+// untranslatable for this generation.
+type bcEntry struct {
+	pc  uint32
+	gen uint64
+	ins []blockInstr
+}
+
+// blockEnder reports whether in terminates a basic block. Besides the
+// branch/call/syscall ops, any instruction whose destination register is
+// PC transfers control: pop {...,pc}, ldr pc, mov pc. Other writes to PC
+// through Rd are overwritten by the end-of-instruction PC update in Step
+// and are therefore straight-line.
+func blockEnder(in *Instr) bool {
+	switch in.Op {
+	case OpB, OpBL, OpBLX, OpBX, OpSvc:
+		return true
+	case OpPop:
+		return in.RegList&(1<<PC) != 0
+	case OpLdr, OpMovR:
+		return in.Rd == PC
+	}
+	return false
+}
+
+// translate decodes a straight-line run starting at pc into slot,
+// reusing the slot's backing array. It stops at a block ender, at
+// maxBlockInstrs, and before any word that is not translatable (writable
+// segment, fetch fault, short fetch at a segment end, decode error),
+// leaving that PC for the single-step path to resolve with the exact
+// event Step would produce.
+func (c *CPU) translate(slot *bcEntry, pc uint32, gen uint64) bool {
+	ins := slot.ins[:0]
+	p := pc
+	for len(ins) < maxBlockInstrs {
+		word, perm, short, f := c.m.Fetch32(p)
+		if f != nil || short || perm&mem.PermWrite != 0 {
+			break
+		}
+		in, err := Decode(word)
+		if err != nil {
+			break
+		}
+		ins = append(ins, blockInstr{pc: p, in: in})
+		if blockEnder(&in) {
+			break
+		}
+		p += InstrSize
+	}
+	*slot = bcEntry{pc: pc, gen: gen, ins: ins}
+	if len(ins) == 0 {
+		return false
+	}
+	c.bcStats.Translated++
+	return true
+}
+
+// StepBlock implements isa.CPU. Like the x86s twin it chains translated
+// blocks: after a block retires, the dispatch loop immediately looks up
+// the block at the new PC and keeps executing until max instructions
+// have retired, a non-retired event surfaces, or an untranslatable PC is
+// reached. One generation load covers the whole chain — nothing inside
+// StepBlock can move the generation. At an untranslatable PC with
+// nothing retired yet, the call degenerates to a single Step so the
+// interpreter reproduces the exact fault/illegal event; otherwise it
+// returns EventRetired and the caller's next dispatch takes that path.
+func (c *CPU) StepBlock(max uint64) isa.Event {
+	if c.hooks != nil || c.rec != nil {
+		// Hooked and recorded runs stay on the single-step path: the
+		// shadow-stack and flight-recorder contracts observe every
+		// control transfer in per-instruction order.
+		return c.Step()
+	}
+	if max == 0 {
+		max = 1
+	}
+	gen := c.m.Gen()
+	start := c.icount
+	limit := c.icount + max
+	if limit < c.icount { // saturate on wraparound
+		limit = ^uint64(0)
+	}
+	for {
+		pc := c.regs[PC]
+		slot := &c.bc[(pc>>2)&(bcSize-1)]
+		if slot.pc != pc || slot.gen != gen {
+			// Only the dispatch's first block pays for a translation
+			// attempt; a cold PC mid-chain ends the dispatch and the
+			// next one translates it. Beyond bounding per-dispatch
+			// translation work, this keeps the common chain exit — a
+			// return to the caller's unmapped sentinel — allocation-
+			// free: probing it would manufacture a fault object.
+			if c.icount > start {
+				c.bcStats.Instrs += c.icount - start
+				return isa.Event{Kind: isa.EventRetired, PC: pc}
+			}
+			if slot.pc == pc && slot.gen != 0 {
+				c.bcStats.Invalidated++
+			}
+			c.translate(slot, pc, gen)
+		} else if len(slot.ins) > 0 {
+			c.bcStats.Hits++
+		}
+		ins := slot.ins
+		if len(ins) == 0 {
+			// Negative-cached (or just found untranslatable): fall back
+			// to the interpreter, which reproduces the exact event.
+			if c.icount > start {
+				c.bcStats.Instrs += c.icount - start
+				return isa.Event{Kind: isa.EventRetired, PC: pc}
+			}
+			return c.Step()
+		}
+		if rem := limit - c.icount; rem < uint64(len(ins)) {
+			ins = ins[:rem]
+		}
+		ev := c.execBlock(ins)
+		if ev.Kind != isa.EventRetired || c.icount >= limit {
+			c.bcStats.Instrs += c.icount - start
+			return ev
+		}
+	}
+}
+
+// BlockStats implements isa.CPU.
+func (c *CPU) BlockStats() isa.BlockStats { return c.bcStats }
+
+// execBlock runs a translated block. StepBlock guarantees hooks and
+// recorder are nil, so the control notifications Step makes are dead
+// here and elided. The PC-register invariant matches single-step: at
+// instruction i, c.regs[PC] already equals its pc (each retirement sets
+// it to next), so read(PC) and fault PCs behave exactly as under Step.
+func (c *CPU) execBlock(ins []blockInstr) isa.Event {
+	for bi := range ins {
+		in := &ins[bi].in
+		pc := ins[bi].pc
+		next := pc + InstrSize
+
+		switch in.Op {
+		case OpMovR:
+			v := c.read(in.Rn)
+			if in.Rd == PC {
+				next = v
+			} else {
+				c.regs[in.Rd] = v
+			}
+		case OpMovW:
+			c.regs[in.Rd] = uint32(uint16(in.Imm))
+		case OpMovT:
+			c.regs[in.Rd] = c.regs[in.Rd]&0xFFFF | uint32(uint16(in.Imm))<<16
+		case OpAddR:
+			c.regs[in.Rd] = c.read(in.Rn) + c.read(in.Rm)
+		case OpAddI:
+			c.regs[in.Rd] = c.read(in.Rn) + uint32(in.Imm)
+		case OpSubR:
+			c.regs[in.Rd] = c.read(in.Rn) - c.read(in.Rm)
+		case OpSubI:
+			c.regs[in.Rd] = c.read(in.Rn) - uint32(in.Imm)
+		case OpAndI:
+			c.regs[in.Rd] = c.read(in.Rn) & uint32(in.Imm)
+		case OpOrrR:
+			c.regs[in.Rd] = c.read(in.Rn) | c.read(in.Rm)
+		case OpLslI:
+			c.regs[in.Rd] = c.read(in.Rn) << (uint32(in.Imm) & 31)
+		case OpLsrI:
+			c.regs[in.Rd] = c.read(in.Rn) >> (uint32(in.Imm) & 31)
+
+		case OpLdr:
+			v, f := c.m.ReadU32(c.read(in.Rn) + uint32(in.Imm))
+			if f != nil {
+				return isa.FaultEvent(pc, f)
+			}
+			if in.Rd == PC {
+				next = v
+			} else {
+				c.regs[in.Rd] = v
+			}
+		case OpStr:
+			if f := c.m.WriteU32(c.read(in.Rn)+uint32(in.Imm), c.read(in.Rd)); f != nil {
+				return isa.FaultEvent(pc, f)
+			}
+		case OpLdrb:
+			v, f := c.m.ReadU8(c.read(in.Rn) + uint32(in.Imm))
+			if f != nil {
+				return isa.FaultEvent(pc, f)
+			}
+			c.regs[in.Rd] = uint32(v)
+		case OpStrb:
+			if f := c.m.WriteU8(c.read(in.Rn)+uint32(in.Imm), uint8(c.read(in.Rd))); f != nil {
+				return isa.FaultEvent(pc, f)
+			}
+
+		case OpCmpR:
+			c.setFlagsSub(c.read(in.Rd), c.read(in.Rn))
+		case OpCmpI:
+			c.setFlagsSub(c.read(in.Rd), uint32(in.Imm))
+		case OpTstI:
+			res := c.read(in.Rd) & uint32(in.Imm)
+			c.fl.n = int32(res) < 0
+			c.fl.z = res == 0
+
+		case OpB:
+			if c.cond(in.Cond) {
+				next = pc + InstrSize + uint32(in.Rel)*InstrSize
+			}
+		case OpBL:
+			tgt := pc + InstrSize + uint32(in.Rel)*InstrSize
+			c.regs[LR] = pc + InstrSize
+			next = tgt
+		case OpBLX:
+			tgt := c.read(in.Rd)
+			c.regs[LR] = pc + InstrSize
+			next = tgt
+		case OpBX:
+			next = c.read(in.Rd)
+
+		case OpPush:
+			count := uint32(bits.OnesCount16(in.RegList))
+			base := c.regs[SP] - 4*count
+			addr := base
+			for i := 0; i < 16; i++ {
+				if in.RegList&(1<<i) == 0 {
+					continue
+				}
+				if f := c.m.WriteU32(addr, c.read(i)); f != nil {
+					return isa.FaultEvent(pc, f)
+				}
+				addr += 4
+			}
+			c.regs[SP] = base
+		case OpPop:
+			addr := c.regs[SP]
+			var newPC uint32
+			hasPC := in.RegList&(1<<PC) != 0
+			for i := 0; i < 16; i++ {
+				if in.RegList&(1<<i) == 0 {
+					continue
+				}
+				v, f := c.m.ReadU32(addr)
+				if f != nil {
+					return isa.FaultEvent(pc, f)
+				}
+				addr += 4
+				if i == PC {
+					newPC = v
+				} else {
+					c.regs[i] = v
+				}
+			}
+			c.regs[SP] = addr
+			if hasPC {
+				next = newPC
+			}
+
+		case OpSvc:
+			c.regs[PC] = next
+			c.icount++
+			return isa.Event{Kind: isa.EventSyscall, PC: next}
+
+		default:
+			return isa.IllegalEvent(pc)
+		}
+
+		c.regs[PC] = next
+		c.icount++
+	}
+	return isa.Event{Kind: isa.EventRetired, PC: c.regs[PC]}
+}

@@ -48,6 +48,11 @@ type CPU struct {
 	// change, so a matching entry replays both the decode and the
 	// execute-permission check. Writable (RWX) mappings are never cached.
 	dc [dcSize]dcEntry
+
+	// bc is the basic-block translation cache (see block.go), keyed to
+	// the memory generation like dc; bcStats its monotonic counters.
+	bc      [bcSize]bcEntry
+	bcStats isa.BlockStats
 }
 
 var _ isa.CPU = (*CPU)(nil)
@@ -109,10 +114,38 @@ func (c *CPU) DecodeCacheMisses() uint64 { return c.dcMisses }
 
 // ResetState returns registers (pc included) and flags to their power-on
 // (all zero) values, as if the CPU were freshly constructed. The
-// instruction counter keeps running; callers consume deltas.
+// instruction counter keeps running; callers consume deltas. The block
+// cache is emptied (keeping the translated-instruction storage): a
+// recycle bumps the generation anyway, and starting cold keeps the block
+// counters a pure function of each run instead of depending on which
+// previous image the CPU happened to execute.
 func (c *CPU) ResetState() {
 	c.regs = [numRegs]uint32{}
 	c.fl = flags{}
+	for i := range c.bc {
+		c.bc[i].pc, c.bc[i].gen = 0, 0
+		c.bc[i].ins = c.bc[i].ins[:0]
+	}
+}
+
+// FlagWord packs the architectural flag state into one word (bit 0 n,
+// bit 1 z, bit 2 c, bit 3 v). The assignment is arbitrary but stable;
+// the differential lockstep harness compares it across executors.
+func (c *CPU) FlagWord() uint32 {
+	var w uint32
+	if c.fl.n {
+		w |= 1
+	}
+	if c.fl.z {
+		w |= 2
+	}
+	if c.fl.c {
+		w |= 4
+	}
+	if c.fl.v {
+		w |= 8
+	}
+	return w
 }
 
 // read reads a source register; reading pc yields the address of the next

@@ -121,6 +121,22 @@ type Hooks interface {
 	OnControl(kind ControlKind, from, to, ret uint32) error
 }
 
+// BlockStats are the monotonic basic-block translation counters a CPU
+// accumulates across its lifetime. Consumers (the kernel's per-run
+// telemetry flush) take deltas, exactly as with DecodeCacheMisses.
+type BlockStats struct {
+	// Translated counts blocks decoded into the block cache.
+	Translated uint64
+	// Hits counts dispatches served by a still-valid cached block.
+	Hits uint64
+	// Invalidated counts cached blocks discarded because the memory
+	// generation moved under them (SetPerm/Unmap/Map/Reset).
+	Invalidated uint64
+	// Instrs counts instructions retired inside block dispatch (the
+	// remainder of InstrCount went through single-step paths).
+	Instrs uint64
+}
+
 // CPU is a single simulated hardware thread. Implementations own their
 // register file; memory is shared with the loader and the kernel.
 type CPU interface {
@@ -154,6 +170,20 @@ type CPU interface {
 	SetRecorder(r *telemetry.ControlRecorder)
 	// Step executes one instruction and reports what happened.
 	Step() Event
+	// StepBlock executes up to max instructions (max >= 1) starting at PC
+	// through the basic-block translation cache and reports the event of
+	// the last instruction executed: EventRetired with the PC after the
+	// block when the whole (possibly max-truncated) block retired, or the
+	// fault/syscall/illegal event that ended it early. Blocks are decoded
+	// from non-writable code only and keyed to Mem().Gen(), so W⊕X,
+	// SetPerm/Unmap invalidation and self-modifying-code semantics are
+	// identical to Step's. When the entry is not block-eligible — writable
+	// code, an unfetchable or undecodable entry instruction, or attached
+	// Hooks/Recorder (whose per-instruction observation contract is pinned
+	// to the single-step path) — StepBlock falls back to exactly one Step.
+	StepBlock(max uint64) Event
+	// BlockStats returns the monotonic block-translation counters.
+	BlockStats() BlockStats
 	// InstrCount returns the number of instructions retired since reset,
 	// used for run budgets and performance reporting.
 	InstrCount() uint64

@@ -1,0 +1,245 @@
+package isatest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"connlab/internal/isa/arms"
+	"connlab/internal/isa/x86s"
+)
+
+// pickLabels chooses random label positions in [0, n) and returns the
+// position→name map plus a sorted name list (sorted so that a given seed
+// yields the same program on every run — map iteration order is not
+// deterministic).
+func pickLabels(rng *rand.Rand, n, count int) (map[int]string, []string) {
+	labelAt := make(map[int]string, count)
+	for i := 0; i < count; i++ {
+		labelAt[rng.Intn(n)] = "" // positions; duplicates collapse
+	}
+	labels := make([]string, 0, len(labelAt))
+	for pos := range labelAt {
+		name := fmt.Sprintf("L%d", pos)
+		labelAt[pos] = name
+		labels = append(labels, name)
+	}
+	sort.Strings(labels)
+	return labelAt, labels
+}
+
+// The generators below build seeded random programs through the same Asm
+// builders the victim images use, so every emitted byte sequence is a
+// valid encoding the decoder accepts. Programs mix straight-line ALU and
+// memory traffic with labels, conditional/unconditional branches and
+// calls into small leaf helpers, which exercises every block-ender and
+// keeps the block cache churning (backward branches form loops that run
+// until the harness's instruction budget expires).
+//
+// Conventions shared with the world builders in lockstep_test.go:
+//
+//   - x86s: EBX holds the scratch data base and is never written; memory
+//     operands are [EBX+disp] with disp inside the data segment. Byte
+//     registers aliasing EBX (bl, bh) are excluded for the same reason.
+//     The main body ends in RET, which pops the unmapped sentinel the
+//     builder planted at the initial ESP — a deterministic terminal
+//     fault both executors must report identically.
+//   - arms: R10 holds the scratch data base and is never written; the
+//     main body ends in BX LR (LR starts at the unmapped sentinel, so a
+//     run that never executed a BL terminates there).
+//
+// Stack discipline: pushes and pops are emitted as atomic pairs within
+// one generation slot, so no branch target can land between a push and
+// its pop and SP never drifts.
+
+// genHelpers is the number of callable leaf helpers appended to a
+// generated program.
+const genHelpers = 3
+
+// GenX86 returns a seeded random x86s program of roughly n instructions.
+func GenX86(rng *rand.Rand, n int) ([]byte, error) {
+	a := x86s.NewAsm()
+	regs := []int{x86s.EAX, x86s.ECX, x86s.EDX, x86s.ESI, x86s.EDI, x86s.EBP}
+	// Byte registers: al, cl, dl, ah, ch, dh — never bl/bh (alias EBX).
+	regs8 := []int{0, 1, 2, 4, 5, 6}
+	conds := []x86s.Cond{
+		x86s.CondO, x86s.CondNO, x86s.CondB, x86s.CondAE, x86s.CondE,
+		x86s.CondNE, x86s.CondBE, x86s.CondA, x86s.CondS, x86s.CondNS,
+		x86s.CondL, x86s.CondGE, x86s.CondLE, x86s.CondG,
+	}
+	alus := []x86s.Alu{x86s.AluAdd, x86s.AluOr, x86s.AluAnd, x86s.AluSub, x86s.AluXor, x86s.AluCmp}
+
+	labelAt, labels := pickLabels(rng, n, n/8+2)
+	reg := func() int { return regs[rng.Intn(len(regs))] }
+	disp := func() int32 { return int32(rng.Intn(0xE00)) }
+	label := func() string { return labels[rng.Intn(len(labels))] }
+
+	for i := 0; i < n; i++ {
+		if name, ok := labelAt[i]; ok {
+			a.Label(name)
+		}
+		switch r := rng.Intn(100); {
+		case r < 10:
+			a.MovRI(reg(), rng.Uint32())
+		case r < 16:
+			a.MovRR(reg(), reg())
+		case r < 23:
+			a.MovRM(reg(), x86s.EBX, disp())
+		case r < 30:
+			a.MovMR(x86s.EBX, disp(), reg())
+		case r < 33:
+			a.MovMI(x86s.EBX, disp(), rng.Uint32())
+		case r < 35:
+			a.MovMI8(x86s.EBX, disp(), uint8(rng.Uint32()))
+		case r < 37:
+			a.MovMR8(x86s.EBX, disp(), regs8[rng.Intn(len(regs8))])
+		case r < 39:
+			a.MovRM8(regs8[rng.Intn(len(regs8))], x86s.EBX, disp())
+		case r < 41:
+			a.Movzx8M(reg(), x86s.EBX, disp())
+		case r < 43:
+			a.Movzx8R(reg(), regs8[rng.Intn(len(regs8))])
+		case r < 46:
+			a.Lea(reg(), x86s.EBX, disp())
+		case r < 56:
+			a.AluRR(alus[rng.Intn(len(alus))], reg(), reg())
+		case r < 64:
+			a.AluRI(alus[rng.Intn(len(alus))], reg(), int32(rng.Uint32()))
+		case r < 67:
+			a.TestRR(reg(), reg())
+		case r < 69:
+			a.IncR(reg())
+		case r < 71:
+			a.DecR(reg())
+		case r < 73:
+			a.ShlRI(reg(), uint8(1+rng.Intn(31)))
+		case r < 75:
+			a.ShrRI(reg(), uint8(1+rng.Intn(31)))
+		case r < 78:
+			a.PushR(reg())
+			a.PopR(reg())
+		case r < 80:
+			a.PushI(rng.Uint32())
+			a.PopR(reg())
+		case r < 88:
+			a.Jcc(conds[rng.Intn(len(conds))], label())
+		case r < 91:
+			a.Jmp(label())
+		case r < 94:
+			a.CallLabel(fmt.Sprintf("F%d", rng.Intn(genHelpers)))
+		default:
+			a.Nop()
+		}
+	}
+	a.MovRI(x86s.EAX, 0)
+	a.Ret()
+	for h := 0; h < genHelpers; h++ {
+		a.Label(fmt.Sprintf("F%d", h))
+		for j, k := 0, 2+rng.Intn(4); j < k; j++ {
+			switch rng.Intn(3) {
+			case 0:
+				a.AluRR(alus[rng.Intn(len(alus))], reg(), reg())
+			case 1:
+				a.MovRM(reg(), x86s.EBX, disp())
+			default:
+				a.IncR(reg())
+			}
+		}
+		a.Ret()
+	}
+	code, err := a.Assemble()
+	return code.Bytes, err
+}
+
+// GenARMS returns a seeded random arms program of roughly n instructions.
+func GenARMS(rng *rand.Rand, n int) ([]byte, error) {
+	a := arms.NewAsm()
+	regs := []int{arms.R0, arms.R1, arms.R2, arms.R3, arms.R4, arms.R5, arms.R6, arms.R8}
+	conds := []arms.Cond{
+		arms.CondAL, arms.CondEQ, arms.CondNE, arms.CondLT,
+		arms.CondGE, arms.CondGT, arms.CondLE,
+	}
+
+	labelAt, labels := pickLabels(rng, n, n/8+2)
+	reg := func() int { return regs[rng.Intn(len(regs))] }
+	off := func() int32 { return int32(rng.Intn(0xE00)) }
+	label := func() string { return labels[rng.Intn(len(labels))] }
+
+	for i := 0; i < n; i++ {
+		if name, ok := labelAt[i]; ok {
+			a.Label(name)
+		}
+		switch r := rng.Intn(100); {
+		case r < 8:
+			a.MovImm32(reg(), rng.Uint32())
+		case r < 13:
+			a.MovW(reg(), uint16(rng.Uint32()))
+		case r < 17:
+			a.MovT(reg(), uint16(rng.Uint32()))
+		case r < 23:
+			a.MovR(reg(), reg())
+		case r < 30:
+			a.AddR(reg(), reg(), reg())
+		case r < 35:
+			a.AddI(reg(), reg(), int32(rng.Intn(0x4000)))
+		case r < 40:
+			a.SubR(reg(), reg(), reg())
+		case r < 44:
+			a.SubI(reg(), reg(), int32(rng.Intn(0x4000)))
+		case r < 47:
+			a.AndI(reg(), reg(), int32(rng.Intn(0x4000)))
+		case r < 50:
+			a.OrrR(reg(), reg(), reg())
+		case r < 53:
+			a.LslI(reg(), reg(), int32(rng.Intn(32)))
+		case r < 56:
+			a.LsrI(reg(), reg(), int32(rng.Intn(32)))
+		case r < 62:
+			a.Ldr(reg(), arms.R10, off())
+		case r < 68:
+			a.Str(reg(), arms.R10, off())
+		case r < 71:
+			a.Ldrb(reg(), arms.R10, off())
+		case r < 74:
+			a.Strb(reg(), arms.R10, off())
+		case r < 78:
+			a.CmpR(reg(), reg())
+		case r < 81:
+			a.CmpI(reg(), int32(rng.Intn(0x2000)))
+		case r < 83:
+			a.TstI(reg(), int32(rng.Intn(0x4000)))
+		case r < 86:
+			x, y := reg(), reg()
+			if x == y {
+				y = arms.R9
+			}
+			a.Push(x, y)
+			a.Pop(x, y)
+		case r < 93:
+			a.B(conds[rng.Intn(len(conds))], label())
+		case r < 95:
+			a.BLLabel(fmt.Sprintf("F%d", rng.Intn(genHelpers)))
+		case r < 96:
+			a.Svc(int32(rng.Intn(8)))
+		default:
+			a.Nop()
+		}
+	}
+	a.BX(arms.LR)
+	for h := 0; h < genHelpers; h++ {
+		a.Label(fmt.Sprintf("F%d", h))
+		for j, k := 0, 2+rng.Intn(4); j < k; j++ {
+			switch rng.Intn(3) {
+			case 0:
+				a.AddR(reg(), reg(), reg())
+			case 1:
+				a.Ldr(reg(), arms.R10, off())
+			default:
+				a.MovR(reg(), reg())
+			}
+		}
+		a.BX(arms.LR)
+	}
+	code, err := a.Assemble()
+	return code.Bytes, err
+}

@@ -1,0 +1,433 @@
+package x86s
+
+import (
+	"testing"
+
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+	"connlab/internal/telemetry"
+)
+
+// blockRetired dispatches one block and fails the test on any non-retired
+// event, returning the number of instructions it retired.
+func blockRetired(t *testing.T, c *CPU, max uint64) uint64 {
+	t.Helper()
+	before := c.InstrCount()
+	if ev := c.StepBlock(max); ev.Kind != isa.EventRetired {
+		t.Fatalf("step block: %+v", ev)
+	}
+	return c.InstrCount() - before
+}
+
+// TestBlockCacheInvalidatedBySetPerm pins the translation-cache safety
+// contract: after the legitimate patch sequence (SetPerm RW, write,
+// SetPerm RX) block dispatch must execute the new bytes, not replay the
+// cached translation.
+func TestBlockCacheInvalidatedBySetPerm(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, append(movEAX(1), 0x90)) // mov eax,1; nop
+	c := New(m)
+
+	// Dispatch twice so the second run hits the block cache.
+	for i := 0; i < 2; i++ {
+		c.SetPC(0x1000)
+		blockRetired(t, c, 2)
+		if got := c.Reg(EAX); got != 1 {
+			t.Fatalf("eax = %d, want 1 (iteration %d)", got, i)
+		}
+	}
+	if bs := c.BlockStats(); bs.Translated == 0 || bs.Hits == 0 {
+		t.Fatalf("block cache never engaged: %+v", bs)
+	}
+
+	if err := m.SetPerm("text", mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if f := m.WriteBytes(0x1000, movEAX(2)); f != nil {
+		t.Fatal(f)
+	}
+	if err := m.SetPerm("text", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+
+	c.SetPC(0x1000)
+	blockRetired(t, c, 2)
+	if got := c.Reg(EAX); got != 2 {
+		t.Errorf("eax after patch = %d, want 2 (stale block translation)", got)
+	}
+	if bs := c.BlockStats(); bs.Invalidated == 0 {
+		t.Errorf("no invalidation recorded across the patch: %+v", bs)
+	}
+}
+
+// TestBlockCacheInvalidatedByUnmap: a cached block must not execute from
+// a segment that has since been unmapped.
+func TestBlockCacheInvalidatedByUnmap(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	blockRetired(t, c, 1)
+
+	m.Unmap("text")
+	c.SetPC(0x1000)
+	ev := c.StepBlock(1)
+	if ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultUnmapped {
+		t.Errorf("block dispatch after unmap = %+v, want unmapped fault", ev)
+	}
+}
+
+// TestBlockSkipsWritableSegments: writable code is never translated (its
+// bytes can change without a generation bump), so RWX self-modifying
+// code runs through the single-step fallback and sees every write.
+func TestBlockSkipsWritableSegments(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	blockRetired(t, c, 1)
+	if got := c.Reg(EAX); got != 1 {
+		t.Fatalf("eax = %d, want 1", got)
+	}
+	if f := m.WriteBytes(0x1000, movEAX(2)); f != nil {
+		t.Fatal(f)
+	}
+	c.SetPC(0x1000)
+	blockRetired(t, c, 1)
+	if got := c.Reg(EAX); got != 2 {
+		t.Errorf("eax after self-modify = %d, want 2 (writable segment was translated)", got)
+	}
+	if bs := c.BlockStats(); bs.Translated != 0 {
+		t.Errorf("translated %d blocks from a writable segment, want 0", bs.Translated)
+	}
+}
+
+// TestBlockRespectsWX: under W^X an RWX mapping is not executable; block
+// dispatch must fault rather than run a translation, and must succeed
+// once the mapping is flipped to RX.
+func TestBlockRespectsWX(t *testing.T) {
+	m := mem.New()
+	m.SetWX(true)
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRWX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, movEAX(1))
+	c := New(m)
+	c.SetPC(0x1000)
+	ev := c.StepBlock(1)
+	if ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultProtection {
+		t.Fatalf("block dispatch from RWX under W^X = %+v, want protection fault", ev)
+	}
+
+	if err := m.SetPerm("text", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPC(0x1000)
+	blockRetired(t, c, 1)
+	if got := c.Reg(EAX); got != 1 {
+		t.Errorf("eax = %d, want 1", got)
+	}
+}
+
+// TestBlockTruncatedByMax: a dispatch capped below the block length
+// retires exactly the cap and leaves the PC mid-block, where the next
+// dispatch resumes.
+func TestBlockTruncatedByMax(t *testing.T) {
+	m := mem.New()
+	text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAsm()
+	a.Label("loop").
+		MovRM(EAX, EBX, 0).
+		AddRI(EAX, 1).
+		MovMR(EBX, 0, EAX).
+		PushR(EAX).
+		PopR(EDX).
+		Jmp("loop")
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(text.Data, code.Bytes)
+	c := New(m)
+	c.SetPC(0x1000)
+	c.SetSP(0x8F00)
+	c.SetReg(EBX, 0x4000)
+
+	if got := blockRetired(t, c, 2); got != 2 {
+		t.Fatalf("capped dispatch retired %d, want 2", got)
+	}
+	if c.PC() == 0x1000 {
+		t.Fatalf("pc still at block entry after truncated dispatch")
+	}
+	if got := blockRetired(t, c, 4); got != 4 {
+		t.Fatalf("resume dispatch retired %d, want 4 (rest of the loop body)", got)
+	}
+	if c.PC() != 0x1000 {
+		t.Fatalf("pc = %#x after full loop, want 0x1000", c.PC())
+	}
+	if got := c.Reg(EAX); got != 1 {
+		t.Fatalf("eax = %d, want 1", got)
+	}
+}
+
+// TestBlockCrossSegmentPatch is the cross-page invalidation case: an
+// instruction whose fetch window spans the boundary into a second
+// executable segment, cached by both the decode cache and the block
+// translator, must be re-read after that second segment goes through a
+// patch cycle — and while the second segment is writable, translation
+// must stop at the boundary and execution must fault on entering it.
+func TestBlockCrossSegmentPatch(t *testing.T) {
+	m := mem.New()
+	t1, err := m.Map("text1", 0x1000, 0x10, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Map("text2", 0x1010, 0x10, mem.PermRX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mov eax,1 at 0x100B: its 5 bytes end exactly at the text1 boundary,
+	// so every fetch window for it is truncated at the segment edge.
+	// Execution falls through into text2's mov eax,2.
+	copy(t1.Data[0xB:], movEAX(1))
+	copy(t2.Data, movEAX(2))
+	c := New(m)
+
+	run := func(how string, step func() uint64) uint32 {
+		c.SetPC(0x100B)
+		if got := step(); got != 2 {
+			t.Fatalf("%s: retired %d, want 2", how, got)
+		}
+		return c.Reg(EAX)
+	}
+	viaStep := func() uint64 {
+		stepRetired(t, c)
+		stepRetired(t, c)
+		return 2
+	}
+	viaBlock := func() uint64 { return blockRetired(t, c, 2) }
+
+	// Warm both caches across the boundary.
+	if got := run("step", viaStep); got != 2 {
+		t.Fatalf("eax = %d, want 2", got)
+	}
+	if got := run("block", viaBlock); got != 2 {
+		t.Fatalf("eax = %d, want 2", got)
+	}
+
+	// Patch cycle on the second segment only.
+	if err := m.SetPerm("text2", mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// While text2 is writable: the block from 0x100B must stop at the
+	// boundary (1 instruction), and entering text2 must fault.
+	c.SetPC(0x100B)
+	if got := blockRetired(t, c, 2); got != 1 {
+		t.Fatalf("block into writable segment retired %d, want 1", got)
+	}
+	if ev := c.Step(); ev.Kind != isa.EventFault || ev.Fault == nil || ev.Fault.Kind != mem.FaultProtection {
+		t.Fatalf("exec from RW segment = %+v, want protection fault", ev)
+	}
+	if f := m.WriteBytes(0x1010, movEAX(3)); f != nil {
+		t.Fatal(f)
+	}
+	if err := m.SetPerm("text2", mem.PermRX); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both paths must observe the patched second segment.
+	if got := run("step after patch", viaStep); got != 3 {
+		t.Errorf("eax = %d, want 3 (stale decode cache across segments)", got)
+	}
+	if got := run("block after patch", viaBlock); got != 3 {
+		t.Errorf("eax = %d, want 3 (stale block translation across segments)", got)
+	}
+}
+
+// TestBlockExecZeroAllocs asserts the block dispatch hot loop allocates
+// nothing once the translation is cached, and that the recorder-on
+// fallback (which must preserve per-instruction recording order by
+// single-stepping) stays allocation-free too.
+func TestBlockExecZeroAllocs(t *testing.T) {
+	build := func() *CPU {
+		m := mem.New()
+		text, err := m.Map("text", 0x1000, 0x1000, mem.PermRX)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Map("data", 0x4000, 0x1000, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Map("stack", 0x8000, 0x1000, mem.PermRW); err != nil {
+			t.Fatal(err)
+		}
+		a := NewAsm()
+		a.Label("loop").
+			MovRM(EAX, EBX, 0).
+			AddRI(EAX, 1).
+			MovMR(EBX, 0, EAX).
+			PushR(EAX).
+			PopR(EDX).
+			Jmp("loop")
+		code, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(text.Data, code.Bytes)
+		c := New(m)
+		c.SetPC(0x1000)
+		c.SetSP(0x8F00)
+		c.SetReg(EBX, 0x4000)
+		return c
+	}
+
+	// The program loops forever, so cap each dispatch at one loop
+	// iteration (chained dispatch would otherwise run to the cap).
+	c := build()
+	for i := 0; i < 8; i++ {
+		blockRetired(t, c, 6)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ev := c.StepBlock(6); ev.Kind != isa.EventRetired {
+			t.Fatalf("step block: %+v", ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepBlock allocates %.1f objects per dispatch, want 0", allocs)
+	}
+
+	c = build()
+	c.SetRecorder(telemetry.NewControlRecorder(64))
+	for i := 0; i < 8; i++ {
+		blockRetired(t, c, 6)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		if ev := c.StepBlock(6); ev.Kind != isa.EventRetired {
+			t.Fatalf("step block: %+v", ev)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("StepBlock with recorder allocates %.1f objects per dispatch, want 0", allocs)
+	}
+	if bs := c.BlockStats(); bs.Instrs != 0 {
+		t.Errorf("recorder-on dispatch retired %d instructions in blocks, want 0 (single-step fallback)", bs.Instrs)
+	}
+}
+
+// FuzzBlockStep is the differential fuzz target: arbitrary code bytes and
+// entry registers run in lockstep under block dispatch and single-step,
+// and every divergence in events, registers, flags or retirement counts
+// is a failure. A second phase patches the code through the RW→write→RX
+// cycle and reruns, so stale translations surviving a generation bump are
+// caught on fuzzer-found inputs too.
+func FuzzBlockStep(f *testing.F) {
+	f.Add([]byte{0xC3}, []byte{0x90}, uint32(0), uint32(0))
+	f.Add([]byte{0x58, 0x5B, 0xC3}, []byte{0x40}, uint32(1), uint32(2))
+	f.Add([]byte{0x90, 0x90, 0xCD, 0x80}, []byte{0xB8, 7, 0, 0, 0}, uint32(3), uint32(4))
+	f.Add([]byte{0xE8, 0x00, 0x00, 0x00, 0x00, 0xC3}, []byte{0xE9, 0xFB, 0xFF, 0xFF, 0xFF}, uint32(5), uint32(6))
+	f.Fuzz(func(t *testing.T, code, patch []byte, r0, r1 uint32) {
+		if len(code) == 0 {
+			return
+		}
+		if len(code) > 1024 {
+			code = code[:1024]
+		}
+		if len(patch) > len(code) {
+			patch = patch[:len(code)]
+		}
+		const codeBase, stackBase = 0x08048000, 0xBFFF0000
+		build := func() *CPU {
+			m := mem.New()
+			text, err := m.Map("code", codeBase, uint32(len(code)), mem.PermRX)
+			if err != nil {
+				t.Fatalf("map code: %v", err)
+			}
+			text.Populate(0, code)
+			if _, err := m.Map("stack", stackBase, 0x2000, mem.PermRW); err != nil {
+				t.Fatalf("map stack: %v", err)
+			}
+			c := New(m)
+			c.SetPC(codeBase)
+			c.SetSP(stackBase + 0x1000)
+			c.SetReg(EAX, r0)
+			c.SetReg(ECX, r1)
+			return c
+		}
+		ref, blk := build(), build()
+		lockstep := func(dispatches int) {
+			// Finite caps: dispatch chains blocks up to the cap, so an
+			// unbounded cap on a fuzzer-found infinite loop would spin.
+			caps := []uint64{97, 1, 61, 3}
+			for i := 0; i < dispatches; i++ {
+				before := blk.InstrCount()
+				evB := blk.StepBlock(caps[i%len(caps)])
+				k := blk.InstrCount() - before
+				steps := k
+				if evB.Kind == isa.EventFault || evB.Kind == isa.EventCFIViolation {
+					steps = k + 1
+				}
+				var evR isa.Event
+				for j := uint64(0); j < steps; j++ {
+					evR = ref.Step()
+				}
+				if evR.Kind != evB.Kind || evR.PC != evB.PC || evR.Illegal != evB.Illegal {
+					t.Fatalf("event mismatch: single-step %+v, block %+v", evR, evB)
+				}
+				if ref.PC() != blk.PC() || ref.FlagWord() != blk.FlagWord() || ref.InstrCount() != blk.InstrCount() {
+					t.Fatalf("state mismatch at pc %#x: flags %x/%x icount %d/%d",
+						blk.PC(), ref.FlagWord(), blk.FlagWord(), ref.InstrCount(), blk.InstrCount())
+				}
+				for r := 0; r < numRegs; r++ {
+					if ref.Reg(r) != blk.Reg(r) {
+						t.Fatalf("reg %s mismatch: %#x vs %#x", RegName(r), ref.Reg(r), blk.Reg(r))
+					}
+				}
+				if evB.Kind == isa.EventFault || evB.Kind == isa.EventCFIViolation {
+					return
+				}
+			}
+		}
+		lockstep(96)
+
+		// Patch cycle: stale translations must die with the generation.
+		if len(patch) > 0 {
+			for _, c := range []*CPU{ref, blk} {
+				m := c.Mem()
+				if err := m.SetPerm("code", mem.PermRW); err != nil {
+					t.Fatal(err)
+				}
+				if fa := m.WriteBytes(codeBase, patch); fa != nil {
+					t.Fatal(fa)
+				}
+				if err := m.SetPerm("code", mem.PermRX); err != nil {
+					t.Fatal(err)
+				}
+				c.SetPC(codeBase)
+				c.SetSP(stackBase + 0x1000)
+			}
+			lockstep(96)
+		}
+	})
+}

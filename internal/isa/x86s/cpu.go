@@ -49,6 +49,11 @@ type CPU struct {
 	// execute-permission check that produced it. Writable (RWX) mappings
 	// are never cached — self-modifying shellcode always re-decodes.
 	dc [dcSize]dcEntry
+
+	// bc is the basic-block translation cache (see block.go), keyed to
+	// the memory generation like dc; bcStats its monotonic counters.
+	bc      [bcSize]bcEntry
+	bcStats isa.BlockStats
 }
 
 var _ isa.CPU = (*CPU)(nil)
@@ -111,11 +116,39 @@ func (c *CPU) DecodeCacheMisses() uint64 { return c.dcMisses }
 // ResetState returns registers, PC and flags to their power-on (all zero)
 // values, as if the CPU were freshly constructed. The instruction counter
 // keeps running (it is monotonic; callers consume deltas) and the decode
-// cache is kept — a memory-generation bump already invalidates it.
+// cache is kept — a memory-generation bump already invalidates it. The
+// block cache is emptied (keeping the translated-instruction storage):
+// a recycle bumps the generation anyway, and starting cold keeps the
+// block counters a pure function of each run instead of depending on
+// which previous image the CPU happened to execute.
 func (c *CPU) ResetState() {
 	c.regs = [numRegs]uint32{}
 	c.eip = 0
 	c.fl = flags{}
+	for i := range c.bc {
+		c.bc[i].pc, c.bc[i].gen = 0, 0
+		c.bc[i].ins = c.bc[i].ins[:0]
+	}
+}
+
+// FlagWord packs the architectural flag state into one word (bit 0 zf,
+// bit 1 sf, bit 2 cf, bit 3 of). The assignment is arbitrary but stable;
+// the differential lockstep harness compares it across executors.
+func (c *CPU) FlagWord() uint32 {
+	var w uint32
+	if c.fl.zf {
+		w |= 1
+	}
+	if c.fl.sf {
+		w |= 2
+	}
+	if c.fl.cf {
+		w |= 4
+	}
+	if c.fl.of {
+		w |= 8
+	}
+	return w
 }
 
 // reg8 reads byte register i (0-3 low bytes, 4-7 high bytes).

@@ -57,6 +57,11 @@ type Config struct {
 	ASLREntropyPages int
 	// InstrBudget bounds each Call; 0 means DefaultInstrBudget.
 	InstrBudget uint64
+	// SingleStep forces the pure per-instruction interpreter path,
+	// disabling basic-block dispatch. The differential lockstep harness
+	// (internal/isa/isatest) uses it as the reference executor; it is
+	// also the switch to flip when bisecting a suspected translator bug.
+	SingleStep bool
 	// LinkOpts tunes program linking (used by the diversity mitigation).
 	LinkOpts image.Options
 }
@@ -203,6 +208,9 @@ type Process struct {
 	// only its own delta.
 	tel          *telemetry.Shard
 	lastDCMisses uint64
+	// lastBlock remembers the CPU's monotonic block-translation totals at
+	// the previous flush, mirroring lastDCMisses.
+	lastBlock isa.BlockStats
 
 	// guardAddr/canary record the seeded stack-protector guard (guardAddr
 	// 0 when the program declares none), letting a same-seed Recycle

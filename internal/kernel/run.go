@@ -117,14 +117,27 @@ func (p *Process) accountRun(res RunResult) {
 	}
 	misses := p.cpu.DecodeCacheMisses()
 	hitCtr, missCtr := telemetry.CtrX86DecodeHit, telemetry.CtrX86DecodeMiss
+	trCtr, bhCtr, invCtr, biCtr := telemetry.CtrX86BlockTranslate, telemetry.CtrX86BlockHit,
+		telemetry.CtrX86BlockInvalidate, telemetry.CtrX86BlockInstr
 	if p.arch == isa.ArchARMS {
 		hitCtr, missCtr = telemetry.CtrARMSDecodeHit, telemetry.CtrARMSDecodeMiss
+		trCtr, bhCtr, invCtr, biCtr = telemetry.CtrARMSBlockTranslate, telemetry.CtrARMSBlockHit,
+			telemetry.CtrARMSBlockInvalidate, telemetry.CtrARMSBlockInstr
 	}
+	bs := p.cpu.BlockStats()
+	blockInstrDelta := bs.Instrs - p.lastBlock.Instrs
+	t.Add(trCtr, bs.Translated-p.lastBlock.Translated)
+	t.Add(bhCtr, bs.Hits-p.lastBlock.Hits)
+	t.Add(invCtr, bs.Invalidated-p.lastBlock.Invalidated)
+	t.Add(biCtr, blockInstrDelta)
+	p.lastBlock = bs
 	missDelta := misses - p.lastDCMisses
 	p.lastDCMisses = misses
 	t.Add(missCtr, missDelta)
-	if res.Instructions > missDelta {
-		t.Add(hitCtr, res.Instructions-missDelta)
+	// Instructions retired inside blocks never probe the decode cache, so
+	// they are excluded from the derived hit count.
+	if res.Instructions > missDelta+blockInstrDelta {
+		t.Add(hitCtr, res.Instructions-missDelta-blockInstrDelta)
 	}
 }
 
@@ -144,14 +157,29 @@ func (p *Process) finish(res RunResult) RunResult {
 // a p.tel branch in Run makes Run non-inlinable and a defer here pins
 // the result to the stack, both of which measurably slow the
 // interpreter even with telemetry disabled.
+// runLoop dispatches through the CPU's basic-block cache: each iteration
+// executes a chain of translated blocks (or one single-stepped
+// instruction when the entry is not block-eligible), with the remaining
+// budget as the per-dispatch cap so a timeout lands on exactly the same
+// instruction count single-stepping would report. The sentinel check on
+// retired events stays sound under chained blocks: the sentinel is never
+// mapped, so a chain reaching it cannot translate further and returns a
+// retired event whose PC is the sentinel — the PC single-step would have
+// reported there.
 func (p *Process) runLoop() RunResult {
 	cpu := p.cpu
 	start := cpu.InstrCount()
 	if cpu.PC() == Sentinel {
 		return p.finish(RunResult{Status: StatusReturned, RetVal: p.retVal(), PC: Sentinel})
 	}
+	single := p.cfg.SingleStep
 	for {
-		ev := cpu.Step()
+		var ev isa.Event
+		if single {
+			ev = cpu.Step()
+		} else {
+			ev = cpu.StepBlock(p.budget - (cpu.InstrCount() - start))
+		}
 		switch ev.Kind {
 		case isa.EventRetired:
 			if ev.PC == Sentinel {

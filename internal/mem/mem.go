@@ -144,6 +144,12 @@ type Segment struct {
 // Size returns the segment length in bytes.
 func (s *Segment) Size() uint32 { return uint32(len(s.Data)) }
 
+// DirtyRange returns the half-open byte-offset range written through the
+// Memory accessors (or Populate) since the segment was mapped or last
+// Seal/Reset; lo >= hi means clean. The differential lockstep harness
+// uses it to compare only the bytes an execution could have changed.
+func (s *Segment) DirtyRange() (lo, hi uint32) { return s.dirtyLo, s.dirtyHi }
+
 // End returns the first address past the segment.
 func (s *Segment) End() uint32 { return s.Base + s.Size() }
 

@@ -43,6 +43,18 @@ const (
 	CtrX86DecodeMiss
 	CtrARMSDecodeHit
 	CtrARMSDecodeMiss
+	// Basic-block translation per ISA (flushed per emulated run):
+	// blocks translated, dispatches served from the cache, cached blocks
+	// discarded for a stale memory generation, and instructions retired
+	// inside block dispatch (the rest went through single-step).
+	CtrX86BlockTranslate
+	CtrX86BlockHit
+	CtrX86BlockInvalidate
+	CtrX86BlockInstr
+	CtrARMSBlockTranslate
+	CtrARMSBlockHit
+	CtrARMSBlockInvalidate
+	CtrARMSBlockInstr
 	// Gadget scan index: content-addressed section scans computed vs
 	// served from cache.
 	CtrGadgetScanBuild
@@ -82,6 +94,8 @@ const (
 var counterNames = [numCounters]string{
 	"x86s_decode_hit", "x86s_decode_miss",
 	"arms_decode_hit", "arms_decode_miss",
+	"x86s_block_translate", "x86s_block_hit", "x86s_block_invalidate", "x86s_block_instructions",
+	"arms_block_translate", "arms_block_hit", "arms_block_invalidate", "arms_block_instructions",
 	"gadget_scan_build", "gadget_scan_hit",
 	"recon_build", "recon_hit",
 	"payload_build", "payload_hit",

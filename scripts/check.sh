@@ -17,6 +17,15 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/...
+# The differential lockstep harness under the race detector: block
+# dispatch and single-step must agree instruction-for-instruction while
+# the race detector watches the translator's cache bookkeeping (-short
+# trims the randomized-program target from 600k to 100k instructions).
+go test -race -short ./internal/isa/isatest
+# Short differential fuzz smokes over both block translators; any
+# divergence found here is a translator bug by definition.
+go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/x86s
+go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/arms
 # One iteration of every micro-benchmark: catches benchmarks that no
 # longer compile or fail at runtime without paying for a timed run.
 go test -run '^$' -bench . -benchtime 1x .

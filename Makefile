@@ -22,7 +22,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/...
+	$(GO) test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/... \
+		./internal/netsim/... ./internal/dnsserver/...
+	$(GO) test -tags netsimdebug ./internal/netsim/
 
 # Short budgeted runs of every native fuzz target (seed corpora already
 # run as part of `make test`).
@@ -34,9 +36,10 @@ fuzz:
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/x86s/
 	$(GO) test -fuzz FuzzStep -fuzztime $(FUZZTIME) ./internal/isa/arms/
 	$(GO) test -fuzz FuzzScan -fuzztime $(FUZZTIME) ./internal/gadget/
+	$(GO) test -fuzz FuzzZoneTrie -fuzztime $(FUZZTIME) ./internal/dnsserver/
 
 # Full benchmark run; writes ns/op and allocs/op per benchmark to
-# BENCH_5.json, then compares against the most recent earlier
+# BENCH_7.json, then compares against the most recent earlier
 # BENCH_*.json and fails on a >10% ns/op regression (see scripts/bench.sh
 # for BENCHTIME/OUT/BASE/COMPARE overrides).
 bench:

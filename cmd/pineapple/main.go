@@ -6,6 +6,12 @@
 // Usage:
 //
 //	pineapple -arch arms -kind rop-memcpy -wx -aslr -v
+//
+// With -stations N it switches to the population-scale variant: one
+// shared sharded world where a single rogue AP out-shouts the home
+// router for the entire station fleet at once:
+//
+//	pineapple -stations 100000 -shards 8 -victim-every 25000
 package main
 
 import (
@@ -32,10 +38,39 @@ func run() error {
 	aslr := flag.Bool("aslr", true, "enable ASLR on the device")
 	legit := flag.Int("legit-signal", 50, "legitimate AP signal strength")
 	rogue := flag.Int("rogue-signal", 90, "pineapple signal strength")
+	stations := flag.Int("stations", 0, "population size; >0 runs the scale scenario in one shared world")
+	shards := flag.Int("shards", 1, "netsim shard count (scale scenario only)")
+	lookups := flag.Int("lookups", 2, "attack-phase lookups per station (scale scenario only)")
+	victimEvery := flag.Int("victim-every", 0, "every k-th station is a full victim device (scale scenario only)")
 	verbose := flag.Bool("v", false, "print the network event log")
 	flag.Parse()
 
 	lab := core.NewLab()
+	if *stations > 0 {
+		rep, err := lab.RunPineappleScale(core.PineappleScaleConfig{
+			Arch:        isa.Arch(*archFlag),
+			Kind:        exploit.Kind(*kindFlag),
+			Protection:  core.Protection{WX: *wx, ASLR: *aslr},
+			Stations:    *stations,
+			Shards:      *shards,
+			Lookups:     *lookups,
+			VictimEvery: *victimEvery,
+			Verbose:     *verbose,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Transcript())
+		perSec := float64(rep.Delivered) / (float64(rep.WallNs) / 1e9)
+		fmt.Printf("wall: %.3fs (%.0f datagrams/sec)\n", float64(rep.WallNs)/1e9, perSec)
+		if *verbose {
+			fmt.Println("--- network events ---")
+			for _, e := range rep.Events {
+				fmt.Println(" ", e)
+			}
+		}
+		return nil
+	}
 	rep, err := lab.RunPineapple(core.PineappleConfig{
 		Arch:        isa.Arch(*archFlag),
 		Kind:        exploit.Kind(*kindFlag),

@@ -1,0 +1,358 @@
+package campaign
+
+import (
+	"fmt"
+	"time"
+
+	"connlab/internal/dns"
+	"connlab/internal/dnsserver"
+	"connlab/internal/netsim"
+	"connlab/internal/victim"
+)
+
+// E9 at population scale: ONE shared Pineapple world instead of one
+// toy world per device. A single rogue AP out-shouts the home router
+// for an entire station population; every station re-associates, takes
+// a rogue DHCP lease, and phones home through the attacker's resolver.
+// A sparse subset of stations are full victim devices — emulated
+// Connman-analog daemons behind DNS proxies, one per campaign seed —
+// and the rest are lightweight clients that self-clock their lookups
+// and verify the answers, generating the "heavy traffic from millions
+// of users" the roadmap's north star asks the simulator to serve.
+//
+// The world runs on the sharded netsim: the report is byte-identical
+// at any shard count (scale_test pins shards=1,2,8), so shard count is
+// purely a throughput knob.
+
+var scaleRoguePool = netsim.IP{172, 17, 0, 0}
+
+// scaleLegitPool deliberately differs from the classic per-device
+// world's 192.168.1.100: the lease counter must carry across octets
+// for populations past a few hundred stations.
+var scaleLegitPool = netsim.IP{10, 1, 0, 0}
+
+// ScaleConfig parameterizes the population-scale Pineapple scenario.
+type ScaleConfig struct {
+	// Stations is the population size (light clients + victims).
+	Stations int
+	// Shards is the netsim shard count (1 = sequential pump).
+	Shards int
+	// Lookups is how many DNS lookups each light station performs
+	// during the attack phase (the baseline phase always does one).
+	Lookups int
+	// VictimEvery makes every k-th station a full victim device
+	// (0 disables victims entirely).
+	VictimEvery int
+	// MaxVictims caps the victim count; daemons are the expensive part
+	// of the population. 0 means 8.
+	MaxVictims int
+	// Scenario selects the victims' architecture, exploit kind and
+	// protection set. Label/Devices are ignored.
+	Scenario Scenario
+	// Verbose records the netsim event transcript on the report.
+	Verbose bool
+}
+
+func (c *ScaleConfig) normalize() {
+	if c.Stations < 1 {
+		c.Stations = 1
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Lookups < 1 {
+		c.Lookups = 1
+	}
+	if c.MaxVictims == 0 {
+		c.MaxVictims = 8
+	}
+}
+
+// ScaleReport aggregates one population-scale run. Every field except
+// WallNs is a deterministic function of the configuration and seeds —
+// independent of shard count and of wall-clock — and Transcript
+// renders exactly those fields.
+type ScaleReport struct {
+	Stations int
+	Victims  int
+	Lookups  int
+
+	// Baseline phase: every station resolves its own name through the
+	// legitimate resolver.
+	BaselineResolved int
+	BaselineOK       int
+	BaselineTainted  int
+
+	// Attack phase: after the rogue AP wins the re-association, the
+	// same traffic lands on the attacker's MITM resolver.
+	Hijacked      int
+	AttackOK      int
+	AttackTainted int
+
+	// Victim verdicts after the exploit response went through each
+	// daemon's emulated parser.
+	Shells   int
+	Crashes  int
+	NoEffect int
+
+	// Shared-world totals.
+	Delivered int
+	Dropped   int
+	Epochs    int
+	Steps     int
+
+	// WallNs is the measured wall time of the whole scenario —
+	// host-dependent, excluded from Transcript.
+	WallNs int64
+
+	// Events is the netsim transcript (Verbose runs only).
+	Events []string
+}
+
+// Transcript renders the deterministic portion of the report; runs of
+// the same configuration must produce identical transcripts at any
+// shard count.
+func (r *ScaleReport) Transcript() string {
+	return fmt.Sprintf(
+		"pineapple-scale stations=%d victims=%d lookups=%d\n"+
+			"baseline: resolved=%d ok=%d tainted=%d\n"+
+			"attack: hijacked=%d ok=%d tainted=%d\n"+
+			"victims: shells=%d crashes=%d noeffect=%d\n"+
+			"net: delivered=%d dropped=%d epochs=%d steps=%d\n",
+		r.Stations, r.Victims, r.Lookups,
+		r.BaselineResolved, r.BaselineOK, r.BaselineTainted,
+		r.Hijacked, r.AttackOK, r.AttackTainted,
+		r.Shells, r.Crashes, r.NoEffect,
+		r.Delivered, r.Dropped, r.Epochs, r.Steps)
+}
+
+// lightStation is a population client: a prebuilt query, an expected
+// answer, and a handler that validates each reply with a byte-level
+// check (no decoding, no allocation) and self-clocks the next lookup —
+// so one Run call carries the whole population through its lookups in
+// lock-stepped generations.
+type lightStation struct {
+	host      *netsim.Host
+	sock      *netsim.UDPSocket
+	query     []byte
+	expect    [4]byte
+	remaining int
+	ok        int
+	tainted   int
+}
+
+func (st *lightStation) send() {
+	st.remaining--
+	st.sock.SendTo(netsim.Addr{IP: st.host.DNS, Port: dnsserver.DNSPort}, st.query)
+}
+
+// onReply validates the A record: the splice resolver and the MITM
+// both put the answer's RDATA last, so a legitimate 4-byte A answer
+// ends in the expected address while the exploit's oversized record
+// cannot.
+func (st *lightStation) onReply(dg netsim.Datagram) {
+	p := dg.Payload
+	if len(p) >= dns.HeaderSize+4 && (p[6] != 0 || p[7] != 0) &&
+		p[len(p)-4] == st.expect[0] && p[len(p)-3] == st.expect[1] &&
+		p[len(p)-2] == st.expect[2] && p[len(p)-1] == st.expect[3] {
+		st.ok++
+	} else {
+		st.tainted++
+	}
+	if st.remaining > 0 {
+		st.send()
+	}
+}
+
+// scaleVictim is a full device in the population: a daemon behind the
+// DNS proxy, driven by a stub client.
+type scaleVictim struct {
+	host   *netsim.Host
+	daemon *victim.Daemon
+	client *dnsserver.Client
+	name   string
+}
+
+// stationName is the zone name station i phones home to.
+func stationName(i int) string {
+	return fmt.Sprintf("st%06d.iot-vendor.example", i)
+}
+
+// stationIP is the legitimate answer for station i.
+func stationIP(i int) [4]byte {
+	return [4]byte{20, byte(i >> 16), byte(i >> 8), byte(i)}
+}
+
+// RunPineappleScale runs the population-scale Pineapple scenario on
+// the engine's caches: one recon, one payload and one unit build feed
+// every victim in the world, exactly like fleet devices.
+func (e *Engine) RunPineappleScale(cfg ScaleConfig) (*ScaleReport, error) {
+	cfg.normalize()
+	start := time.Now()
+	s := cfg.Scenario
+	s.Pineapple = true
+
+	ex, err := e.Payload(s)
+	if err != nil {
+		return nil, fmt.Errorf("payload: %w", err)
+	}
+
+	world := netsim.NewSharded(cfg.Shards)
+	world.Verbose = cfg.Verbose
+	world.AddAP(&netsim.AccessPoint{
+		Name: "home-router", SSID: campaignSSID, Signal: 50,
+		PoolBase: scaleLegitPool, Gateway: campaignLegitGW, DNS: campaignResolverIP,
+	})
+
+	resolverHost, err := world.AddHost("resolver", campaignResolverIP)
+	if err != nil {
+		return nil, err
+	}
+	zone := dnsserver.NewZoneTrie()
+	for i := 0; i < cfg.Stations; i++ {
+		if err := zone.Add(stationName(i), stationIP(i)); err != nil {
+			return nil, err
+		}
+	}
+	resolver, err := dnsserver.RunResolverTrie(resolverHost, zone)
+	if err != nil {
+		return nil, err
+	}
+
+	pineHost, err := world.AddHost("pineapple", campaignPineIP)
+	if err != nil {
+		return nil, err
+	}
+	mitm, err := dnsserver.RunMITMWire(pineHost, ex.AppendResponse)
+	if err != nil {
+		return nil, err
+	}
+
+	// Population. Every VictimEvery-th station (capped) is a full
+	// device with its own campaign seed; the rest are light clients.
+	rep := &ScaleReport{Stations: cfg.Stations, Lookups: cfg.Lookups}
+	lights := make([]*lightStation, 0, cfg.Stations)
+	var victims []*scaleVictim
+	for i := 0; i < cfg.Stations; i++ {
+		h, err := world.AddHost(fmt.Sprintf("st%06d", i), netsim.IP{})
+		if err != nil {
+			return nil, err
+		}
+		isVictim := cfg.VictimEvery > 0 && i%cfg.VictimEvery == 0 && len(victims) < cfg.MaxVictims
+		if isVictim {
+			vi := len(victims)
+			kcfg, opts, ss, err := e.targetSetup(s, e.deviceSeed(s, 0, vi), false)
+			if err != nil {
+				return nil, err
+			}
+			d, err := e.acquireDaemon(s.Arch, opts, kcfg)
+			if err != nil {
+				return nil, err
+			}
+			defer e.releaseDaemon(s.Arch, opts, kcfg, d)
+			if ss != nil {
+				ss.Arm(d.Process())
+			}
+			if _, err := dnsserver.RunProxy(h, d); err != nil {
+				return nil, err
+			}
+			client, err := dnsserver.NewClient(h)
+			if err != nil {
+				return nil, err
+			}
+			victims = append(victims, &scaleVictim{host: h, daemon: d, client: client, name: stationName(i)})
+			continue
+		}
+		st := &lightStation{host: h, expect: stationIP(i)}
+		q := dns.NewQuery(uint16(i), stationName(i), dns.TypeA)
+		if st.query, err = q.Encode(); err != nil {
+			return nil, err
+		}
+		if st.sock, err = h.BindEphemeral(st.onReply); err != nil {
+			return nil, err
+		}
+		lights = append(lights, st)
+	}
+	rep.Victims = len(victims)
+
+	budget := cfg.Stations*(cfg.Lookups+2)*8 + 4096
+
+	// Phase 1 — baseline: everyone joins the home router and resolves
+	// through the legitimate resolver.
+	assocAll := func() error {
+		for i := 0; i < cfg.Stations; i++ {
+			h := world.Host(fmt.Sprintf("st%06d", i))
+			if _, err := h.Station(campaignSSID).Associate(); err != nil {
+				return fmt.Errorf("associate %s: %w", h.Name, err)
+			}
+		}
+		return nil
+	}
+	if err := assocAll(); err != nil {
+		return nil, err
+	}
+	for _, st := range lights {
+		st.remaining = 1
+		st.send()
+	}
+	for _, v := range victims {
+		if _, err := v.client.Lookup(netsim.Addr{IP: v.host.IP, Port: dnsserver.DNSPort}, v.name); err != nil {
+			return nil, err
+		}
+	}
+	rep.Steps += world.Run(budget)
+	rep.BaselineResolved = resolver.Queries
+	for _, st := range lights {
+		rep.BaselineOK += st.ok
+		rep.BaselineTainted += st.tainted
+		st.ok, st.tainted = 0, 0
+	}
+
+	// Phase 2 — the Pineapple appears: stronger signal, same SSID. The
+	// whole population re-associates and the rogue DHCP points DNS at
+	// the attacker.
+	world.AddAP(&netsim.AccessPoint{
+		Name: "pineapple", SSID: campaignSSID, Signal: 95,
+		PoolBase: scaleRoguePool, Gateway: campaignPineIP, DNS: campaignPineIP,
+	})
+	if err := assocAll(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — attack traffic: the same phone-home lookups now land
+	// on the MITM, which answers every one with the exploit.
+	for _, st := range lights {
+		st.remaining = cfg.Lookups
+		st.send()
+	}
+	for _, v := range victims {
+		if _, err := v.client.Lookup(netsim.Addr{IP: v.host.IP, Port: dnsserver.DNSPort}, v.name); err != nil {
+			return nil, err
+		}
+	}
+	rep.Steps += world.Run(budget)
+	rep.Hijacked = mitm.Queries
+	for _, st := range lights {
+		rep.AttackOK += st.ok
+		rep.AttackTainted += st.tainted
+	}
+	for _, v := range victims {
+		switch {
+		case len(v.daemon.Shells()) > 0:
+			rep.Shells++
+		case v.daemon.Crashed():
+			rep.Crashes++
+		default:
+			rep.NoEffect++
+		}
+	}
+
+	rep.Delivered = world.Delivered
+	rep.Dropped = world.Dropped
+	rep.Epochs = world.Epochs()
+	rep.WallNs = int64(time.Since(start))
+	if cfg.Verbose {
+		rep.Events = world.Events
+	}
+	return rep, nil
+}

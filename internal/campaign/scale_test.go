@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+)
+
+func scaleScenario() Scenario {
+	return Scenario{
+		Arch: isa.ArchX86S,
+		Kind: exploit.KindCodeInjection,
+	}
+}
+
+// TestPineappleScaleDeterministicAcrossShards is the golden
+// shard-count test of the PR: the same population-scale Pineapple
+// scenario at shards=1,2,8 must produce byte-identical transcripts —
+// and, Verbose, byte-identical netsim event logs.
+func TestPineappleScaleDeterministicAcrossShards(t *testing.T) {
+	cfg := ScaleConfig{
+		Stations:    300,
+		Lookups:     2,
+		VictimEvery: 100, // stations 0, 100, 200 are full devices
+		Scenario:    scaleScenario(),
+		Verbose:     true,
+	}
+	run := func(shards int) *ScaleReport {
+		e := New(Config{Workers: 1})
+		c := cfg
+		c.Shards = shards
+		rep, err := e.RunPineappleScale(c)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rep
+	}
+	want := run(1)
+	if want.Victims != 3 {
+		t.Fatalf("victims = %d, want 3", want.Victims)
+	}
+	if want.Shells+want.Crashes == 0 {
+		t.Fatalf("attack had no effect on any victim:\n%s", want.Transcript())
+	}
+	if want.BaselineOK == 0 || want.AttackTainted == 0 || want.Hijacked == 0 {
+		t.Fatalf("degenerate run:\n%s", want.Transcript())
+	}
+	if want.BaselineTainted != 0 {
+		t.Fatalf("legit resolver handed out wrong answers:\n%s", want.Transcript())
+	}
+	for _, shards := range []int{2, 8} {
+		got := run(shards)
+		if got.Transcript() != want.Transcript() {
+			t.Errorf("shards=%d transcript diverged:\n got:\n%s\nwant:\n%s", shards, got.Transcript(), want.Transcript())
+		}
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("shards=%d: %d events, want %d", shards, len(got.Events), len(want.Events))
+		}
+		for i := range got.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("shards=%d: event %d:\n got %q\nwant %q", shards, i, got.Events[i], want.Events[i])
+			}
+		}
+	}
+}
+
+// TestPineappleScaleBaselineVsAttack: the deterministic accounting
+// adds up — every light station resolves once in baseline and Lookups
+// times under attack, every victim lookup is hijacked, and the
+// exploit's answer never passes a station's byte check.
+func TestPineappleScaleBaselineVsAttack(t *testing.T) {
+	e := New(Config{Workers: 1})
+	cfg := ScaleConfig{
+		Stations:    120,
+		Shards:      4,
+		Lookups:     3,
+		VictimEvery: 60,
+		Scenario:    scaleScenario(),
+	}
+	rep, err := e.RunPineappleScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lights := cfg.Stations - rep.Victims
+	if rep.BaselineOK != lights {
+		t.Errorf("baseline ok = %d, want %d\n%s", rep.BaselineOK, lights, rep.Transcript())
+	}
+	if rep.AttackTainted != lights*cfg.Lookups {
+		t.Errorf("attack tainted = %d, want %d\n%s", rep.AttackTainted, lights*cfg.Lookups, rep.Transcript())
+	}
+	if rep.AttackOK != 0 {
+		t.Errorf("attack ok = %d, want 0", rep.AttackOK)
+	}
+	// The MITM answers every light-station lookup plus every victim
+	// phone-home the proxy forwarded.
+	if rep.Hijacked < lights*cfg.Lookups {
+		t.Errorf("hijacked = %d, want >= %d", rep.Hijacked, lights*cfg.Lookups)
+	}
+	if rep.Dropped != 0 {
+		t.Errorf("dropped = %d datagrams in a fully-routed world\n%s", rep.Dropped, rep.Transcript())
+	}
+	if got := strings.Count(rep.Transcript(), "\n"); got != 5 {
+		t.Errorf("transcript shape changed (%d lines):\n%s", got, rep.Transcript())
+	}
+}
+
+// TestZoneTrieServesPopulation: the shared resolver's trie really is
+// the zone — a smoke check that population names resolve through the
+// full netsim path (not just unit lookups).
+func TestPineappleScaleNoVictims(t *testing.T) {
+	e := New(Config{Workers: 1})
+	rep, err := e.RunPineappleScale(ScaleConfig{
+		Stations: 50,
+		Shards:   2,
+		Scenario: scaleScenario(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Victims != 0 || rep.Shells+rep.Crashes+rep.NoEffect != 0 {
+		t.Fatalf("victimless run grew victims: %+v", rep)
+	}
+	if rep.BaselineOK != 50 || rep.BaselineResolved != 50 {
+		t.Fatalf("baseline: %+v", rep)
+	}
+	if rep.Hijacked != 50 {
+		t.Fatalf("hijacked = %d, want 50", rep.Hijacked)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"connlab/internal/campaign"
 	"connlab/internal/dnsserver"
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
@@ -52,6 +53,39 @@ var (
 	pineappleIP = netsim.IP{172, 16, 42, 1}
 	roguePool   = netsim.IP{172, 16, 42, 100}
 )
+
+// PineappleScaleConfig parameterizes the population-scale variant of
+// the remote scenario: one shared sharded world serving an entire
+// station fleet instead of one toy world per device.
+type PineappleScaleConfig struct {
+	Arch       isa.Arch
+	Kind       exploit.Kind
+	Protection Protection
+	// Stations is the population size; Shards the netsim shard count.
+	Stations, Shards int
+	// Lookups is the per-station attack-phase lookup count.
+	Lookups int
+	// VictimEvery makes every k-th station a full victim device
+	// (0 = no victims); MaxVictims caps them (0 = 8).
+	VictimEvery, MaxVictims int
+	// Verbose records the netsim event transcript.
+	Verbose bool
+}
+
+// RunPineappleScale runs the §III-D scenario against a whole station
+// population in one shared world (see campaign.RunPineappleScale). The
+// report's Transcript is byte-identical at any shard count.
+func (l *Lab) RunPineappleScale(cfg PineappleScaleConfig) (*campaign.ScaleReport, error) {
+	return l.engine().RunPineappleScale(campaign.ScaleConfig{
+		Stations:    cfg.Stations,
+		Shards:      cfg.Shards,
+		Lookups:     cfg.Lookups,
+		VictimEvery: cfg.VictimEvery,
+		MaxVictims:  cfg.MaxVictims,
+		Scenario:    l.scenario(cfg.Arch, cfg.Kind, cfg.Protection),
+		Verbose:     cfg.Verbose,
+	})
+}
 
 // RunPineapple reproduces the Wi-Fi Pineapple man-in-the-middle attack
 // (§III-D, Fig. 1):

@@ -19,9 +19,10 @@ import (
 const DNSPort = 53
 
 // Resolver is a benign authoritative/recursive stand-in with a static
-// zone.
+// zone held as a wire-format trie (see zonetrie.go), so one resolver
+// answers millions of names without a name→string step.
 type Resolver struct {
-	Zone map[string][4]byte
+	Zone *ZoneTrie
 	// Queries counts requests served.
 	Queries int
 	sock    *netsim.UDPSocket
@@ -30,8 +31,22 @@ type Resolver struct {
 	scratch []byte
 }
 
-// RunResolver binds a resolver on the host's port 53.
+// RunResolver binds a resolver on the host's port 53, converting a
+// dotted-name zone map into the trie the resolver serves from.
 func RunResolver(h *netsim.Host, zone map[string][4]byte) (*Resolver, error) {
+	t, err := ZoneTrieFromMap(zone)
+	if err != nil {
+		return nil, fmt.Errorf("resolver on %s: %w", h.Name, err)
+	}
+	return RunResolverTrie(h, t)
+}
+
+// RunResolverTrie binds a resolver serving the given zone trie — the
+// population-scale entry point that skips the map detour entirely.
+func RunResolverTrie(h *netsim.Host, zone *ZoneTrie) (*Resolver, error) {
+	if zone == nil {
+		zone = NewZoneTrie()
+	}
 	r := &Resolver{Zone: zone}
 	sock, err := h.Bind(DNSPort, r.handle)
 	if err != nil {
@@ -61,22 +76,22 @@ func (r *Resolver) handleFast(dg netsim.Datagram, v *dns.View) bool {
 	if err != nil || !plain {
 		return false
 	}
-	q, err := v.Question()
-	if err != nil {
-		return false
-	}
 	if end, _ := v.QuestionEnd(); end != len(dg.Payload) {
 		return false // trailing bytes: let the full decoder judge them
 	}
-	if q.Name == "" {
+	if len(qb)-4 > 256 {
+		return false // name the strict decoder would refuse: let it
+	}
+	if qb[0] == 0 {
 		// The root name is the one name the compressing encoder writes
 		// literally rather than as a pointer to the question.
 		return false
 	}
 	r.Queries++
 	telemetry.Inc(telemetry.CtrDNSResolved)
-	ip, hit := r.Zone[q.Name]
-	hit = hit && q.Type == dns.TypeA
+	qtype := dns.Type(qb[len(qb)-4])<<8 | dns.Type(qb[len(qb)-3])
+	ip, hit := r.Zone.Lookup(qb)
+	hit = hit && qtype == dns.TypeA
 	rcode := dns.RCodeOK
 	an := uint16(1)
 	if !hit {
@@ -106,7 +121,7 @@ func (r *Resolver) handleSlow(dg netsim.Datagram) {
 	r.Queries++
 	telemetry.Inc(telemetry.CtrDNSResolved)
 	resp := dns.NewResponse(q)
-	if ip, ok := r.Zone[q.Questions[0].Name]; ok && q.Questions[0].Type == dns.TypeA {
+	if ip, ok := r.Zone.LookupName(q.Questions[0].Name); ok && q.Questions[0].Type == dns.TypeA {
 		resp.Answers = []dns.RR{dns.A(q.Questions[0].Name, 300, ip)}
 	} else {
 		resp.RCode = dns.RCodeNXDomain

@@ -1,0 +1,121 @@
+package dnsserver
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzWireToName parses raw as length-prefixed wire labels and returns
+// the dotted form plus the canonical wire encoding. It rejects shapes
+// where the dotted form is ambiguous as a map key (labels containing
+// '.', empty or oversized labels, oversized names) so the old
+// map[string][4]byte stays a faithful oracle.
+func fuzzWireToName(raw []byte) (dotted string, wire []byte, ok bool) {
+	var labels [][]byte
+	total := 0
+	i := 0
+	for i < len(raw) {
+		l := int(raw[i])
+		if l == 0 {
+			break
+		}
+		if l > 63 || i+1+l > len(raw) {
+			return "", nil, false
+		}
+		lab := raw[i+1 : i+1+l]
+		if bytes.IndexByte(lab, '.') >= 0 {
+			return "", nil, false
+		}
+		labels = append(labels, lab)
+		if total += l + 1; total+1 > 255 {
+			return "", nil, false
+		}
+		i += 1 + l
+	}
+	if len(labels) == 0 {
+		return "", nil, false
+	}
+	var d, w []byte
+	for k, lab := range labels {
+		if k > 0 {
+			d = append(d, '.')
+		}
+		d = append(d, lab...)
+		w = append(w, byte(len(lab)))
+		w = append(w, lab...)
+	}
+	return string(d), append(w, 0), true
+}
+
+// fuzzIP derives a deterministic record from a name.
+func fuzzIP(s string) [4]byte {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return [4]byte{byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h)}
+}
+
+// FuzzZoneTrie drives the wire-keyed trie against the dotted map it
+// replaced: random wire-format names go into both, then every lookup —
+// wire with question tails, dotted, and raw garbage — must agree with
+// the map byte-for-byte.
+func FuzzZoneTrie(f *testing.F) {
+	f.Add([]byte("\x04good\x07example\x00"), []byte("\x03bad\x07example\x00"), []byte{1, 'a', 0})
+	f.Add([]byte("\x01a\x01b\x00"), []byte("\x02ab\x00"), []byte("\x01a\x00"))
+	f.Add([]byte("\x3fzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\x00"),
+		[]byte{}, []byte{0xC0, 12})
+	f.Add([]byte("\x02st\x02st\x02st\x00"), []byte("\x02st\x00"), []byte("\x06st\x00st\x00"))
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		trie := NewZoneTrie()
+		zone := map[string][4]byte{}
+		type cand struct {
+			dotted string
+			wire   []byte
+		}
+		var cands []cand
+		for i, raw := range [][]byte{a, b, c} {
+			dotted, wire, ok := fuzzWireToName(raw)
+			if !ok {
+				continue
+			}
+			cands = append(cands, cand{dotted, wire})
+			if i < 2 { // insert the first two shapes; the third probes misses
+				ip := fuzzIP(dotted)
+				zone[dotted] = ip
+				if err := trie.Add(dotted, ip); err != nil {
+					t.Fatalf("Add(%q): %v", dotted, err)
+				}
+			}
+		}
+		if trie.Len() != len(zone) {
+			t.Fatalf("Len = %d, map has %d", trie.Len(), len(zone))
+		}
+		for _, cd := range cands {
+			wantIP, wantOK := zone[cd.dotted]
+			for _, tail := range [][]byte{nil, {0, 1, 0, 1}, c} {
+				ip, ok := trie.Lookup(append(append([]byte(nil), cd.wire...), tail...))
+				if ok != wantOK || (ok && ip != wantIP) {
+					t.Fatalf("Lookup(%q + %v) = %v,%v; map says %v,%v",
+						cd.dotted, tail, ip, ok, wantIP, wantOK)
+				}
+			}
+			if ip, ok := trie.LookupName(cd.dotted); ok != wantOK || (ok && ip != wantIP) {
+				t.Fatalf("LookupName(%q) = %v,%v; map says %v,%v", cd.dotted, ip, ok, wantIP, wantOK)
+			}
+		}
+		// Raw garbage must never panic, and a hit must be a genuine
+		// zone name.
+		for _, raw := range [][]byte{a, b, c} {
+			if ip, ok := trie.Lookup(raw); ok {
+				dotted, _, parsed := fuzzWireToName(raw)
+				if !parsed {
+					t.Fatalf("Lookup hit on unparseable wire %v", raw)
+				}
+				if want, inZone := zone[dotted]; !inZone || ip != want {
+					t.Fatalf("Lookup(%v) = %v, map says %v (in zone: %v)", raw, ip, zone[dotted], inZone)
+				}
+			}
+		}
+	})
+}

@@ -8,8 +8,13 @@
 // AP clones the trusted SSID at a stronger signal; the victim station
 // re-associates; the rogue DHCP hands it a resolver the attacker runs.
 //
-// Delivery is a deterministic FIFO event loop — no goroutines, no real
-// sockets — so experiments and tests are exactly reproducible.
+// Delivery is deterministic. A network built with New (one shard) pumps
+// a single FIFO on the calling goroutine, exactly as every recorded
+// experiment expects. A network built with NewSharded(k) partitions its
+// hosts across k worker-owned regions and delivers in bulk-synchronous
+// epochs (see shard.go); the observable event order is byte-identical
+// to the single-shard FIFO for any k, so shard count is a pure
+// throughput knob, never a semantic one.
 package netsim
 
 import (
@@ -47,9 +52,21 @@ type Datagram struct {
 }
 
 // Handler consumes a datagram delivered to a socket. It runs synchronously
-// inside Network.Run. The payload buffer is recycled when the handler
-// returns: handlers that retain payload bytes (directly or through
-// aliasing decoders) must copy them first.
+// inside Network.Run, on the goroutine that owns the receiving host's
+// shard.
+//
+// The payload-recycling contract: the payload buffer is recycled the
+// moment the handler returns. Handlers that retain payload bytes —
+// directly, or through aliasing decoders such as dns.View — must copy
+// them first. Builds with `-tags netsimdebug` poison every recycled
+// buffer with 0xAA bytes, so a handler that breaks the contract sees
+// its retained alias turn to garbage instead of silently reading
+// whatever datagram reused the buffer next.
+//
+// On a sharded network a handler may only send from sockets whose host
+// lives on the same shard as the receiving host (in practice: its own
+// host's sockets). Association, binds and topology changes belong
+// outside Run.
 type Handler func(dg Datagram)
 
 // UDPSocket is a bound port on a host.
@@ -63,12 +80,16 @@ type UDPSocket struct {
 // SendTo queues a datagram to dst. The payload is copied into a pooled
 // buffer, so the caller's slice is free for reuse immediately.
 func (s *UDPSocket) SendTo(dst Addr, payload []byte) {
-	p := append(s.host.net.getBuf(len(payload)), payload...)
-	s.host.net.enqueue(Datagram{
-		Src:     Addr{IP: s.host.IP, Port: s.port},
-		Dst:     dst,
-		Payload: p,
-	})
+	n := s.host.net
+	src := Addr{IP: s.host.IP, Port: s.port}
+	if n.inEpoch {
+		sh := n.shards[s.host.shard]
+		p := append(sh.getBuf(len(payload)), payload...)
+		sh.emit(Datagram{Src: src, Dst: dst, Payload: p})
+		return
+	}
+	p := append(n.shards[0].getBuf(len(payload)), payload...)
+	n.enqueue(Datagram{Src: src, Dst: dst, Payload: p}, -1)
 }
 
 // Recv pops one queued datagram for sockets without a handler.
@@ -94,6 +115,14 @@ type Host struct {
 
 	sockets map[uint16]*UDPSocket
 	station *Station
+
+	// shard is the worker-owned region this host belongs to (always 0
+	// on single-shard networks), fixed at AddHost time.
+	shard int
+	// ephemeral is the next-port cursor for BindEphemeral: instead of
+	// re-probing from the bottom of the range on every bind (O(n²) over
+	// n sockets), each bind starts where the previous one left off.
+	ephemeral uint16
 }
 
 // Bind opens a UDP socket on port with an optional handler.
@@ -106,9 +135,26 @@ func (h *Host) Bind(port uint16, handler Handler) (*UDPSocket, error) {
 	return s, nil
 }
 
-// BindEphemeral opens a socket on a free high port.
+// Ephemeral port range handed out by BindEphemeral.
+const (
+	ephemeralLo = 40000
+	ephemeralHi = 50000
+)
+
+// BindEphemeral opens a socket on a free high port. Ports are assigned
+// from a per-host cursor over [40000, 50000): a fresh host gets 40000,
+// the next bind 40001, and so on, wrapping and skipping explicitly
+// bound ports. Binding k sockets costs O(k), not O(k²).
 func (h *Host) BindEphemeral(handler Handler) (*UDPSocket, error) {
-	for port := uint16(40000); port < 41000; port++ {
+	if h.ephemeral < ephemeralLo || h.ephemeral >= ephemeralHi {
+		h.ephemeral = ephemeralLo
+	}
+	for tries := 0; tries < ephemeralHi-ephemeralLo; tries++ {
+		port := h.ephemeral
+		h.ephemeral++
+		if h.ephemeral >= ephemeralHi {
+			h.ephemeral = ephemeralLo
+		}
 		if _, taken := h.sockets[port]; taken {
 			continue
 		}
@@ -139,7 +185,7 @@ type AccessPoint struct {
 	Gateway  IP
 	DNS      IP
 
-	nextLease uint8
+	nextLease uint32
 	clients   map[*Station]bool
 }
 
@@ -150,15 +196,30 @@ type Station struct {
 	AP        *AccessPoint
 }
 
+// qitem is one queued datagram plus the shard that sent it (-1 when the
+// send happened outside an epoch), which is all the cross-shard
+// accounting needs: delivery order is the queue position itself.
+type qitem struct {
+	dg  Datagram
+	src int
+}
+
 // Network is the simulated world.
 type Network struct {
-	hosts map[string]*Host
-	aps   []*AccessPoint
-	byIP  map[IP]*Host
-	queue []Datagram
-	// free holds recycled payload buffers: a datagram's buffer returns
-	// here once it is dropped or its handler finishes.
-	free [][]byte
+	hosts   map[string]*Host
+	aps     []*AccessPoint
+	byIP    map[IP]*Host
+	hostSeq int
+
+	// pending is the delivery queue; head indexes the next undelivered
+	// item so popping never reslices-and-reallocs the way queue[1:] +
+	// append churn did.
+	pending []qitem
+	head    int
+
+	shards  []*shard
+	inEpoch bool
+	epochs  int
 
 	// Delivered counts datagrams handed to sockets, for reporting.
 	Delivered int
@@ -168,19 +229,48 @@ type Network struct {
 	Verbose bool
 	Events  []string
 
+	// evSlots is the rank-indexed event staging area for parallel
+	// epochs: each delivery writes its line into its own slot, the
+	// barrier appends them in rank order, and the transcript comes out
+	// byte-identical to the sequential pump.
+	evSlots []string
+
 	// tel is the network's telemetry shard (nil while disabled), taken at
 	// construction like every instrumented component.
 	tel *telemetry.Shard
 }
 
-// New returns an empty network.
-func New() *Network {
-	return &Network{
-		hosts: make(map[string]*Host),
-		byIP:  make(map[IP]*Host),
-		tel:   telemetry.Handle(),
+// New returns an empty single-shard network: the exact deterministic
+// FIFO every recorded experiment was captured against.
+func New() *Network { return NewSharded(1) }
+
+// NewSharded returns an empty network whose hosts are partitioned
+// across nShards worker-owned regions (clamped to at least 1). Run
+// pumps the shards in parallel epochs; the observable event order is
+// identical to New() regardless of nShards.
+func NewSharded(nShards int) *Network {
+	if nShards < 1 {
+		nShards = 1
 	}
+	n := &Network{
+		hosts:  make(map[string]*Host),
+		byIP:   make(map[IP]*Host),
+		shards: make([]*shard, nShards),
+		tel:    telemetry.Handle(),
+	}
+	for i := range n.shards {
+		n.shards[i] = &shard{id: i}
+	}
+	return n
 }
+
+// Shards reports the shard count the network was built with.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Epochs reports how many delivery generations Run has completed. The
+// count depends only on the traffic pattern — one epoch per BFS
+// generation of the datagram lineage tree — never on the shard count.
+func (n *Network) Epochs() int { return n.epochs }
 
 func (n *Network) logf(format string, args ...any) {
 	if n.Verbose {
@@ -189,11 +279,20 @@ func (n *Network) logf(format string, args ...any) {
 }
 
 // AddHost creates a host; ip may be zero for DHCP-configured hosts.
+// Hosts are assigned to shards round-robin in creation order, so the
+// partition is a pure function of the build sequence.
 func (n *Network) AddHost(name string, ip IP) (*Host, error) {
 	if _, dup := n.hosts[name]; dup {
 		return nil, fmt.Errorf("netsim: duplicate host %q", name)
 	}
-	h := &Host{Name: name, net: n, IP: ip, sockets: make(map[uint16]*UDPSocket)}
+	h := &Host{
+		Name:    name,
+		net:     n,
+		IP:      ip,
+		sockets: make(map[uint16]*UDPSocket),
+		shard:   n.hostSeq % len(n.shards),
+	}
+	n.hostSeq++
 	n.hosts[name] = h
 	if !ip.IsZero() {
 		if _, taken := n.byIP[ip]; taken {
@@ -260,10 +359,16 @@ func (s *Station) Associate() (*AccessPoint, error) {
 		s.host.Name, best.SSID, best.Name, best.Signal)
 
 	// DHCP: DISCOVER/OFFER/REQUEST/ACK collapsed into the lease grant.
+	// The lease counter carries across the last three octets so one AP
+	// can serve far more than the 255 clients a single octet holds; for
+	// pools that never overflow octet 3 the addresses are identical to
+	// the historical single-octet arithmetic.
 	old := s.host.IP
-	lease := best.PoolBase
 	best.nextLease++
-	lease[3] += best.nextLease
+	lease := best.PoolBase
+	v := uint32(lease[1])<<16 | uint32(lease[2])<<8 | uint32(lease[3])
+	v += best.nextLease
+	lease[1], lease[2], lease[3] = byte(v>>16), byte(v>>8), byte(v)
 	if !old.IsZero() {
 		delete(s.host.net.byIP, old)
 	}
@@ -279,53 +384,45 @@ func (s *Station) Associate() (*AccessPoint, error) {
 }
 
 // enqueue appends to the delivery queue, sampling the depth it grew to.
-func (n *Network) enqueue(dg Datagram) {
-	n.queue = append(n.queue, dg)
+func (n *Network) enqueue(dg Datagram, src int) {
+	n.pending = append(n.pending, qitem{dg: dg, src: src})
 	if n.tel != nil {
 		n.tel.Inc(telemetry.CtrNetEnqueued)
-		n.tel.Observe(telemetry.HistNetQueueDepth, uint64(len(n.queue)))
+		n.tel.Observe(telemetry.HistNetQueueDepth, uint64(len(n.pending)-n.head))
 	}
 }
 
-// getBuf pops a recycled payload buffer with at least the given
-// capacity, or returns a fresh one.
-func (n *Network) getBuf(size int) []byte {
-	for i := len(n.free) - 1; i >= 0; i-- {
-		if b := n.free[i]; cap(b) >= size {
-			n.free[i] = n.free[len(n.free)-1]
-			n.free = n.free[:len(n.free)-1]
-			return b[:0]
-		}
-	}
-	return make([]byte, 0, size)
-}
-
-// putBuf recycles a payload buffer (bounded so a burst of giants does
-// not pin memory forever).
-func (n *Network) putBuf(b []byte) {
-	if cap(b) == 0 || len(n.free) >= 64 {
-		return
-	}
-	n.free = append(n.free, b[:0])
-}
-
-// Step delivers one queued datagram. It reports false when the queue is
-// empty.
+// Step delivers one queued datagram on the calling goroutine, in exact
+// legacy FIFO order. It reports false when the queue is empty.
 func (n *Network) Step() bool {
-	if len(n.queue) == 0 {
+	if n.head >= len(n.pending) {
 		return false
 	}
-	dg := n.queue[0]
-	n.queue = n.queue[1:]
+	it := n.pending[n.head]
+	n.pending[n.head] = qitem{}
+	n.head++
+	if n.head == len(n.pending) {
+		n.pending = n.pending[:0]
+		n.head = 0
+	}
+	n.deliverSeq(it.dg)
+	return true
+}
+
+// deliverSeq routes one datagram sequentially: byIP, then the port map,
+// then the handler, recycling the payload when the handler returns.
+func (n *Network) deliverSeq(dg Datagram) {
 	host, ok := n.byIP[dg.Dst.IP]
 	if !ok {
 		n.Dropped++
 		if n.tel != nil {
 			n.tel.Inc(telemetry.CtrNetDropped)
 		}
-		n.logf("drop %s -> %s (%d bytes): no route", dg.Src, dg.Dst, len(dg.Payload))
-		n.putBuf(dg.Payload)
-		return true
+		if n.Verbose {
+			n.Events = append(n.Events, dropEvent(dg, "no route"))
+		}
+		n.shards[0].putBuf(dg.Payload)
+		return
 	}
 	sock, ok := host.sockets[dg.Dst.Port]
 	if !ok {
@@ -333,35 +430,70 @@ func (n *Network) Step() bool {
 		if n.tel != nil {
 			n.tel.Inc(telemetry.CtrNetDropped)
 		}
-		n.logf("drop %s -> %s (%d bytes): port closed", dg.Src, dg.Dst, len(dg.Payload))
-		n.putBuf(dg.Payload)
-		return true
+		if n.Verbose {
+			n.Events = append(n.Events, dropEvent(dg, "port closed"))
+		}
+		n.shards[0].putBuf(dg.Payload)
+		return
 	}
 	n.Delivered++
 	if n.tel != nil {
 		n.tel.Inc(telemetry.CtrNetDelivered)
 	}
-	n.logf("deliver %s -> %s (%d bytes)", dg.Src, dg.Dst, len(dg.Payload))
+	if n.Verbose {
+		n.Events = append(n.Events, deliverEvent(dg))
+	}
 	if sock.handler != nil {
 		sock.handler(dg)
 		// The handler contract says payloads do not outlive the call.
-		n.putBuf(dg.Payload)
+		n.shards[0].putBuf(dg.Payload)
 	} else {
 		// Handler-less sockets retain the datagram until Recv; those
 		// buffers stay owned by the receiver and are never recycled.
 		sock.queue = append(sock.queue, dg)
 	}
-	return true
 }
 
-// Run pumps the queue until empty or maxSteps deliveries.
+// Run pumps the queue until empty or maxSteps deliveries. Multi-shard
+// networks deliver whole generations in parallel epochs (shard.go);
+// single-shard networks pump sequentially. Either way the event order,
+// counters and queue-depth samples are identical.
 func (n *Network) Run(maxSteps int) int {
+	if len(n.shards) == 1 {
+		return n.runSeq(maxSteps)
+	}
+	return n.runEpochs(maxSteps)
+}
+
+// runSeq is the single-shard pump: the legacy FIFO loop plus epoch
+// accounting at each BFS generation boundary, so Epochs() and the
+// epoch-batch histogram agree with the parallel engine sample for
+// sample.
+func (n *Network) runSeq(maxSteps int) int {
 	steps := 0
+	gen := n.Pending()
+	genSize := gen
 	for steps < maxSteps && n.Step() {
 		steps++
+		gen--
+		if gen == 0 {
+			n.noteEpoch(genSize)
+			gen = n.Pending()
+			genSize = gen
+		}
 	}
 	return steps
 }
 
+// noteEpoch records one completed delivery generation of the given
+// batch size.
+func (n *Network) noteEpoch(batch int) {
+	n.epochs++
+	if n.tel != nil {
+		n.tel.Inc(telemetry.CtrNetEpochs)
+		n.tel.Observe(telemetry.HistNetEpochBatch, uint64(batch))
+	}
+}
+
 // Pending returns the number of queued datagrams.
-func (n *Network) Pending() int { return len(n.queue) }
+func (n *Network) Pending() int { return len(n.pending) - n.head }

@@ -15,7 +15,12 @@ func TestUDPDelivery(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got []Datagram
-	if _, err := b.Bind(7, func(dg Datagram) { got = append(got, dg) }); err != nil {
+	// Handlers must copy payload bytes they retain (the buffer is
+	// recycled — and poisoned under -tags netsimdebug — on return).
+	if _, err := b.Bind(7, func(dg Datagram) {
+		dg.Payload = append([]byte(nil), dg.Payload...)
+		got = append(got, dg)
+	}); err != nil {
 		t.Fatal(err)
 	}
 	sa, err := a.Bind(1234, nil)
@@ -40,7 +45,7 @@ func TestPayloadCopiedNotAliased(t *testing.T) {
 	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
 	b, _ := n.AddHost("b", IP{10, 0, 0, 2})
 	var got []byte
-	_, _ = b.Bind(9, func(dg Datagram) { got = dg.Payload })
+	_, _ = b.Bind(9, func(dg Datagram) { got = append([]byte(nil), dg.Payload...) })
 	s, _ := a.Bind(1000, nil)
 	buf := []byte("abc")
 	s.SendTo(Addr{IP: b.IP, Port: 9}, buf)

@@ -1,0 +1,6 @@
+//go:build !netsimdebug
+
+package netsim
+
+// poisonBuf is a no-op in normal builds; see poison_on.go.
+func poisonBuf([]byte) {}

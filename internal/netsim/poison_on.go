@@ -1,0 +1,19 @@
+//go:build netsimdebug
+
+package netsim
+
+// PoisonByte fills recycled payload buffers in netsimdebug builds.
+const PoisonByte = 0xAA
+
+// poisonBuf overwrites a recycled payload buffer with PoisonByte up to
+// its full capacity. The Handler contract says payload bytes do not
+// outlive the handler call; a handler that retains an alias (directly
+// or through a lazy decoder) reads poison in these builds instead of
+// whichever datagram recycles the backing array next — turning a silent
+// cross-talk bug into a deterministic test failure.
+func poisonBuf(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}

@@ -1,0 +1,64 @@
+//go:build netsimdebug
+
+package netsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPoisonCatchesRetainedAlias: a handler that breaks the
+// payload-recycling contract by keeping an alias to the delivered
+// buffer sees PoisonByte fill once the handler returns, instead of
+// silently reading whichever datagram reuses the backing array next.
+func TestPoisonCatchesRetainedAlias(t *testing.T) {
+	n := New()
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	b, _ := n.AddHost("b", IP{10, 0, 0, 2})
+
+	var retained []byte
+	if _, err := b.Bind(7, func(dg Datagram) {
+		retained = dg.Payload // contract violation under test
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := a.Bind(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SendTo(Addr{IP: IP{10, 0, 0, 2}, Port: 7}, []byte("secret"))
+	n.Run(10)
+
+	if retained == nil {
+		t.Fatal("handler never ran")
+	}
+	want := bytes.Repeat([]byte{PoisonByte}, len(retained))
+	if !bytes.Equal(retained, want) {
+		t.Fatalf("retained alias survived recycling: %q", retained)
+	}
+	// A well-behaved handler's copy is of course untouched.
+	if string(want) == "secret" {
+		t.Fatal("impossible")
+	}
+}
+
+// TestPoisonSharded: the shard-local pools poison too.
+func TestPoisonSharded(t *testing.T) {
+	n := NewSharded(4)
+	a, _ := n.AddHost("a", IP{10, 0, 0, 1})
+	b, _ := n.AddHost("b", IP{10, 0, 0, 2})
+	var retained []byte
+	if _, err := b.Bind(7, func(dg Datagram) {
+		retained = dg.Payload
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := a.Bind(9, nil)
+	src.SendTo(Addr{IP: IP{10, 0, 0, 2}, Port: 7}, []byte("xyzzy"))
+	n.Run(10)
+	for i, c := range retained {
+		if c != PoisonByte {
+			t.Fatalf("byte %d = %#x, want poison", i, c)
+		}
+	}
+}

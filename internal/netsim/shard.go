@@ -1,0 +1,281 @@
+// Epoch-sharded delivery: the multi-shard pump behind Network.Run.
+//
+// The single-FIFO pump delivers datagrams in BFS order over the send
+// lineage: the queue's initial contents are generation 0, and the
+// children enqueued while delivering generation g — appended at the
+// tail — form generation g+1, ordered by (parent rank, send order
+// within the handler call). That order is a pure function of the
+// lineage, so it can be reproduced without a global queue: deliver one
+// whole generation per epoch, each shard handling the items addressed
+// to its own hosts, and have the barrier splice the per-shard child
+// outboxes back together sorted by parent rank. Every rank belongs to
+// exactly one shard, so the splice is an allocation-free k-way merge
+// with no ties, and the resulting queue — and therefore the transcript,
+// the counters, and even the queue-depth histogram samples, which the
+// barrier reconstructs from ranks — is byte-identical to the
+// single-shard run at any shard count.
+package netsim
+
+import (
+	"sync"
+
+	"connlab/internal/telemetry"
+)
+
+// task is one delivery assigned to a shard for the current epoch: the
+// datagram, its global rank within the generation, and the destination
+// host (resolved by the coordinator so shards never read shared maps).
+type task struct {
+	rank int
+	host *Host
+	dg   Datagram
+}
+
+// child is one datagram sent by a handler during an epoch, tagged with
+// the rank of the delivery that produced it. Per-shard outboxes are
+// naturally sorted by parentRank because each shard pumps its inbox in
+// rank order.
+type child struct {
+	parentRank int
+	dg         Datagram
+}
+
+// shard is one worker-owned region: a partition of hosts, the epoch
+// inbox/outbox, a private buffer pool, and local counters the barrier
+// folds into the network totals.
+type shard struct {
+	id      int
+	inbox   []task
+	outbox  []child
+	free    [][]byte
+	curRank int
+
+	delivered int
+	dropped   int
+}
+
+// emit records a datagram sent by a handler running on this shard
+// during the current epoch.
+func (sh *shard) emit(dg Datagram) {
+	sh.outbox = append(sh.outbox, child{parentRank: sh.curRank, dg: dg})
+}
+
+// getBuf pops a recycled payload buffer with at least the given
+// capacity from the shard-local pool, or returns a fresh one.
+func (sh *shard) getBuf(size int) []byte {
+	for i := len(sh.free) - 1; i >= 0; i-- {
+		if b := sh.free[i]; cap(b) >= size {
+			sh.free[i] = sh.free[len(sh.free)-1]
+			sh.free = sh.free[:len(sh.free)-1]
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, size)
+}
+
+// putBuf recycles a payload buffer (bounded so a burst of giants does
+// not pin memory forever). Under -tags netsimdebug the buffer is
+// poisoned first, so handler code that retained an alias reads 0xAA
+// instead of the next datagram that reuses the backing array.
+func (sh *shard) putBuf(b []byte) {
+	poisonBuf(b)
+	if cap(b) == 0 || len(sh.free) >= 64 {
+		return
+	}
+	sh.free = append(sh.free, b[:0])
+}
+
+// pump delivers this shard's epoch inbox in rank order. It runs on the
+// shard's own goroutine; everything it touches — its hosts' socket
+// maps, its outbox, its pool, the rank-indexed event slots — is either
+// owned by the shard or written at disjoint indexes.
+func (sh *shard) pump(n *Network, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for _, t := range sh.inbox {
+		sh.curRank = t.rank
+		dg := t.dg
+		sock, ok := t.host.sockets[dg.Dst.Port]
+		if !ok {
+			sh.dropped++
+			if n.Verbose {
+				n.evSlots[t.rank] = dropEvent(dg, "port closed")
+			}
+			sh.putBuf(dg.Payload)
+			continue
+		}
+		sh.delivered++
+		if n.Verbose {
+			n.evSlots[t.rank] = deliverEvent(dg)
+		}
+		if sock.handler != nil {
+			sock.handler(dg)
+			sh.putBuf(dg.Payload)
+		} else {
+			sock.queue = append(sock.queue, dg)
+		}
+	}
+}
+
+// runEpochs is the multi-shard pump: one BSP epoch per BFS generation.
+// If the step budget cannot cover a whole generation the remainder runs
+// through the sequential pump, which delivers the same prefix the
+// single-shard network would.
+func (n *Network) runEpochs(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps {
+		m := n.Pending()
+		if m == 0 {
+			break
+		}
+		if m > maxSteps-steps {
+			steps += n.runSeq(maxSteps - steps)
+			break
+		}
+		n.runOneEpoch(m)
+		steps += m
+	}
+	return steps
+}
+
+// runOneEpoch delivers one whole generation of m datagrams across the
+// shards and splices the next generation together at the barrier.
+func (n *Network) runOneEpoch(m int) {
+	batch := n.pending[n.head : n.head+m]
+
+	var crossShard, stalls, noRoute int
+	if n.Verbose {
+		if cap(n.evSlots) < m {
+			n.evSlots = make([]string, m)
+		}
+		n.evSlots = n.evSlots[:m]
+		for i := range n.evSlots {
+			n.evSlots[i] = ""
+		}
+	}
+
+	// Partition: resolve each destination host here, on the
+	// coordinator, so shard goroutines never read the shared byIP map.
+	// Unroutable datagrams drop immediately at their rank.
+	for r := range batch {
+		it := &batch[r]
+		host, ok := n.byIP[it.dg.Dst.IP]
+		if !ok {
+			n.Dropped++
+			noRoute++
+			if n.Verbose {
+				n.evSlots[r] = dropEvent(it.dg, "no route")
+			}
+			n.shards[0].putBuf(it.dg.Payload)
+			it.dg = Datagram{}
+			continue
+		}
+		sh := n.shards[host.shard]
+		if it.src >= 0 && it.src != host.shard {
+			crossShard++
+		}
+		sh.inbox = append(sh.inbox, task{rank: r, host: host, dg: it.dg})
+		it.dg = Datagram{}
+	}
+	n.head += m
+	if n.head == len(n.pending) {
+		n.pending = n.pending[:0]
+		n.head = 0
+	}
+
+	// Pump every shard that has work; idle shards are the epoch's
+	// stalls — load-imbalance time the barrier cannot hide.
+	var wg sync.WaitGroup
+	n.inEpoch = true
+	for _, sh := range n.shards {
+		if len(sh.inbox) == 0 {
+			stalls++
+			continue
+		}
+		wg.Add(1)
+		go sh.pump(n, &wg)
+	}
+	wg.Wait()
+	n.inEpoch = false
+
+	// Barrier: fold shard counters into the network totals, append the
+	// staged events in rank order, and merge the child outboxes into
+	// the next generation sorted by parent rank. The merge also
+	// reconstructs the queue-depth sample each child would have
+	// produced in the sequential pump: when parent rank r enqueues the
+	// generation's j-th child, the legacy queue holds the m-r-1
+	// not-yet-delivered parents plus j+1 children — depth m-r+j.
+	delivered, dropped := 0, noRoute
+	for _, sh := range n.shards {
+		delivered += sh.delivered
+		dropped += sh.dropped
+		n.Delivered += sh.delivered
+		n.Dropped += sh.dropped
+		sh.delivered, sh.dropped = 0, 0
+		sh.inbox = sh.inbox[:0]
+	}
+	if n.Verbose {
+		n.Events = append(n.Events, n.evSlots...)
+	}
+
+	heads := make([]int, len(n.shards))
+	enqueued := 0
+	for j := 0; ; j++ {
+		best := -1
+		for i, sh := range n.shards {
+			if heads[i] >= len(sh.outbox) {
+				continue
+			}
+			if best < 0 || sh.outbox[heads[i]].parentRank < n.shards[best].outbox[heads[best]].parentRank {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := n.shards[best].outbox[heads[best]]
+		heads[best]++
+		n.pending = append(n.pending, qitem{dg: c.dg, src: best})
+		enqueued++
+		if n.tel != nil {
+			n.tel.Observe(telemetry.HistNetQueueDepth, uint64(m-c.parentRank+j))
+		}
+	}
+	for _, sh := range n.shards {
+		sh.outbox = sh.outbox[:0]
+	}
+
+	if n.tel != nil {
+		n.tel.Add(telemetry.CtrNetEnqueued, uint64(enqueued))
+		n.tel.Add(telemetry.CtrNetDelivered, uint64(delivered))
+		n.tel.Add(telemetry.CtrNetDropped, uint64(dropped))
+		n.tel.Add(telemetry.CtrNetCrossShard, uint64(crossShard))
+		n.tel.Add(telemetry.CtrNetEpochStalls, uint64(stalls))
+	}
+	n.noteEpoch(m)
+}
+
+// deliverEvent and dropEvent format the transcript lines shared by the
+// sequential and sharded pumps.
+func deliverEvent(dg Datagram) string {
+	return "deliver " + dg.Src.String() + " -> " + dg.Dst.String() + " (" + itoa(len(dg.Payload)) + " bytes)"
+}
+
+func dropEvent(dg Datagram, why string) string {
+	return "drop " + dg.Src.String() + " -> " + dg.Dst.String() + " (" + itoa(len(dg.Payload)) + " bytes): " + why
+}
+
+// itoa is a tiny strconv.Itoa for the event formatters (non-negative
+// operands only), keeping them free of fmt's interface boxing.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

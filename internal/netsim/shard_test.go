@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBindEphemeralMany: the per-host cursor hands out >1000 ephemeral
+// ports in O(1) each, skipping explicitly bound ports, and the first
+// port on a fresh host stays 40000 (recorded transcripts pin it).
+func TestBindEphemeralMany(t *testing.T) {
+	n := New()
+	h, err := n.AddHost("h", IP{10, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Bind(40002, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{40000, 40001, 40003, 40004}
+	for i, w := range want {
+		s, err := h.BindEphemeral(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.port != w {
+			t.Fatalf("bind %d: port %d, want %d", i, s.port, w)
+		}
+	}
+	for i := 0; i < 1200; i++ {
+		if _, err := h.BindEphemeral(nil); err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+	}
+	if len(h.sockets) != 1+len(want)+1200 {
+		t.Fatalf("socket count %d", len(h.sockets))
+	}
+}
+
+// TestBindEphemeralExhaustion: once the whole range is bound the error
+// surfaces instead of looping forever.
+func TestBindEphemeralExhaustion(t *testing.T) {
+	n := New()
+	h, _ := n.AddHost("h", IP{10, 0, 0, 1})
+	for i := 0; i < ephemeralHi-ephemeralLo; i++ {
+		if _, err := h.BindEphemeral(nil); err != nil {
+			t.Fatalf("bind %d: %v", i, err)
+		}
+	}
+	if _, err := h.BindEphemeral(nil); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+// TestDHCPLeaseCarry: the lease counter carries across octets instead
+// of wrapping inside octet 3, so one AP serves >255 stations; small
+// counts keep the historical addresses.
+func TestDHCPLeaseCarry(t *testing.T) {
+	n := New()
+	ap := n.AddAP(&AccessPoint{
+		Name: "ap", SSID: "net", Signal: 50,
+		PoolBase: IP{10, 0, 0, 0}, Gateway: IP{10, 0, 0, 1}, DNS: IP{8, 8, 8, 8},
+	})
+	_ = ap
+	seen := make(map[IP]bool)
+	for i := 0; i < 600; i++ {
+		h, err := n.AddHost(fmt.Sprintf("st%04d", i), IP{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Station("net").Associate(); err != nil {
+			t.Fatalf("station %d: %v", i, err)
+		}
+		if seen[h.IP] {
+			t.Fatalf("station %d: duplicate lease %s", i, h.IP)
+		}
+		seen[h.IP] = true
+		switch i {
+		case 0:
+			if h.IP != (IP{10, 0, 0, 1}) {
+				t.Fatalf("first lease %s", h.IP)
+			}
+		case 255:
+			if h.IP != (IP{10, 0, 1, 0}) {
+				t.Fatalf("lease 256 = %s, want carry into octet 2", h.IP)
+			}
+		}
+	}
+}
+
+// shardFanoutWorld builds a world whose traffic exercises every
+// delivery shape: multi-generation fan-out (each relay forwards to two
+// peers while the hop budget lasts), port-closed drops, no-route
+// drops, and a handler-less socket that retains datagrams. The
+// transcript it produces must be byte-identical at any shard count.
+func shardFanoutWorld(t *testing.T, shards, hosts int) *Network {
+	t.Helper()
+	n := NewSharded(shards)
+	n.Verbose = true
+	socks := make([]*UDPSocket, hosts)
+	for i := 0; i < hosts; i++ {
+		h, err := n.AddHost(fmt.Sprintf("h%03d", i), IP{10, 0, byte(i >> 8), byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		sk, err := h.Bind(7, func(dg Datagram) {
+			hops := dg.Payload[0]
+			if hops == 0 {
+				return
+			}
+			body := []byte{hops - 1}
+			for _, d := range []int{2*i + 1, 2*i + 2} {
+				dst := Addr{IP: IP{10, 0, byte(d >> 8), byte(d)}, Port: 7}
+				if d%7 == 3 {
+					dst.Port = 9 // closed port: deterministic drop
+				}
+				if d >= hosts {
+					dst.IP = IP{99, 99, byte(d >> 8), byte(d)} // no route
+				}
+				socks[i].SendTo(dst, body)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		socks[i] = sk
+		if _, err := h.Bind(11, nil); err != nil { // handler-less sink
+			t.Fatal(err)
+		}
+	}
+	// Generation 0: a few roots, plus traffic into the handler-less port.
+	for _, root := range []int{0, 1, 5} {
+		socks[root].SendTo(Addr{IP: IP{10, 0, 0, byte(root)}, Port: 7}, []byte{6})
+	}
+	socks[2].SendTo(Addr{IP: IP{10, 0, 0, 4}, Port: 11}, []byte("keep"))
+	return n
+}
+
+// TestShardedRunDeterministic: shards=1,2,8 produce byte-identical
+// transcripts, identical counters and identical epoch counts for the
+// same world and traffic.
+func TestShardedRunDeterministic(t *testing.T) {
+	type result struct {
+		events               []string
+		delivered, dropped   int
+		epochs, steps, hosts int
+	}
+	run := func(shards int) result {
+		n := shardFanoutWorld(t, shards, 64)
+		steps := n.Run(100000)
+		if n.Pending() != 0 {
+			t.Fatalf("shards=%d: queue not drained", shards)
+		}
+		return result{n.Events, n.Delivered, n.Dropped, n.Epochs(), steps, len(n.hosts)}
+	}
+	want := run(1)
+	if want.delivered == 0 || want.dropped == 0 {
+		t.Fatalf("world exercises too little: %+v", want)
+	}
+	for _, shards := range []int{2, 8} {
+		got := run(shards)
+		if got.delivered != want.delivered || got.dropped != want.dropped ||
+			got.epochs != want.epochs || got.steps != want.steps {
+			t.Fatalf("shards=%d: counters %+v, want %+v", shards, got, want)
+		}
+		if len(got.events) != len(want.events) {
+			t.Fatalf("shards=%d: %d events, want %d", shards, len(got.events), len(want.events))
+		}
+		for i := range got.events {
+			if got.events[i] != want.events[i] {
+				t.Fatalf("shards=%d: event %d:\n got %q\nwant %q", shards, i, got.events[i], want.events[i])
+			}
+		}
+	}
+}
+
+// TestShardedBudgetFallback: when maxSteps cannot cover a whole
+// generation, the sharded pump hands the remainder to the sequential
+// pump and delivers the exact prefix the single-shard network would.
+func TestShardedBudgetFallback(t *testing.T) {
+	for _, budget := range []int{1, 2, 5, 9, 17} {
+		seq := shardFanoutWorld(t, 1, 64)
+		par := shardFanoutWorld(t, 4, 64)
+		if s1, s2 := seq.Run(budget), par.Run(budget); s1 != s2 {
+			t.Fatalf("budget %d: steps %d vs %d", budget, s1, s2)
+		}
+		if seq.Pending() != par.Pending() {
+			t.Fatalf("budget %d: pending %d vs %d", budget, seq.Pending(), par.Pending())
+		}
+		if len(seq.Events) != len(par.Events) {
+			t.Fatalf("budget %d: %d events vs %d", budget, len(par.Events), len(seq.Events))
+		}
+		for i := range seq.Events {
+			if par.Events[i] != seq.Events[i] {
+				t.Fatalf("budget %d: event %d: %q vs %q", budget, i, par.Events[i], seq.Events[i])
+			}
+		}
+	}
+}
+
+// TestStepInterleavesWithRun: Step keeps exact FIFO behavior on a
+// sharded network (it is the sequential pump), so mixed Step/Run use
+// stays deterministic.
+func TestStepInterleavesWithRun(t *testing.T) {
+	n := shardFanoutWorld(t, 4, 64)
+	for i := 0; i < 3 && n.Step(); i++ {
+	}
+	n.Run(100000)
+	seq := shardFanoutWorld(t, 1, 64)
+	seq.Run(100000)
+	if n.Delivered != seq.Delivered || n.Dropped != seq.Dropped {
+		t.Fatalf("mixed pump diverged: %d/%d vs %d/%d", n.Delivered, n.Dropped, seq.Delivered, seq.Dropped)
+	}
+	for i := range seq.Events {
+		if n.Events[i] != seq.Events[i] {
+			t.Fatalf("event %d: %q vs %q", i, n.Events[i], seq.Events[i])
+		}
+	}
+}
+
+// TestHandlerlessRetainAcrossShards: datagrams parked on handler-less
+// sockets keep their payload bytes (never recycled) on sharded
+// networks too.
+func TestHandlerlessRetainAcrossShards(t *testing.T) {
+	n := NewSharded(4)
+	var sink *UDPSocket
+	var src *UDPSocket
+	for i := 0; i < 8; i++ {
+		h, err := n.AddHost(fmt.Sprintf("h%d", i), IP{10, 0, 0, byte(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 5 {
+			sink, _ = h.Bind(9, nil)
+		}
+		if i == 0 {
+			src, _ = h.Bind(10, nil)
+		}
+	}
+	src.SendTo(Addr{IP: IP{10, 0, 0, 6}, Port: 9}, []byte("alpha"))
+	src.SendTo(Addr{IP: IP{10, 0, 0, 6}, Port: 9}, []byte("beta"))
+	n.Run(10)
+	for _, want := range []string{"alpha", "beta"} {
+		dg, ok := sink.Recv()
+		if !ok || string(dg.Payload) != want {
+			t.Fatalf("recv %q, ok=%v, want %q", dg.Payload, ok, want)
+		}
+	}
+}

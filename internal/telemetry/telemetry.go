@@ -81,6 +81,15 @@ const (
 	CtrNetEnqueued
 	CtrNetDelivered
 	CtrNetDropped
+	// Sharded netsim: datagrams that crossed a shard boundary, delivery
+	// epochs completed, and shard-epoch pairs that sat idle for want of
+	// work. Cross-shard and stall counts depend on the host→shard
+	// partition — a topology knob — and are excluded from the
+	// shard-count determinism contract; epochs are BFS generations of
+	// the traffic and identical at any shard count.
+	CtrNetCrossShard
+	CtrNetEpochs
+	CtrNetEpochStalls
 	// DNS plane: lookups the legitimate resolver answered, and lookups
 	// the attacker's MITM hijacked with a crafted response.
 	CtrDNSResolved
@@ -104,6 +113,7 @@ var counterNames = [numCounters]string{
 	"pool_recycle", "pool_fresh",
 	"emu_runs", "emu_instructions", "emu_faults",
 	"net_enqueued", "net_delivered", "net_dropped",
+	"net_cross_shard", "net_epochs", "net_epoch_stalls",
 	"dns_resolved", "dns_hijacked",
 }
 
@@ -124,6 +134,9 @@ const (
 	// HistNetQueueDepth samples the netsim delivery-queue depth at every
 	// enqueue.
 	HistNetQueueDepth
+	// HistNetEpochBatch samples the generation size of every completed
+	// delivery epoch — the netsim's unit of parallel work.
+	HistNetEpochBatch
 
 	numHists
 )
@@ -131,6 +144,7 @@ const (
 var histNames = [numHists]string{
 	"emu_run_instructions",
 	"net_queue_depth",
+	"net_epoch_batch",
 }
 
 // Name returns the snapshot key of a histogram.

@@ -16,7 +16,11 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/...
+go test -race ./internal/telemetry/... ./internal/campaign/... ./internal/core/... \
+    ./internal/netsim/... ./internal/dnsserver/...
+# The sharded netsim with the recycled-buffer poison armed: handlers
+# that retain payload aliases fail deterministically under this tag.
+go test -tags netsimdebug ./internal/netsim/
 # The differential lockstep harness under the race detector: block
 # dispatch and single-step must agree instruction-for-instruction while
 # the race detector watches the translator's cache bookkeeping (-short
@@ -26,6 +30,9 @@ go test -race -short ./internal/isa/isatest
 # divergence found here is a translator bug by definition.
 go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/x86s
 go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/arms
+# The wire-format zone trie against its map oracle: random wire names
+# in, byte-identical hit/miss decisions out.
+go test -run '^$' -fuzz FuzzZoneTrie -fuzztime 5s ./internal/dnsserver
 # One iteration of every micro-benchmark: catches benchmarks that no
 # longer compile or fail at runtime without paying for a timed run.
 go test -run '^$' -bench . -benchtime 1x .

@@ -16,7 +16,9 @@ import (
 
 	"connlab/internal/core"
 	"connlab/internal/exploit"
+	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
@@ -43,6 +45,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	patched := fs.Bool("patched", false, "run the patched (1.35) victim")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
 	seed := fs.Int64("seed", 2002, "target machine seed")
+	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
 	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +63,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	lab := core.NewLab()
 	lab.TargetSeed = *seed
+	if *snapdir != "" {
+		snaps, err := snapshot.Open(*snapdir)
+		if err != nil {
+			return err
+		}
+		gadget.SetSnapshotStore(snaps)
+		lab.Snapshots = snaps
+	}
 	lab.Build.Patched = *patched
 	switch *variant {
 	case "connman":

@@ -19,7 +19,9 @@ import (
 
 	"connlab/internal/campaign"
 	"connlab/internal/exploit"
+	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
@@ -50,6 +52,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	diversity := fs.Int64("diversity", 0, "software diversity seed (0 = off)")
 	patched := fs.Bool("patched", false, "deploy the patched (1.35) firmware fleet-wide")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
 	canonical := fs.Bool("canonical", false, "print the byte-stable canonical report (no timings)")
 	jsonOut := fs.String("json", "", "write the full report (config included) as JSON to `file` (- for stdout)")
 	tf := telemetry.AddFlags(fs)
@@ -115,8 +118,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		return fmt.Errorf("unknown preset %q", *preset)
 	}
 
+	var snaps *snapshot.Store
+	if *snapdir != "" {
+		if snaps, err = snapshot.Open(*snapdir); err != nil {
+			return err
+		}
+		gadget.SetSnapshotStore(snaps)
+	}
 	eng := campaign.New(campaign.Config{
-		Workers: *workers, RootSeed: *rootSeed, ReconSeed: *reconSeed,
+		Workers: *workers, RootSeed: *rootSeed, ReconSeed: *reconSeed, Snapshots: snaps,
 	})
 	rep, err := eng.Run(scenarios)
 	if rep != nil {

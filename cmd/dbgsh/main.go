@@ -21,6 +21,12 @@
 // the other tools' -metrics flag:
 //
 //	dbgsh telemetry metrics.json
+//
+// A second subcommand inspects a recon snapshot store written by the
+// other tools' -snapdir flag — listing entries with sizes and
+// compression ratios, verifying payload hashes, pruning stale versions:
+//
+//	dbgsh snap [-verify] [-prune] /path/to/snapdir
 package main
 
 import (
@@ -45,6 +51,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "telemetry" {
 		if err := telemetryCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "dbgsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "snap" {
+		if err := snapCmd(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbgsh:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"connlab/internal/snapshot"
+)
+
+// snapCmd inspects a recon snapshot store directory: lists the entries
+// with their sizes and compression ratios, optionally verifies every
+// payload hash, and optionally prunes entries a current build can never
+// load (stale format versions, unparseable files).
+func snapCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbgsh snap", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	verify := fs.Bool("verify", false, "decompress every entry and check payload hashes")
+	prune := fs.Bool("prune", false, "delete entries with stale format versions or unparseable headers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dbgsh snap [-verify] [-prune] <dir>")
+	}
+	store, err := snapshot.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	if *prune {
+		removed, err := store.Prune()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "pruned %d stale entries\n", len(removed))
+	}
+
+	infos, err := store.Entries()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Fprintln(stdout, "store is empty")
+		return nil
+	}
+	var rawTotal, compTotal uint64
+	fmt.Fprintf(stdout, "%-14s %-5s %-18s %10s %10s %6s  %s\n",
+		"KIND", "ARCH", "KEY", "RAW", "STORED", "RATIO", "STATUS")
+	for _, in := range infos {
+		status := "ok"
+		if in.Bad != "" {
+			status = in.Bad
+		}
+		ratio := "-"
+		if in.RawSize > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(in.CompSize)/float64(in.RawSize))
+		}
+		fmt.Fprintf(stdout, "%-14s %-5s %-18s %10d %10d %6s  %s\n",
+			in.Key.Kind, in.Key.Arch, shortHash(in.Key.Hash), in.RawSize, in.FileSize, ratio, status)
+		rawTotal += uint64(in.RawSize)
+		compTotal += uint64(in.FileSize)
+	}
+	fmt.Fprintf(stdout, "%d entries, %d bytes raw, %d bytes on disk", len(infos), rawTotal, compTotal)
+	if rawTotal > 0 {
+		fmt.Fprintf(stdout, " (%.2fx)", float64(rawTotal)/float64(compTotal))
+	}
+	fmt.Fprintln(stdout)
+
+	if *verify {
+		ok, bad, err := store.Verify()
+		if err != nil {
+			return err
+		}
+		for _, in := range bad {
+			fmt.Fprintf(stdout, "BAD %s: %s\n", in.Name, in.Bad)
+		}
+		fmt.Fprintf(stdout, "verify: %d ok, %d bad\n", ok, len(bad))
+		if len(bad) > 0 {
+			return fmt.Errorf("%d entries failed verification", len(bad))
+		}
+	}
+	return nil
+}
+
+// shortHash renders the first 8 bytes of a content key for table display.
+func shortHash(h [32]byte) string { return fmt.Sprintf("%x", h[:8]) }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"connlab/internal/snapshot"
+)
+
+// snapTestStore populates a store with two entries and returns its dir.
+func snapTestStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := snapshot.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := snapshot.NewKey("gadget-index", "x86s", []byte("alpha"))
+	k2 := snapshot.NewKey("recon-target", "arms", []byte("beta"))
+	if err := store.Save(k1, []byte(strings.Repeat("gadget bytes ", 100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(k2, []byte("frame layout")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestSnapCmdListAndVerify: the listing shows both entries with sizes,
+// and -verify passes on an intact store.
+func TestSnapCmdListAndVerify(t *testing.T) {
+	dir := snapTestStore(t)
+	var out strings.Builder
+	if err := snapCmd([]string{"-verify", dir}, &out); err != nil {
+		t.Fatalf("snapCmd: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"gadget-index", "recon-target", "x86s", "arms", "2 entries", "verify: 2 ok, 0 bad"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestSnapCmdVerifyCatchesCorruption: a flipped payload-hash byte makes
+// -verify report the entry and exit non-zero.
+func TestSnapCmdVerifyCatchesCorruption(t *testing.T) {
+	dir := snapTestStore(t)
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 2 {
+		t.Fatalf("store dir: %v %v", ents, err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := snapCmd([]string{"-verify", dir}, &out); err == nil {
+		t.Fatalf("verify passed on a corrupt store:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1 bad") {
+		t.Errorf("output does not flag the bad entry:\n%s", out.String())
+	}
+}
+
+// TestSnapCmdPrune: stale-version entries are removed, current ones kept.
+func TestSnapCmdPrune(t *testing.T) {
+	dir := snapTestStore(t)
+	// Forge a stale-version entry by bumping the version field of a copy.
+	ents, _ := os.ReadDir(dir)
+	data, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := append([]byte(nil), data...)
+	stale[4], stale[5] = 0, snapshot.FormatVersion+1
+	if err := os.WriteFile(filepath.Join(dir, "gadget-index_x86s_"+strings.Repeat("0", 64)+".snap"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := snapCmd([]string{"-prune", dir}, &out); err != nil {
+		t.Fatalf("snapCmd -prune: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "pruned 1 stale entries") {
+		t.Errorf("prune count wrong:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "2 entries") {
+		t.Errorf("current entries were not kept:\n%s", out.String())
+	}
+}
+
+// TestSnapCmdErrors: arity and path errors are clean.
+func TestSnapCmdErrors(t *testing.T) {
+	var out strings.Builder
+	if err := snapCmd(nil, &out); err == nil {
+		t.Error("expected a usage error with no arguments")
+	}
+	if err := snapCmd([]string{t.TempDir(), "extra"}, &out); err == nil {
+		t.Error("expected a usage error with two directories")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"os"
 
 	"connlab/internal/core"
+	"connlab/internal/gadget"
+	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 )
 
@@ -30,6 +32,7 @@ func run(args []string, stdout io.Writer) (err error) {
 	reconSeed := fs.Int64("recon-seed", 1001, "attacker replica seed")
 	targetSeed := fs.Int64("target-seed", 2002, "target machine seed")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
 	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +54,14 @@ func run(args []string, stdout io.Writer) (err error) {
 	lab.ReconSeed = *reconSeed
 	lab.TargetSeed = *targetSeed
 	lab.Workers = *workers
+	if *snapdir != "" {
+		snaps, serr := snapshot.Open(*snapdir)
+		if serr != nil {
+			return serr
+		}
+		gadget.SetSnapshotStore(snaps)
+		lab.Snapshots = snaps
+	}
 
 	if *exp == "all" {
 		out, err := lab.RunAllExperiments()

@@ -21,7 +21,9 @@ import (
 
 	"connlab/internal/core"
 	"connlab/internal/exploit"
+	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/snapshot"
 )
 
 func main() {
@@ -43,9 +45,18 @@ func run() error {
 	lookups := flag.Int("lookups", 2, "attack-phase lookups per station (scale scenario only)")
 	victimEvery := flag.Int("victim-every", 0, "every k-th station is a full victim device (scale scenario only)")
 	verbose := flag.Bool("v", false, "print the network event log")
+	snapdir := flag.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
 	flag.Parse()
 
 	lab := core.NewLab()
+	if *snapdir != "" {
+		snaps, err := snapshot.Open(*snapdir)
+		if err != nil {
+			return err
+		}
+		gadget.SetSnapshotStore(snaps)
+		lab.Snapshots = snaps
+	}
 	if *stations > 0 {
 		rep, err := lab.RunPineappleScale(core.PineappleScaleConfig{
 			Arch:        isa.Arch(*archFlag),

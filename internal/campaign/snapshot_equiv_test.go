@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"testing"
+
+	"connlab/internal/gadget"
+	"connlab/internal/snapshot"
+)
+
+// TestSnapshotStoreCampaignEquivalence is the report-level half of the
+// satellite-4 contract: an engine whose recon rehydrates from a populated
+// snapshot store (with the gadget scan cache flushed, modelling a fresh
+// process) must emit a byte-identical canonical report versus an engine
+// that probed everything live.
+func TestSnapshotStoreCampaignEquivalence(t *testing.T) {
+	gadget.FlushScanCache()
+	gadget.SetSnapshotStore(nil)
+	t.Cleanup(func() {
+		gadget.SetSnapshotStore(nil)
+		gadget.FlushScanCache()
+	})
+
+	scenarios := determinismScenarios()
+
+	live, err := New(Config{Workers: 4, RootSeed: 9090}).Run(scenarios)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+
+	store, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	gadget.SetSnapshotStore(store)
+	gadget.FlushScanCache()
+
+	// Cold run populates the store (recon misses fall back to live probes
+	// and record their results).
+	cold, err := New(Config{Workers: 4, RootSeed: 9090, Snapshots: store}).Run(scenarios)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	infos, err := store.Entries()
+	if err != nil {
+		t.Fatalf("entries: %v", err)
+	}
+	if len(infos) == 0 {
+		t.Fatal("cold run stored no snapshots")
+	}
+
+	// Warm run: fresh engine, flushed scan cache — everything recon needs
+	// beyond the cheap pure steps comes off disk.
+	gadget.FlushScanCache()
+	warm, err := New(Config{Workers: 4, RootSeed: 9090, Snapshots: store}).Run(scenarios)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+
+	want := live.Canonical()
+	for name, rep := range map[string]*Report{"cold": cold, "warm": warm} {
+		if got := rep.Canonical(); got != want {
+			t.Errorf("%s canonical report differs from live:\n--- live ---\n%s\n--- %s ---\n%s",
+				name, want, name, got)
+		}
+	}
+
+	if ok, bad, err := store.Verify(); err != nil || len(bad) != 0 || ok == 0 {
+		t.Errorf("store verify after campaign: ok=%d bad=%v err=%v", ok, bad, err)
+	}
+}

@@ -49,6 +49,12 @@ func TestMetricsMergeDeterministic(t *testing.T) {
 	// stays strictly deterministic (one build per distinct key); the hit
 	// count is checked against the fresh-load relation below instead.
 	sumKey[telemetry.CtrUnitHit.Name()] = true
+	// gadget_scan_entries/gadget_scan_evict track occupancy of the global
+	// scan cache, which persists across runs in one process: the second
+	// run finds it warm and inserts nothing. Like the build/hit split they
+	// are topology diagnostics, outside the determinism contract.
+	sumKey[telemetry.CtrGadgetScanInsert.Name()] = true
+	sumKey[telemetry.CtrGadgetScanEvict.Name()] = true
 	for name, v1 := range snap1.Counters {
 		if sumKey[name] {
 			continue

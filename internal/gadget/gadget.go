@@ -12,6 +12,7 @@
 package gadget
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -107,12 +108,64 @@ type scanKey struct {
 	hash uint64
 }
 
+// DefaultScanCacheCap bounds the shared section-scan cache. Diversified
+// build sweeps see thousands of distinct section contents; beyond the
+// cap the least-recently-used index is dropped (and rebuilt — or
+// rehydrated from the snapshot store — on next sight).
+const DefaultScanCacheCap = 4096
+
+// scanEntry pairs a cache key with its index for LRU bookkeeping.
+type scanEntry struct {
+	key scanKey
+	idx *secIndex
+}
+
 var (
 	scanMu    sync.Mutex
-	scanCache = make(map[scanKey]*secIndex)
+	scanCache = make(map[scanKey]*list.Element)
+	scanLRU   = list.New() // front = most recently used
+	scanCap   = DefaultScanCacheCap
 	// scanBuilds/scanHits instrument the cache for tests and reports.
 	scanBuilds, scanHits atomic.Uint64
 )
+
+// SetScanCacheCap changes the scan-cache bound, evicting immediately if
+// the cache is over the new cap. Non-positive restores the default.
+func SetScanCacheCap(n int) {
+	if n <= 0 {
+		n = DefaultScanCacheCap
+	}
+	scanMu.Lock()
+	scanCap = n
+	evictOverCapLocked()
+	scanMu.Unlock()
+}
+
+// FlushScanCache empties the scan cache. Benchmarks use it to model a
+// fresh process; evictions from an explicit flush are not counted.
+func FlushScanCache() {
+	scanMu.Lock()
+	scanCache = make(map[scanKey]*list.Element)
+	scanLRU.Init()
+	scanMu.Unlock()
+}
+
+// ScanCacheLen reports the number of cached section indexes.
+func ScanCacheLen() int {
+	scanMu.Lock()
+	defer scanMu.Unlock()
+	return len(scanCache)
+}
+
+// evictOverCapLocked drops LRU entries until the cache fits the cap.
+func evictOverCapLocked() {
+	for len(scanCache) > scanCap {
+		oldest := scanLRU.Back()
+		scanLRU.Remove(oldest)
+		delete(scanCache, oldest.Value.(scanEntry).key)
+		telemetry.Inc(telemetry.CtrGadgetScanEvict)
+	}
+}
 
 func fnv64(b []byte) uint64 {
 	h := uint64(14695981039346656037)
@@ -130,23 +183,44 @@ func fnv64(b []byte) uint64 {
 func sectionIndex(arch isa.Arch, sec image.Section) *secIndex {
 	key := scanKey{arch: arch, name: sec.Name, perm: sec.Perm, size: len(sec.Data), hash: fnv64(sec.Data)}
 	scanMu.Lock()
-	idx, ok := scanCache[key]
-	scanMu.Unlock()
-	if ok {
+	if el, ok := scanCache[key]; ok {
+		scanLRU.MoveToFront(el)
+		scanMu.Unlock()
 		scanHits.Add(1)
 		telemetry.Inc(telemetry.CtrGadgetScanHit)
-		return idx
-	}
-	idx = buildSecIndex(arch, sec)
-	scanBuilds.Add(1)
-	telemetry.Inc(telemetry.CtrGadgetScanBuild)
-	scanMu.Lock()
-	if prior, ok := scanCache[key]; ok {
-		idx = prior
-	} else {
-		scanCache[key] = idx
+		return el.Value.(scanEntry).idx
 	}
 	scanMu.Unlock()
+	idx := loadOrBuildSecIndex(arch, sec)
+	scanMu.Lock()
+	if el, ok := scanCache[key]; ok {
+		idx = el.Value.(scanEntry).idx
+		scanLRU.MoveToFront(el)
+	} else {
+		scanCache[key] = scanLRU.PushFront(scanEntry{key: key, idx: idx})
+		telemetry.Inc(telemetry.CtrGadgetScanInsert)
+		evictOverCapLocked()
+	}
+	scanMu.Unlock()
+	return idx
+}
+
+// loadOrBuildSecIndex rehydrates a section index from the snapshot
+// store when one is configured and holds a verified entry, and scans
+// the section live otherwise (persisting the result for next time).
+func loadOrBuildSecIndex(arch isa.Arch, sec image.Section) *secIndex {
+	s := snapStore.Load()
+	if s != nil {
+		if idx, err := loadSecIndex(s, arch, sec); err == nil {
+			return idx
+		}
+	}
+	idx := buildSecIndex(arch, sec)
+	scanBuilds.Add(1)
+	telemetry.Inc(telemetry.CtrGadgetScanBuild)
+	if s != nil {
+		saveSecIndex(s, arch, sec, idx)
+	}
 	return idx
 }
 

@@ -1,0 +1,236 @@
+package gadget
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/snapshot"
+)
+
+// snapKind is the snapshot-store artifact class for section indexes.
+// The payload carries both the gadget table and the memstr positions,
+// so one entry rehydrates everything a section contributes to a Finder.
+const snapKind = "gadget-index"
+
+// snapStore is the process-wide snapshot store consulted by the scan
+// cache, mirroring the process-wide cache itself. Nil means disabled.
+var snapStore atomic.Pointer[snapshot.Store]
+
+// SetSnapshotStore points the scan cache at an on-disk snapshot store
+// (nil disables). With a store set, a scan-cache miss first tries to
+// rehydrate the section's verified index from disk, and live scans are
+// persisted for future processes.
+func SetSnapshotStore(s *snapshot.Store) { snapStore.Store(s) }
+
+// SnapshotStore returns the store set by SetSnapshotStore, or nil.
+func SnapshotStore() *snapshot.Store { return snapStore.Load() }
+
+// snapshotKey derives the content address of a section's index: the
+// hash covers the section metadata the scan key covers, plus the bytes
+// themselves (the scan key's fnv64 is a stand-in only within one
+// process; on disk the full content participates in a sha256).
+func snapshotKey(arch isa.Arch, sec image.Section) snapshot.Key {
+	meta := []byte{byte(sec.Perm)}
+	return snapshot.NewKey(snapKind, string(arch), meta, []byte(sec.Name), sec.Data)
+}
+
+// loadSecIndex rehydrates a section index from the store. Any error —
+// missing entry, version skew, failed verification, or a payload that
+// does not deserialize — means the caller scans live.
+func loadSecIndex(s *snapshot.Store, arch isa.Arch, sec image.Section) (*secIndex, error) {
+	payload, err := s.Load(snapshotKey(arch, sec))
+	if err != nil {
+		return nil, err
+	}
+	return decodeSecIndex(payload)
+}
+
+// saveSecIndex persists a freshly scanned index, best-effort: a store
+// write failure never fails the scan that produced the index.
+func saveSecIndex(s *snapshot.Store, arch isa.Arch, sec image.Section, idx *secIndex) {
+	_ = s.Save(snapshotKey(arch, sec), encodeSecIndex(idx))
+}
+
+// encodeSecIndex serializes a section index. The layout is all uvarints
+// (plus raw instruction text), section-relative like the in-memory
+// index, and deterministic for fixed input:
+//
+//	uvarint gadget count
+//	per gadget: uvarint addr | byte kind | uvarint reg |
+//	            uvarint n-instrs { uvarint len, bytes } |
+//	            uvarint n-pops   { uvarint reg }
+//	per byte value 0..255: uvarint count { uvarint delta }  (memstr
+//	            positions, delta-coded from the previous offset)
+func encodeSecIndex(idx *secIndex) []byte {
+	out := make([]byte, 0, 1024)
+	out = binary.AppendUvarint(out, uint64(len(idx.gadgets)))
+	for _, g := range idx.gadgets {
+		out = binary.AppendUvarint(out, uint64(g.Addr))
+		out = append(out, byte(g.Kind))
+		out = binary.AppendUvarint(out, uint64(g.Reg))
+		out = binary.AppendUvarint(out, uint64(len(g.Instrs)))
+		for _, in := range g.Instrs {
+			out = binary.AppendUvarint(out, uint64(len(in)))
+			out = append(out, in...)
+		}
+		out = binary.AppendUvarint(out, uint64(len(g.Pops)))
+		for _, r := range g.Pops {
+			out = binary.AppendUvarint(out, uint64(r))
+		}
+	}
+	for c := 0; c < 256; c++ {
+		pos := idx.memPos[c]
+		out = binary.AppendUvarint(out, uint64(len(pos)))
+		prev := uint32(0)
+		for i, p := range pos {
+			if i == 0 {
+				out = binary.AppendUvarint(out, uint64(p))
+			} else {
+				out = binary.AppendUvarint(out, uint64(p-prev))
+			}
+			prev = p
+		}
+	}
+	return out
+}
+
+// decodeSecIndex is the exact inverse of encodeSecIndex. The payload
+// has already passed the store's hash verification, so errors here mean
+// an encoder/decoder skew rather than disk corruption — but every read
+// is still bounds-checked so no input can panic.
+func decodeSecIndex(payload []byte) (*secIndex, error) {
+	d := uvarintReader{buf: payload, str: string(payload)}
+	idx := &secIndex{}
+	nGadgets := d.uvarint()
+	// Each gadget costs at least 5 bytes encoded; reject counts that
+	// could not possibly fit before allocating.
+	if nGadgets > uint64(len(payload)) {
+		return nil, fmt.Errorf("gadget: snapshot index claims %d gadgets in %d bytes", nGadgets, len(payload))
+	}
+	if nGadgets > 0 {
+		idx.gadgets = make([]Gadget, 0, nGadgets)
+	}
+	for i := uint64(0); i < nGadgets && d.err == nil; i++ {
+		var g Gadget
+		g.Addr = uint32(d.uvarint())
+		g.Kind = Kind(d.byte())
+		g.Reg = int(d.uvarint())
+		nInstr := d.uvarint()
+		if nInstr > uint64(d.remaining()) {
+			return nil, fmt.Errorf("gadget: snapshot gadget claims %d instrs", nInstr)
+		}
+		if nInstr > 0 {
+			g.Instrs = make([]string, 0, nInstr)
+		}
+		for j := uint64(0); j < nInstr && d.err == nil; j++ {
+			g.Instrs = append(g.Instrs, d.text(d.uvarint()))
+		}
+		nPops := d.uvarint()
+		if nPops > uint64(d.remaining()) {
+			return nil, fmt.Errorf("gadget: snapshot gadget claims %d pops", nPops)
+		}
+		if nPops > 0 {
+			g.Pops = make([]int, 0, nPops)
+		}
+		for j := uint64(0); j < nPops && d.err == nil; j++ {
+			g.Pops = append(g.Pops, int(d.uvarint()))
+		}
+		idx.gadgets = append(idx.gadgets, g)
+	}
+	for c := 0; c < 256 && d.err == nil; c++ {
+		n := d.uvarint()
+		if n > uint64(d.remaining())+1 {
+			return nil, fmt.Errorf("gadget: snapshot memstr[%d] claims %d positions", c, n)
+		}
+		if n == 0 {
+			continue
+		}
+		pos := make([]uint32, 0, n)
+		cur := uint32(0)
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			if i == 0 {
+				cur = uint32(d.uvarint())
+			} else {
+				cur += uint32(d.uvarint())
+			}
+			pos = append(pos, cur)
+		}
+		idx.memPos[c] = pos
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("gadget: %d trailing bytes after snapshot index", d.remaining())
+	}
+	return idx, nil
+}
+
+// uvarintReader walks a buffer with sticky error semantics.
+type uvarintReader struct {
+	buf []byte
+	// str is buf converted to a string once up front, so decoded
+	// instruction strings are zero-copy substrings of one allocation
+	// instead of one allocation each (NewFinder decodes every section
+	// on a cold start; this is the hot path the store exists to serve).
+	str string
+	off int
+	err error
+}
+
+func (d *uvarintReader) remaining() int { return len(d.buf) - d.off }
+
+func (d *uvarintReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("gadget: truncated snapshot index varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *uvarintReader) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.err = fmt.Errorf("gadget: truncated snapshot index at %d", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *uvarintReader) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.remaining()) {
+		d.err = fmt.Errorf("gadget: truncated snapshot index string at %d", d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *uvarintReader) text(n uint64) string {
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(d.remaining()) {
+		d.err = fmt.Errorf("gadget: truncated snapshot index string at %d", d.off)
+		return ""
+	}
+	s := d.str[d.off : d.off+int(n)]
+	d.off += int(n)
+	return s
+}

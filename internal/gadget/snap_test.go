@@ -1,0 +1,200 @@
+package gadget
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+	"connlab/internal/mem"
+	"connlab/internal/snapshot"
+)
+
+// resetScanState flushes the cache and restores defaults when the test
+// ends, so cache-shape tests don't leak into each other.
+func resetScanState(t *testing.T) {
+	t.Helper()
+	FlushScanCache()
+	SetSnapshotStore(nil)
+	SetScanCacheCap(0)
+	t.Cleanup(func() {
+		FlushScanCache()
+		SetSnapshotStore(nil)
+		SetScanCacheCap(0)
+	})
+}
+
+// synthSection builds a synthetic executable section with deterministic
+// pseudo-random content salted by id, so each id is distinct cacheable
+// content.
+func synthSection(id int64, n int) image.Section {
+	rng := rand.New(rand.NewSource(1000 + id))
+	data := make([]byte, n)
+	rng.Read(data)
+	return image.Section{Name: ".text", Addr: 0x1000, Perm: mem.PermRead | mem.PermExec, Data: data}
+}
+
+func TestScanCacheBoundedLRU(t *testing.T) {
+	resetScanState(t)
+	SetScanCacheCap(2)
+
+	s0, s1, s2 := synthSection(0, 512), synthSection(1, 512), synthSection(2, 512)
+	idx0 := sectionIndex(isa.ArchX86S, s0)
+	sectionIndex(isa.ArchX86S, s1)
+	if n := ScanCacheLen(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// Touch s0 so s1 is the LRU victim, then insert s2.
+	sectionIndex(isa.ArchX86S, s0)
+	sectionIndex(isa.ArchX86S, s2)
+	if n := ScanCacheLen(); n != 2 {
+		t.Fatalf("cache holds %d entries after eviction, want 2", n)
+	}
+	builds0, _ := ScanCacheStats()
+	if got := sectionIndex(isa.ArchX86S, s0); got != idx0 {
+		t.Error("s0 should still be cached (same index pointer)")
+	}
+	sectionIndex(isa.ArchX86S, s1) // evicted: must rebuild
+	builds1, _ := ScanCacheStats()
+	if builds1-builds0 != 1 {
+		t.Errorf("rebuilds after eviction: got %d, want 1 (only the evicted s1)", builds1-builds0)
+	}
+
+	// Shrinking the cap evicts immediately.
+	SetScanCacheCap(1)
+	if n := ScanCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d entries after cap shrink, want 1", n)
+	}
+}
+
+func TestSecIndexEncodeDecodeRoundTrip(t *testing.T) {
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		img := linkVictim(t, arch)
+		for _, sec := range img.Sections {
+			idx := buildSecIndex(arch, sec)
+			back, err := decodeSecIndex(encodeSecIndex(idx))
+			if err != nil {
+				t.Fatalf("%v %s: decode: %v", arch, sec.Name, err)
+			}
+			if !reflect.DeepEqual(idx, back) {
+				t.Fatalf("%v %s: round trip differs", arch, sec.Name)
+			}
+		}
+	}
+}
+
+func TestDecodeSecIndexRejectsJunk(t *testing.T) {
+	idx := buildSecIndex(isa.ArchX86S, synthSection(7, 256))
+	good := encodeSecIndex(idx)
+	if _, err := decodeSecIndex(good[:len(good)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := decodeSecIndex(append(append([]byte(nil), good...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := decodeSecIndex([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Error("absurd gadget count accepted")
+	}
+}
+
+// TestSnapshotStoreServesScans: with a store attached, the first
+// process-lifetime scan persists each section index, and a later "cold
+// process" (flushed cache, same store) rehydrates every section without
+// a single live rescan — producing an identical Finder.
+func TestSnapshotStoreServesScans(t *testing.T) {
+	resetScanState(t)
+	store, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetSnapshotStore(store)
+
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		img := linkVictim(t, arch)
+		warm := NewFinder(img)
+
+		entries, err := store.Entries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 {
+			t.Fatal("no snapshot entries persisted by the first scan")
+		}
+
+		FlushScanCache()
+		builds0, _ := ScanCacheStats()
+		cold := NewFinder(img)
+		builds1, _ := ScanCacheStats()
+		if builds1 != builds0 {
+			t.Errorf("%v: cold finder rescanned %d sections live, want 0 (all from store)", arch, builds1-builds0)
+		}
+
+		wantAll, gotAll := warm.All(), cold.All()
+		if !reflect.DeepEqual(wantAll, gotAll) {
+			t.Fatalf("%v: rehydrated gadget set differs from live scan", arch)
+		}
+		for c := 0; c < 256; c++ {
+			if !reflect.DeepEqual(warm.MemStr(byte(c)), cold.MemStr(byte(c))) {
+				t.Fatalf("%v: rehydrated MemStr(%#x) differs", arch, c)
+			}
+		}
+	}
+
+	// Every persisted entry must verify clean.
+	ok, bad, err := store.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 || ok == 0 {
+		t.Fatalf("store verify: ok=%d bad=%v", ok, bad)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToLiveScan: a store entry whose payload
+// hash no longer verifies must be ignored in favor of a live scan —
+// never rehydrated.
+func TestCorruptSnapshotFallsBackToLiveScan(t *testing.T) {
+	resetScanState(t)
+	dir := t.TempDir()
+	store, err := snapshot.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetSnapshotStore(store)
+
+	sec := synthSection(42, 1024)
+	want := sectionIndex(isa.ArchX86S, sec)
+
+	// Corrupt the single entry's stored payload hash in place.
+	entries, err := store.Entries()
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries: %v err=%v", entries, err)
+	}
+	path := store.Path(entries[0].Key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashOff := 4 + 2 + 1 + len(entries[0].Key.Kind) + 1 + len(entries[0].Key.Arch) + 32
+	data[hashOff] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	FlushScanCache()
+	builds0, _ := ScanCacheStats()
+	got := sectionIndex(isa.ArchX86S, sec)
+	builds1, _ := ScanCacheStats()
+	if builds1-builds0 != 1 {
+		t.Errorf("corrupt entry did not force a live rescan (builds +%d)", builds1-builds0)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("fallback scan differs from original")
+	}
+	if !bytes.Equal(encodeSecIndex(want), encodeSecIndex(got)) {
+		t.Error("fallback scan serialization differs from original")
+	}
+}

@@ -113,11 +113,12 @@ func Link(u *Unit, layout Layout, opts Options) (*Image, error) {
 		return nil, fmt.Errorf("link: unit has imports but layout has no GOT base")
 	}
 
+	nsym := 2*len(u.Imports) + len(u.Funcs) + len(u.ROData) + len(u.RWData) + len(u.BSS) + 3
 	img := &Image{
 		Arch:    u.Arch,
-		Symbols: make(map[string]Symbol),
-		PLT:     make(map[string]uint32),
-		GOT:     make(map[string]uint32),
+		Symbols: make(map[string]Symbol, nsym),
+		PLT:     make(map[string]uint32, len(u.Imports)),
+		GOT:     make(map[string]uint32, len(u.Imports)),
 		Layout:  layout,
 	}
 	def := func(s Symbol) error {
@@ -226,8 +227,11 @@ func Link(u *Unit, layout Layout, opts Options) (*Image, error) {
 	// Emit sections.
 	fill := fillByte(u.Arch)
 	textData := make([]byte, textEnd-layout.TextBase)
-	for i := range textData {
-		textData[i] = fill
+	if len(textData) > 0 {
+		textData[0] = fill
+		for i := 1; i < len(textData); i *= 2 {
+			copy(textData[i:], textData[:i])
+		}
 	}
 	// PLT stubs.
 	for i, name := range imports {

@@ -1,0 +1,665 @@
+// Package lzss is a zero-dependency LZSS streaming codec in the spirit
+// of embedded heatshrink compressors: the bitstream is parameterized by
+// a window size and a lookahead size (both powers of two, encoded in a
+// two-byte stream header), the encoder is an io.Writer with a bounded
+// sliding window, and the decoder is an io.Reader driven by an explicit
+// state machine that never trusts its input.
+//
+// Stream layout:
+//
+//	byte 0: window bits W   (4..15 — window of 2^W bytes)
+//	byte 1: lookahead bits L (2..W-1)
+//	then a MSB-first bitstream of tokens:
+//	  1 <8 bits>          literal byte
+//	  0 <W bits> <L bits> back-reference: offset field = distance-1,
+//	                      length field = match length - minMatch
+//	  0 <W bits> <L all-ones>  end of stream
+//
+// The all-ones length code is reserved as the end-of-stream marker, so
+// a decoder knows exactly where the payload stops without an out-of-band
+// length, and trailing padding bits can never be misread as data. The
+// minimum match length is the smallest run for which a back-reference
+// (1+W+L bits) beats literals (9 bits/byte), so the codec never emits a
+// reference that expands the stream.
+package lzss
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Parameter bounds. Lookahead must be strictly smaller than the window,
+// as in heatshrink.
+const (
+	MinWindowBits    = 4
+	MaxWindowBits    = 15
+	MinLookaheadBits = 2
+
+	// DefaultWindowBits / DefaultLookaheadBits suit the snapshot store's
+	// artifact sizes: a 2 KiB window catches the section-to-section
+	// redundancy of recon payloads without embedded-scale state.
+	DefaultWindowBits    = 11
+	DefaultLookaheadBits = 4
+)
+
+// Sentinel errors.
+var (
+	// ErrTruncated is returned when the input ends before the
+	// end-of-stream marker — the compressed stream was cut short.
+	ErrTruncated = errors.New("lzss: ran out of input before end of stream")
+	// ErrCorrupt is returned for structurally invalid streams (a
+	// back-reference pointing before the start of the output).
+	ErrCorrupt = errors.New("lzss: corrupt stream")
+	// ErrBadParams is returned for window/lookahead bits outside the
+	// supported range.
+	ErrBadParams = errors.New("lzss: invalid window/lookahead parameters")
+	// ErrTooLarge is returned by Decompress when the output exceeds the
+	// caller's limit.
+	ErrTooLarge = errors.New("lzss: output exceeds size limit")
+	// ErrClosed is returned on writes after Close.
+	ErrClosed = errors.New("lzss: write after close")
+)
+
+// CheckParams validates a window/lookahead pair.
+func CheckParams(windowBits, lookaheadBits uint8) error {
+	if windowBits < MinWindowBits || windowBits > MaxWindowBits ||
+		lookaheadBits < MinLookaheadBits || lookaheadBits >= windowBits {
+		return fmt.Errorf("%w: window=%d lookahead=%d", ErrBadParams, windowBits, lookaheadBits)
+	}
+	return nil
+}
+
+// minMatchFor is the smallest match length worth a back-reference:
+// the first n with 9n > 1+W+L.
+func minMatchFor(windowBits, lookaheadBits uint8) int {
+	return (1+int(windowBits)+int(lookaheadBits))/9 + 1
+}
+
+// maxMatchFor is the longest encodable match: length codes run
+// 0..2^L-2 (all-ones is the end-of-stream marker).
+func maxMatchFor(windowBits, lookaheadBits uint8) int {
+	return minMatchFor(windowBits, lookaheadBits) + (1 << lookaheadBits) - 2
+}
+
+// hashBits sizes the encoder's chain head table: a direct index over
+// two input bytes.
+const hashBits = 16
+
+// maxChainDepth bounds the match search per position; beyond it the
+// encoder settles for the best candidate found so far.
+const maxChainDepth = 64
+
+// Writer is the streaming encoder. Bytes written compress into the
+// underlying writer; Close flushes the tail and the end-of-stream
+// marker. The sliding window is bounded: input older than the window
+// is discarded as encoding advances.
+type Writer struct {
+	w             io.Writer
+	windowBits    uint8
+	lookaheadBits uint8
+	minMatch      int
+	maxMatch      int
+	winSize       int
+
+	// buf holds the window plus not-yet-encoded input; base is the
+	// absolute stream offset of buf[0] and pos indexes the next byte to
+	// encode. head/prev are the match-finder hash chains: head maps a
+	// two-byte hash to the most recent absolute position, prev (aligned
+	// with buf) links each position to the previous one with the same
+	// hash. Positions that fall off the window terminate chain walks by
+	// the distance check, so stale entries are harmless.
+	buf  []byte
+	base int64
+	pos  int
+	head []int64
+	prev []int64
+
+	bits bitWriter
+	out  []byte
+
+	headerDone bool
+	closed     bool
+	err        error
+}
+
+// NewWriter returns an encoder with the given parameters writing to w.
+func NewWriter(w io.Writer, windowBits, lookaheadBits uint8) (*Writer, error) {
+	if err := CheckParams(windowBits, lookaheadBits); err != nil {
+		return nil, err
+	}
+	e := &Writer{
+		w:             w,
+		windowBits:    windowBits,
+		lookaheadBits: lookaheadBits,
+		minMatch:      minMatchFor(windowBits, lookaheadBits),
+		maxMatch:      maxMatchFor(windowBits, lookaheadBits),
+		winSize:       1 << windowBits,
+		head:          make([]int64, 1<<hashBits),
+	}
+	return e, nil
+}
+
+// Write compresses p. The data is encoded greedily; a tail shorter than
+// the maximum match is withheld until more input or Close, since later
+// bytes could extend its matches.
+func (e *Writer) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	if e.closed {
+		return 0, ErrClosed
+	}
+	e.compact(len(p))
+	e.buf = append(e.buf, p...)
+	e.encodeTo(len(e.buf) - e.maxMatch)
+	if err := e.flushOut(false); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close encodes the withheld tail, emits the end-of-stream marker, and
+// flushes everything to the underlying writer. It does not close the
+// underlying writer.
+func (e *Writer) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.encodeTo(len(e.buf))
+	// End of stream: a zero offset field with the reserved all-ones
+	// length code.
+	e.bits.write(&e.out, 0, 1)
+	e.bits.write(&e.out, 0, uint(e.windowBits))
+	e.bits.write(&e.out, uint32(1<<e.lookaheadBits)-1, uint(e.lookaheadBits))
+	e.bits.flush(&e.out)
+	return e.flushOut(true)
+}
+
+// compact drops input that has slid out of the window once the buffer
+// has grown enough to amortize the copy.
+func (e *Writer) compact(incoming int) {
+	if len(e.buf)+incoming < 4*e.winSize+4096 {
+		return
+	}
+	drop := e.pos - e.winSize
+	if drop <= 0 {
+		return
+	}
+	copy(e.buf, e.buf[drop:])
+	copy(e.prev, e.prev[drop:])
+	e.buf = e.buf[:len(e.buf)-drop]
+	e.prev = e.prev[:len(e.prev)-drop]
+	e.base += int64(drop)
+	e.pos -= drop
+}
+
+// encodeTo encodes positions up to limit (exclusive).
+func (e *Writer) encodeTo(limit int) {
+	if !e.headerDone {
+		e.headerDone = true
+		e.out = append(e.out, e.windowBits, e.lookaheadBits)
+	}
+	if n := len(e.buf) - len(e.prev); n > 0 {
+		e.prev = append(e.prev, make([]int64, n)...)
+	}
+	for e.pos < limit {
+		length, dist := e.findMatch()
+		if length >= e.minMatch {
+			e.bits.write(&e.out, 0, 1)
+			e.bits.write(&e.out, uint32(dist-1), uint(e.windowBits))
+			e.bits.write(&e.out, uint32(length-e.minMatch), uint(e.lookaheadBits))
+			for i := 0; i < length; i++ {
+				e.insert(e.pos + i)
+			}
+			e.pos += length
+		} else {
+			e.bits.write(&e.out, 1, 1)
+			e.bits.write(&e.out, uint32(e.buf[e.pos]), 8)
+			e.insert(e.pos)
+			e.pos++
+		}
+	}
+}
+
+// insert records position i in the hash chains.
+func (e *Writer) insert(i int) {
+	if i+1 >= len(e.buf) {
+		return
+	}
+	h := hash2(e.buf[i], e.buf[i+1])
+	e.prev[i] = e.head[h]
+	e.head[h] = e.base + int64(i) + 1
+}
+
+// findMatch returns the best match for the current position.
+func (e *Writer) findMatch() (length, dist int) {
+	avail := len(e.buf) - e.pos
+	if avail < e.minMatch || e.pos+1 >= len(e.buf) {
+		return 0, 0
+	}
+	maxLen := e.maxMatch
+	if maxLen > avail {
+		maxLen = avail
+	}
+	lo := e.base + int64(e.pos) - int64(e.winSize)
+	h := hash2(e.buf[e.pos], e.buf[e.pos+1])
+	best, bestDist := 0, 0
+	depth := 0
+	// Chain entries store position+1 so the zero value of a fresh table
+	// means "empty" and allocation needs no initialization pass.
+	for c := e.head[h]; c != 0 && depth < maxChainDepth; depth++ {
+		cand := c - 1
+		if cand < lo || cand < e.base {
+			break
+		}
+		ci := int(cand - e.base)
+		// Quick reject: a candidate that cannot beat the current best
+		// must differ at offset best, checked in O(1).
+		if best > 0 && e.buf[ci+best] != e.buf[e.pos+best] {
+			c = e.prev[ci]
+			continue
+		}
+		n := 0
+		for n < maxLen && e.buf[ci+n] == e.buf[e.pos+n] {
+			n++
+		}
+		if n > best {
+			best, bestDist = n, e.pos-ci
+			if n == maxLen {
+				break
+			}
+		}
+		c = e.prev[ci]
+	}
+	return best, bestDist
+}
+
+// flushOut drains the output buffer to the underlying writer; small
+// buffers are retained unless final.
+func (e *Writer) flushOut(final bool) error {
+	if !final && len(e.out) < 32<<10 {
+		return nil
+	}
+	if len(e.out) > 0 {
+		if _, err := e.w.Write(e.out); err != nil {
+			e.err = err
+			return err
+		}
+		e.out = e.out[:0]
+	}
+	return nil
+}
+
+// hash2 indexes the chain heads by two raw bytes.
+func hash2(a, b byte) uint32 { return uint32(a)<<8 | uint32(b) }
+
+// bitWriter packs MSB-first bits into a byte slice.
+type bitWriter struct {
+	cur uint64
+	n   uint
+}
+
+func (bw *bitWriter) write(out *[]byte, v uint32, n uint) {
+	bw.cur = bw.cur<<n | uint64(v)&(1<<n-1)
+	bw.n += n
+	for bw.n >= 8 {
+		bw.n -= 8
+		*out = append(*out, byte(bw.cur>>bw.n))
+	}
+}
+
+// flush pads the final partial byte with zero bits.
+func (bw *bitWriter) flush(out *[]byte) {
+	if bw.n > 0 {
+		*out = append(*out, byte(bw.cur<<(8-bw.n)))
+		bw.n = 0
+	}
+	bw.cur = 0
+}
+
+// Reader is the streaming decoder. It reads the two-byte parameter
+// header lazily on the first Read and then replays tokens until the
+// end-of-stream marker, after which it reports io.EOF. Input ending
+// mid-stream surfaces as ErrTruncated; back-references reaching before
+// the start of the output surface as ErrCorrupt.
+type Reader struct {
+	r   io.Reader
+	err error
+
+	windowBits    uint8
+	lookaheadBits uint8
+	minMatch      int
+	winSize       int
+
+	win      []byte
+	wpos     int
+	produced int64
+
+	// Pending back-reference copy state: copyLen bytes remain to be
+	// copied from copyDist behind the write head.
+	copyLen  int
+	copyDist int
+
+	in    []byte
+	inPos int
+	inEOF bool
+
+	bitCur uint64
+	bitN   uint
+
+	headerDone bool
+	eos        bool
+}
+
+// NewReader returns a decoder reading a compressed stream from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, in: make([]byte, 0, 4096)}
+}
+
+// Read implements io.Reader.
+func (d *Reader) Read(p []byte) (int, error) {
+	if d.err != nil {
+		return 0, d.err
+	}
+	if !d.headerDone {
+		if err := d.readHeader(); err != nil {
+			return 0, d.fail(err)
+		}
+	}
+	n := 0
+	mask := d.winSize - 1
+	for n < len(p) {
+		if d.copyLen > 0 {
+			// Drain the pending back-reference in one batch: the ring
+			// update stays byte-by-byte (source and destination may
+			// overlap by design), but the bookkeeping is hoisted out.
+			m := d.copyLen
+			if m > len(p)-n {
+				m = len(p) - n
+			}
+			for i := 0; i < m; i++ {
+				b := d.win[(d.wpos-d.copyDist)&mask]
+				d.win[d.wpos] = b
+				d.wpos = (d.wpos + 1) & mask
+				p[n] = b
+				n++
+			}
+			d.produced += int64(m)
+			d.copyLen -= m
+			continue
+		}
+		if d.eos {
+			break
+		}
+		n = d.fastTokens(p, n)
+		if n == len(p) || d.copyLen > 0 || d.eos {
+			continue
+		}
+		flag, err := d.readBits(1)
+		if err != nil {
+			return n, d.fail(err)
+		}
+		if flag == 1 {
+			lit, err := d.readBits(8)
+			if err != nil {
+				return n, d.fail(err)
+			}
+			b := byte(lit)
+			d.win[d.wpos] = b
+			d.wpos = (d.wpos + 1) & mask
+			d.produced++
+			p[n] = b
+			n++
+			continue
+		}
+		off, err := d.readBits(uint(d.windowBits))
+		if err != nil {
+			return n, d.fail(err)
+		}
+		code, err := d.readBits(uint(d.lookaheadBits))
+		if err != nil {
+			return n, d.fail(err)
+		}
+		if code == uint32(1<<d.lookaheadBits)-1 {
+			d.eos = true
+			continue
+		}
+		dist := int(off) + 1
+		if int64(dist) > d.produced {
+			return n, d.fail(fmt.Errorf("%w: back-reference distance %d at offset %d", ErrCorrupt, dist, d.produced))
+		}
+		d.copyDist = dist
+		d.copyLen = d.minMatch + int(code)
+	}
+	if n == 0 && d.eos {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// fastTokens decodes tokens in a tight loop while whole tokens are
+// available in the buffered input, keeping the bit reservoir in locals
+// to skip the per-bit-group call overhead of readBits. It stops — with
+// the reservoir state intact for the slow path to resume — when the
+// buffer drains mid-token, a back-reference needs the batch copier, or
+// output fills. Invalid back-references are left unconsumed so the slow
+// path re-reads them and reports the error.
+func (d *Reader) fastTokens(p []byte, n int) int {
+	cur, bn := d.bitCur, d.bitN
+	in, ip := d.in, d.inPos
+	win, wpos := d.win, d.wpos
+	mask := d.winSize - 1
+	prod := d.produced
+	wbits, lbits := uint(d.windowBits), uint(d.lookaheadBits)
+	tokBits := 1 + wbits + lbits
+	eosCode := uint32(1<<lbits) - 1
+	for n < len(p) {
+		for bn <= 56 && ip < len(in) {
+			cur = cur<<8 | uint64(in[ip])
+			ip++
+			bn += 8
+		}
+		if bn < 1 {
+			break
+		}
+		if (cur>>(bn-1))&1 == 1 {
+			if bn < 9 {
+				break
+			}
+			b := byte(cur >> (bn - 9))
+			bn -= 9
+			win[wpos] = b
+			wpos = (wpos + 1) & mask
+			prod++
+			p[n] = b
+			n++
+			continue
+		}
+		if bn < tokBits {
+			break
+		}
+		code := uint32(cur>>(bn-tokBits)) & eosCode
+		if code == eosCode {
+			bn -= tokBits
+			d.eos = true
+			break
+		}
+		dist := int(uint32(cur>>(bn-1-wbits))&(1<<wbits-1)) + 1
+		if int64(dist) > prod {
+			break // leave unconsumed: slow path reports the corruption
+		}
+		bn -= tokBits
+		d.copyDist = dist
+		d.copyLen = d.minMatch + int(code)
+		break // the batch copier in Read drains it
+	}
+	d.bitCur, d.bitN, d.inPos = cur, bn, ip
+	d.wpos, d.produced = wpos, prod
+	return n
+}
+
+// fail records a sticky error (io.EOF mid-token becomes ErrTruncated).
+func (d *Reader) fail(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		err = ErrTruncated
+	}
+	d.err = err
+	return err
+}
+
+// readHeader consumes and validates the two parameter bytes.
+func (d *Reader) readHeader() error {
+	wb, err := d.readByte()
+	if err != nil {
+		return err
+	}
+	lb, err := d.readByte()
+	if err != nil {
+		return err
+	}
+	if err := CheckParams(wb, lb); err != nil {
+		return err
+	}
+	d.windowBits, d.lookaheadBits = wb, lb
+	d.minMatch = minMatchFor(wb, lb)
+	d.winSize = 1 << wb
+	d.win = make([]byte, d.winSize)
+	d.headerDone = true
+	return nil
+}
+
+// emit appends one output byte to the window ring.
+func (d *Reader) emit(b byte) {
+	d.win[d.wpos] = b
+	d.wpos = (d.wpos + 1) & (d.winSize - 1)
+	d.produced++
+}
+
+// readBits returns the next n bits MSB-first.
+func (d *Reader) readBits(n uint) (uint32, error) {
+	for d.bitN < n {
+		// Fast path: refill straight from the buffered input without
+		// the readByte call overhead (this loop runs once per token
+		// bit group on the store's cold-start rehydration path).
+		if d.inPos < len(d.in) {
+			d.bitCur = d.bitCur<<8 | uint64(d.in[d.inPos])
+			d.inPos++
+			d.bitN += 8
+			continue
+		}
+		b, err := d.readByte()
+		if err != nil {
+			return 0, err
+		}
+		d.bitCur = d.bitCur<<8 | uint64(b)
+		d.bitN += 8
+	}
+	d.bitN -= n
+	return uint32(d.bitCur>>d.bitN) & (1<<n - 1), nil
+}
+
+// readByte refills the input buffer from the underlying reader as
+// needed.
+func (d *Reader) readByte() (byte, error) {
+	if d.inPos >= len(d.in) {
+		if d.inEOF {
+			return 0, io.EOF
+		}
+		d.in = d.in[:cap(d.in)]
+		n, err := d.r.Read(d.in)
+		d.in, d.inPos = d.in[:n], 0
+		if err == io.EOF {
+			d.inEOF = true
+		} else if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			if d.inEOF {
+				return 0, io.EOF
+			}
+			return 0, io.ErrNoProgress
+		}
+	}
+	b := d.in[d.inPos]
+	d.inPos++
+	return b, nil
+}
+
+// Compress appends the compressed form of src to dst and returns the
+// extended slice — the one-shot convenience over Writer.
+func Compress(dst, src []byte, windowBits, lookaheadBits uint8) ([]byte, error) {
+	buf := sliceWriter{b: dst}
+	e, err := NewWriter(&buf, windowBits, lookaheadBits)
+	if err != nil {
+		return dst, err
+	}
+	if _, err := e.Write(src); err != nil {
+		return dst, err
+	}
+	if err := e.Close(); err != nil {
+		return dst, err
+	}
+	return buf.b, nil
+}
+
+// Decompress appends the decompressed form of src to dst, failing with
+// ErrTooLarge once the output exceeds limit bytes (limit <= 0 means
+// 1 GiB — a backstop against corrupt streams, not a tuning knob).
+func Decompress(dst, src []byte, limit int) ([]byte, error) {
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	// Decode straight off src: the whole input is already in memory, so
+	// the Reader's refill buffer is src itself (inEOF set, r never
+	// consulted) and no copy of the compressed bytes is made.
+	d := &Reader{in: src, inEOF: true}
+	start := len(dst)
+	var chunk [4096]byte
+	for {
+		// Prefer decoding into dst's spare capacity (callers that know
+		// the raw size pre-size it and pay one allocation total),
+		// clamped so overshooting limit by one byte is still detected.
+		if spare := cap(dst) - len(dst); spare > 0 {
+			buf := dst[len(dst):cap(dst)]
+			if m := limit - (len(dst) - start) + 1; len(buf) > m {
+				buf = buf[:m]
+			}
+			n, err := d.Read(buf)
+			dst = dst[:len(dst)+n]
+			if len(dst)-start > limit {
+				return dst, ErrTooLarge
+			}
+			if err == io.EOF {
+				return dst, nil
+			}
+			if err != nil {
+				return dst, err
+			}
+			continue
+		}
+		n, err := d.Read(chunk[:])
+		if len(dst)-start+n > limit {
+			return dst, ErrTooLarge
+		}
+		dst = append(dst, chunk[:n]...)
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+// sliceWriter appends to a byte slice.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,453 @@
+// Package snapshot is a content-addressed on-disk store for recon
+// artifacts: frame layouts, gadget section indexes, and memory-string
+// indexes survive the process that computed them, so a cold CLI start
+// becomes a cache probe instead of a full emulated recon.
+//
+// Entries are keyed by a sha256 over everything that went into the
+// artifact (format version, artifact kind, architecture, and the raw
+// input sections), compressed with the internal/lzss codec, and
+// verified byte-exact on load: the decompressed payload is re-hashed
+// against the hash recorded at save time, and any mismatch, version
+// skew, or truncation surfaces as a sentinel error so callers fall
+// back to live recon. A corrupt cache can never change a verdict.
+//
+// Entry file layout (all integers big-endian):
+//
+//	offset size
+//	0      4     magic "CSNP"
+//	4      2     format version
+//	6      1+k   kind length, kind bytes
+//	·      1+a   arch length, arch bytes
+//	·      32    key hash (matches the filename)
+//	·      32    sha256 of the decompressed payload
+//	·      4     raw (decompressed) payload size
+//	·      4     compressed stream size
+//	·      ·     LZSS stream (internal/lzss, self-describing params)
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"connlab/internal/lzss"
+	"connlab/internal/telemetry"
+)
+
+// FormatVersion is bumped whenever any serialized artifact layout
+// changes. It participates in the key hash, so entries written by an
+// older format can never be confused with current ones; Prune removes
+// the leftovers.
+const FormatVersion = 1
+
+// MaxRawSize bounds the decompressed size of a single entry. Real
+// artifacts are at most a few megabytes; the bound keeps a corrupt or
+// hostile entry from ballooning memory during rehydration.
+const MaxRawSize = 64 << 20
+
+const (
+	magic   = "CSNP"
+	suffix  = ".snap"
+	hashLen = sha256.Size
+)
+
+// Sentinel errors. Load distinguishes "no entry" (a plain miss) from
+// "entry failed verification" (corruption, truncation, or hash skew)
+// so callers can count them separately; both mean "do live recon".
+var (
+	ErrNotFound = errors.New("snapshot: entry not found")
+	ErrVerify   = errors.New("snapshot: entry failed verification")
+	ErrVersion  = errors.New("snapshot: entry format version mismatch")
+	ErrTooLarge = errors.New("snapshot: payload exceeds MaxRawSize")
+)
+
+// Key addresses one artifact: what it is, which ISA it serves, and a
+// hash of every input that shaped it.
+type Key struct {
+	Kind string
+	Arch string
+	Hash [hashLen]byte
+}
+
+// NewKey builds a content-addressed key: the hash covers the format
+// version, kind, arch, and each input part with a length prefix, so
+// concatenation ambiguity cannot alias two different inputs.
+func NewKey(kind, arch string, parts ...[]byte) Key {
+	h := sha256.New()
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], FormatVersion)
+	h.Write(num[:])
+	for _, s := range []string{kind, arch} {
+		binary.BigEndian.PutUint64(num[:], uint64(len(s)))
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(num[:], uint64(len(p)))
+		h.Write(num[:])
+		h.Write(p)
+	}
+	k := Key{Kind: kind, Arch: arch}
+	h.Sum(k.Hash[:0])
+	return k
+}
+
+// validToken reports whether a kind/arch component is safe to embed in
+// a filename: non-empty, at most 64 bytes, lowercase alphanumerics and
+// dashes only.
+func validToken(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || '0' <= c && c <= '9' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+// fileName is the content-addressed entry name for a key.
+func fileName(k Key) string {
+	return k.Kind + "_" + k.Arch + "_" + hex.EncodeToString(k.Hash[:]) + suffix
+}
+
+// Store is a directory of snapshot entries. Writes are atomic
+// (temp file + rename), so concurrent readers in other processes see
+// either the old entry or the new one, never a torn file.
+type Store struct {
+	dir           string
+	windowBits    uint8
+	lookaheadBits uint8
+}
+
+// Open creates the directory if needed and returns a store using the
+// default LZSS parameters.
+func Open(dir string) (*Store, error) {
+	return OpenParams(dir, lzss.DefaultWindowBits, lzss.DefaultLookaheadBits)
+}
+
+// OpenParams is Open with explicit LZSS window/lookahead bits for new
+// entries. Existing entries decode with whatever parameters they were
+// written with (the stream header carries them).
+func OpenParams(dir string, windowBits, lookaheadBits uint8) (*Store, error) {
+	if err := lzss.CheckParams(windowBits, lookaheadBits); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapshot: open store: %w", err)
+	}
+	return &Store{dir: dir, windowBits: windowBits, lookaheadBits: lookaheadBits}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the on-disk path an entry for k would occupy.
+func (s *Store) Path(k Key) string { return filepath.Join(s.dir, fileName(k)) }
+
+// Save serializes payload under k, compressing it and recording both
+// the key hash and a payload hash for load-time verification.
+func (s *Store) Save(k Key, payload []byte) error {
+	if !validToken(k.Kind) || !validToken(k.Arch) {
+		return fmt.Errorf("snapshot: invalid key kind/arch %q/%q", k.Kind, k.Arch)
+	}
+	if len(payload) > MaxRawSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	comp, err := lzss.Compress(nil, payload, s.windowBits, s.lookaheadBits)
+	if err != nil {
+		return fmt.Errorf("snapshot: compress: %w", err)
+	}
+
+	buf := make([]byte, 0, len(magic)+2+2+len(k.Kind)+len(k.Arch)+2*hashLen+8+len(comp))
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint16(buf, FormatVersion)
+	buf = append(buf, byte(len(k.Kind)))
+	buf = append(buf, k.Kind...)
+	buf = append(buf, byte(len(k.Arch)))
+	buf = append(buf, k.Arch...)
+	buf = append(buf, k.Hash[:]...)
+	sum := sha256.Sum256(payload)
+	buf = append(buf, sum[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(comp)))
+	buf = append(buf, comp...)
+
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	telemetry.Add(telemetry.CtrSnapStoreBytes, uint64(len(buf)))
+	return nil
+}
+
+// Load returns the verified payload for k. A missing entry returns
+// ErrNotFound; an entry written by a different format version returns
+// ErrVersion; anything that fails parsing, decompression, or either
+// hash check returns an error wrapping ErrVerify. Every error path
+// means "fall back to live recon" — the store never guesses.
+func (s *Store) Load(k Key) ([]byte, error) {
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			telemetry.Inc(telemetry.CtrSnapMiss)
+			return nil, ErrNotFound
+		}
+		telemetry.Inc(telemetry.CtrSnapMiss)
+		return nil, fmt.Errorf("%w: %v", ErrNotFound, err)
+	}
+	payload, hdr, err := decodeEntry(data)
+	if err != nil {
+		if errors.Is(err, ErrVersion) {
+			telemetry.Inc(telemetry.CtrSnapMiss)
+		} else {
+			telemetry.Inc(telemetry.CtrSnapVerifyFail)
+		}
+		return nil, err
+	}
+	if hdr.Key != k {
+		telemetry.Inc(telemetry.CtrSnapVerifyFail)
+		return nil, fmt.Errorf("%w: entry key does not match request", ErrVerify)
+	}
+	telemetry.Inc(telemetry.CtrSnapHit)
+	return payload, nil
+}
+
+// EntryInfo describes one store entry from its header.
+type EntryInfo struct {
+	Name     string
+	Key      Key
+	Version  uint16
+	RawSize  uint32
+	CompSize uint32
+	FileSize int64
+	// Bad is a non-empty reason when the file is not a parseable entry.
+	Bad string
+}
+
+// header is the parsed fixed part of an entry.
+type header struct {
+	Key         Key
+	Version     uint16
+	PayloadHash [hashLen]byte
+	RawSize     uint32
+	CompSize    uint32
+	bodyOff     int
+}
+
+// parseHeader decodes the entry header without touching the stream.
+func parseHeader(data []byte) (header, error) {
+	var h header
+	off := 0
+	need := func(n int) error {
+		if len(data)-off < n {
+			return fmt.Errorf("%w: truncated header", ErrVerify)
+		}
+		return nil
+	}
+	if err := need(len(magic) + 2); err != nil {
+		return h, err
+	}
+	if string(data[:len(magic)]) != magic {
+		return h, fmt.Errorf("%w: bad magic", ErrVerify)
+	}
+	off = len(magic)
+	h.Version = binary.BigEndian.Uint16(data[off:])
+	off += 2
+	for _, dst := range []*string{&h.Key.Kind, &h.Key.Arch} {
+		if err := need(1); err != nil {
+			return h, err
+		}
+		n := int(data[off])
+		off++
+		if err := need(n); err != nil {
+			return h, err
+		}
+		*dst = string(data[off : off+n])
+		off += n
+	}
+	if err := need(2*hashLen + 8); err != nil {
+		return h, err
+	}
+	copy(h.Key.Hash[:], data[off:])
+	off += hashLen
+	copy(h.PayloadHash[:], data[off:])
+	off += hashLen
+	h.RawSize = binary.BigEndian.Uint32(data[off:])
+	h.CompSize = binary.BigEndian.Uint32(data[off+4:])
+	off += 8
+	h.bodyOff = off
+	return h, nil
+}
+
+// decodeEntry parses, decompresses, and verifies a full entry image.
+func decodeEntry(data []byte) ([]byte, header, error) {
+	h, err := parseHeader(data)
+	if err != nil {
+		return nil, h, err
+	}
+	if h.Version != FormatVersion {
+		return nil, h, fmt.Errorf("%w: entry v%d, store v%d", ErrVersion, h.Version, FormatVersion)
+	}
+	if !validToken(h.Key.Kind) || !validToken(h.Key.Arch) {
+		return nil, h, fmt.Errorf("%w: malformed kind/arch", ErrVerify)
+	}
+	if h.RawSize > MaxRawSize {
+		return nil, h, fmt.Errorf("%w: claimed raw size %d", ErrVerify, h.RawSize)
+	}
+	body := data[h.bodyOff:]
+	if uint64(len(body)) != uint64(h.CompSize) {
+		return nil, h, fmt.Errorf("%w: stream is %d bytes, header says %d (%v)",
+			ErrVerify, len(body), h.CompSize, lzss.ErrTruncated)
+	}
+	payload, err := lzss.Decompress(make([]byte, 0, int(h.RawSize)+1), body, int(h.RawSize)+1)
+	if err != nil {
+		return nil, h, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	if uint32(len(payload)) != h.RawSize {
+		return nil, h, fmt.Errorf("%w: decompressed to %d bytes, header says %d",
+			ErrVerify, len(payload), h.RawSize)
+	}
+	if sha256.Sum256(payload) != h.PayloadHash {
+		return nil, h, fmt.Errorf("%w: payload hash mismatch", ErrVerify)
+	}
+	return payload, h, nil
+}
+
+// DecodeEntry verifies a raw entry image (as read from disk) and
+// returns its payload. It is the load path without the filesystem —
+// exposed for tools and fuzzing.
+func DecodeEntry(data []byte) ([]byte, error) {
+	payload, _, err := decodeEntry(data)
+	return payload, err
+}
+
+// Entries lists the store's entries by reading headers only, sorted by
+// file name. Files that are not parseable entries are reported with a
+// non-empty Bad reason rather than an error, so one stray file does
+// not hide the rest of the listing.
+func (s *Store) Entries() ([]EntryInfo, error) {
+	names, err := s.entryNames()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]EntryInfo, 0, len(names))
+	for _, name := range names {
+		info := EntryInfo{Name: name}
+		path := filepath.Join(s.dir, name)
+		if fi, err := os.Stat(path); err == nil {
+			info.FileSize = fi.Size()
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			info.Bad = err.Error()
+		} else if h, err := parseHeader(data); err != nil {
+			info.Bad = err.Error()
+		} else {
+			info.Key, info.Version = h.Key, h.Version
+			info.RawSize, info.CompSize = h.RawSize, h.CompSize
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// Verify fully decodes every entry, checking decompression, both
+// hashes, and that the file sits at its content-addressed name. It
+// returns the number of good entries and a reason per bad one.
+func (s *Store) Verify() (ok int, bad []EntryInfo, err error) {
+	names, err := s.entryNames()
+	if err != nil {
+		return 0, nil, err
+	}
+	for _, name := range names {
+		info := EntryInfo{Name: name}
+		data, rerr := os.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			info.Bad = rerr.Error()
+			bad = append(bad, info)
+			continue
+		}
+		info.FileSize = int64(len(data))
+		_, h, derr := decodeEntry(data)
+		if derr != nil {
+			info.Bad = derr.Error()
+			bad = append(bad, info)
+			continue
+		}
+		info.Key, info.Version = h.Key, h.Version
+		info.RawSize, info.CompSize = h.RawSize, h.CompSize
+		if fileName(h.Key) != name {
+			info.Bad = "file name does not match entry key"
+			bad = append(bad, info)
+			continue
+		}
+		ok++
+	}
+	return ok, bad, nil
+}
+
+// Prune removes entries whose format version differs from the current
+// one, plus files that do not parse as entries at all. It returns the
+// removed names.
+func (s *Store) Prune() (removed []string, err error) {
+	names, err := s.entryNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		data, rerr := os.ReadFile(path)
+		stale := false
+		if rerr != nil {
+			stale = true
+		} else if h, herr := parseHeader(data); herr != nil || h.Version != FormatVersion {
+			stale = true
+		}
+		if stale {
+			if rmErr := os.Remove(path); rmErr != nil {
+				return removed, fmt.Errorf("snapshot: prune: %w", rmErr)
+			}
+			removed = append(removed, name)
+		}
+	}
+	return removed, nil
+}
+
+// entryNames lists *.snap files in the store directory, sorted.
+func (s *Store) entryNames() ([]string, error) {
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read store dir: %w", err)
+	}
+	var names []string
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), suffix) {
+			continue
+		}
+		names = append(names, de.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,281 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := testStore(t)
+	payloads := map[string][]byte{
+		"empty":      {},
+		"small":      []byte("frame layout: ret at 76, nulls at 12 40"),
+		"structured": bytes.Repeat([]byte("gadget \x5d\xc3 .text pop ret "), 4096),
+	}
+	for name, payload := range payloads {
+		k := NewKey("recon-target", "x86s", []byte(name), payload)
+		if err := s.Save(k, payload); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		got, err := s.Load(k)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%s: payload mismatch: %d bytes in, %d out", name, len(payload), len(got))
+		}
+	}
+	// Overwrite with different content under the same key: last write wins.
+	k := NewKey("recon-target", "x86s", []byte("small"), payloads["small"])
+	if err := s.Save(k, []byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Load(k)
+	if err != nil || string(got) != "replacement" {
+		t.Fatalf("overwrite: got %q, %v", got, err)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.Load(NewKey("gadget-index", "arms", []byte("x"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestNewKeyLengthPrefixing(t *testing.T) {
+	a := NewKey("k", "a", []byte("ab"), []byte("c"))
+	b := NewKey("k", "a", []byte("a"), []byte("bc"))
+	if a.Hash == b.Hash {
+		t.Fatal("part boundaries must be part of the hash")
+	}
+	if a := NewKey("k", "a", []byte("x")); a != NewKey("k", "a", []byte("x")) {
+		t.Fatal("NewKey not deterministic")
+	}
+}
+
+func TestBadKeyTokens(t *testing.T) {
+	s := testStore(t)
+	for _, k := range []Key{
+		NewKey("", "x86s", nil),
+		NewKey("has space", "x86s", nil),
+		NewKey("ok", "UPPER", nil),
+		NewKey("ok", "dots.bad", nil),
+	} {
+		if err := s.Save(k, []byte("p")); err == nil {
+			t.Errorf("key %q/%q accepted", k.Kind, k.Arch)
+		}
+	}
+}
+
+// TestEveryByteCorruption flips each byte of a stored entry in turn:
+// every corruption must either fail verification or (for bytes inside
+// the unverified stream padding) still decode to the exact payload —
+// a wrong payload must never come back.
+func TestEveryByteCorruption(t *testing.T) {
+	s := testStore(t)
+	payload := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	k := NewKey("recon-target", "arms", payload)
+	if err := s.Save(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		mut := append([]byte(nil), orig...)
+		mut[i] ^= 0x41
+		got, err := DecodeEntry(mut)
+		if err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("flip at byte %d: wrong payload accepted", i)
+		}
+	}
+	// Truncation at every length must never yield a payload silently.
+	for cut := 0; cut < len(orig); cut++ {
+		if got, err := DecodeEntry(orig[:cut]); err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("truncation at %d: wrong payload accepted", cut)
+		}
+	}
+}
+
+func TestVersionSkewAndPrune(t *testing.T) {
+	s := testStore(t)
+	payload := []byte("current-format entry")
+	k := NewKey("gadget-index", "x86s", payload)
+	if err := s.Save(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a stale-version entry by patching the header version field
+	// of a valid entry under a different name.
+	data, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := append([]byte(nil), data...)
+	stale[4], stale[5] = 0, FormatVersion+1
+	staleKey := k
+	staleKey.Hash[0] ^= 0xFF
+	if err := os.WriteFile(s.Path(staleKey), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(staleKey); !errors.Is(err, ErrVersion) {
+		t.Fatalf("got %v, want ErrVersion", err)
+	}
+	// A non-entry file should also be pruned.
+	junk := filepath.Join(s.Dir(), "junk.snap")
+	if err := os.WriteFile(junk, []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := s.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("pruned %v, want the stale and junk entries", removed)
+	}
+	if _, err := s.Load(k); err != nil {
+		t.Fatalf("current entry pruned away: %v", err)
+	}
+}
+
+func TestEntriesAndVerify(t *testing.T) {
+	s := testStore(t)
+	p1, p2 := []byte("alpha artifact"), bytes.Repeat([]byte("beta "), 1000)
+	k1, k2 := NewKey("recon-target", "x86s", p1), NewKey("memstr-index", "arms", p2)
+	if err := s.Save(k1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(k2, p2); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := s.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("got %d entries, want 2", len(infos))
+	}
+	for _, info := range infos {
+		if info.Bad != "" {
+			t.Fatalf("%s unexpectedly bad: %s", info.Name, info.Bad)
+		}
+		if info.RawSize == 0 || info.CompSize == 0 || info.FileSize == 0 {
+			t.Fatalf("%s: sizes not populated: %+v", info.Name, info)
+		}
+	}
+	ok, bad, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 2 || len(bad) != 0 {
+		t.Fatalf("verify: ok=%d bad=%v", ok, bad)
+	}
+	// Corrupt the recorded payload hash on disk (it sits right after the
+	// 32-byte key hash, which follows magic+version+kind+arch): Verify
+	// must flag exactly this entry.
+	data, err := os.ReadFile(s.Path(k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashOff := 4 + 2 + 1 + len(k2.Kind) + 1 + len(k2.Arch) + 32
+	data[hashOff] ^= 0x80
+	if err := os.WriteFile(s.Path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, err = s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != 1 || len(bad) != 1 || bad[0].Name != fileName(k2) {
+		t.Fatalf("after corruption: ok=%d bad=%v", ok, bad)
+	}
+	if _, err := s.Load(k2); !errors.Is(err, ErrVerify) {
+		t.Fatalf("corrupted load: got %v, want ErrVerify", err)
+	}
+	// A verified entry moved to the wrong content address must be caught.
+	good, err := os.ReadFile(s.Path(k1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := k1
+	wrongKey.Hash[3] ^= 1
+	if err := os.WriteFile(s.Path(wrongKey), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Load(wrongKey); !errors.Is(err, ErrVerify) {
+		t.Fatalf("misfiled load: got %v, want ErrVerify", err)
+	}
+	_, bad, err = s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, b := range bad {
+		if b.Name == fileName(wrongKey) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("misfiled entry not flagged: bad=%v", bad)
+	}
+}
+
+func TestSaveTooLarge(t *testing.T) {
+	s := testStore(t)
+	big := make([]byte, MaxRawSize+1)
+	if err := s.Save(NewKey("k", "a", nil), big); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+// FuzzSnapshotLoad: arbitrary bytes treated as a store entry must
+// either decode to a payload whose recorded hash verifies, or error —
+// never panic, never return unverified data.
+func FuzzSnapshotLoad(f *testing.F) {
+	s, err := Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedPayload := []byte("seed entry payload, compressible compressible")
+	k := NewKey("recon-target", "x86s", seedPayload)
+	if err := s.Save(k, seedPayload); err != nil {
+		f.Fatal(err)
+	}
+	entry, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(entry)
+	f.Add([]byte(magic))
+	f.Add([]byte("CSNP\x00\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxRawSize {
+			t.Fatalf("oversized payload accepted: %d bytes", len(payload))
+		}
+		h, herr := parseHeader(data)
+		if herr != nil {
+			t.Fatalf("decode succeeded but header does not parse: %v", herr)
+		}
+		if sha256.Sum256(payload) != h.PayloadHash {
+			t.Fatal("decode returned payload that does not match recorded hash")
+		}
+	})
+}

@@ -94,6 +94,21 @@ const (
 	// the attacker's MITM hijacked with a crafted response.
 	CtrDNSResolved
 	CtrDNSHijacked
+	// Gadget scan index residency: live entries inserted into the bounded
+	// cache and entries evicted to stay under the cap. Which entry a
+	// racing insert wins (and therefore the exact insert/evict split) is
+	// scheduling-dependent, so these are topology diagnostics, not part
+	// of the determinism contract.
+	CtrGadgetScanInsert
+	CtrGadgetScanEvict
+	// Snapshot store: recon artifacts rehydrated from disk, store lookups
+	// that fell through to live recon, compressed bytes written, and
+	// entries rejected by hash/version/truncation verification. All
+	// topology diagnostics — the store's presence never changes verdicts.
+	CtrSnapHit
+	CtrSnapMiss
+	CtrSnapStoreBytes
+	CtrSnapVerifyFail
 
 	numCounters
 )
@@ -115,6 +130,8 @@ var counterNames = [numCounters]string{
 	"net_enqueued", "net_delivered", "net_dropped",
 	"net_cross_shard", "net_epochs", "net_epoch_stalls",
 	"dns_resolved", "dns_hijacked",
+	"gadget_scan_entries", "gadget_scan_evict",
+	"snap_hit", "snap_miss", "snap_store_bytes", "snap_verify_fail",
 }
 
 // Name returns the snapshot key of a counter.

@@ -33,6 +33,25 @@ go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/arms
 # The wire-format zone trie against its map oracle: random wire names
 # in, byte-identical hit/miss decisions out.
 go test -run '^$' -fuzz FuzzZoneTrie -fuzztime 5s ./internal/dnsserver
+# The LZSS codec and the snapshot-entry decoder: round-trips at folded
+# parameter pairs, and arbitrary bytes must never panic or hand back an
+# unverified payload. Minimization is capped to one attempt: interesting
+# inputs are slow under fuzz instrumentation and the default 60s
+# minimization budget reads as a 0 execs/sec stall.
+go test -run '^$' -fuzz FuzzLZSSRoundTrip -fuzztime 5s -fuzzminimizetime=1x ./internal/lzss
+go test -run '^$' -fuzz FuzzSnapshotLoad -fuzztime 5s -fuzzminimizetime=1x ./internal/snapshot
+# Snapshot store round trip through a real CLI: with -snapdir unset the
+# transcript must be byte-identical to the recorded behavior; a cold
+# run populates the store; a warm run must print the identical
+# transcript; and the store must verify clean afterwards.
+SNAPDIR="$(mktemp -d)"
+go run ./cmd/attack -arch arms -kind rop-memcpy -wx -aslr > "$SNAPDIR/base.txt"
+go run ./cmd/attack -arch arms -kind rop-memcpy -wx -aslr -snapdir "$SNAPDIR/store" > "$SNAPDIR/cold.txt"
+go run ./cmd/attack -arch arms -kind rop-memcpy -wx -aslr -snapdir "$SNAPDIR/store" > "$SNAPDIR/warm.txt"
+cmp "$SNAPDIR/base.txt" "$SNAPDIR/cold.txt"
+cmp "$SNAPDIR/cold.txt" "$SNAPDIR/warm.txt"
+go run ./cmd/dbgsh snap -verify "$SNAPDIR/store"
+rm -rf "$SNAPDIR"
 # One iteration of every micro-benchmark: catches benchmarks that no
 # longer compile or fail at runtime without paying for a timed run.
 go test -run '^$' -bench . -benchtime 1x .

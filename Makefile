@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -fuzz FuzzZoneTrie -fuzztime $(FUZZTIME) ./internal/dnsserver/
 	$(GO) test -fuzz FuzzLZSSRoundTrip -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/lzss/
 	$(GO) test -fuzz FuzzSnapshotLoad -fuzztime $(FUZZTIME) -fuzzminimizetime=1x ./internal/snapshot/
+	$(GO) test -fuzz FuzzScenarioSpec -fuzztime $(FUZZTIME) ./internal/scenario/
 
 # Full benchmark run; writes ns/op and allocs/op per benchmark to
 # BENCH_8.json, then compares against the most recent earlier

@@ -18,6 +18,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 	"connlab/internal/victim"
@@ -45,11 +46,16 @@ func run(args []string, stdout io.Writer) (err error) {
 	patched := fs.Bool("patched", false, "run the patched (1.35) victim")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
 	seed := fs.Int64("seed", 2002, "target machine seed")
+	scenarioFlag := fs.String("scenario", "", "run a declarative scenario (embedded `name` or .scn file) instead of one attack")
 	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
+	gadgetCache := fs.Int("gadget-cache", 0, "gadget scan-cache LRU capacity (0 = default)")
 	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	gadget.SetScanCacheCap(*gadgetCache)
 
 	// Telemetry must be live before the lab is built: instrumented
 	// components take their metric handles at construction.
@@ -81,6 +87,29 @@ func run(args []string, stdout io.Writer) (err error) {
 	}
 	prot := core.Protection{
 		WX: *wx, ASLR: *aslr, CFI: *cfi, Canary: *canary, DiversitySeed: *diversity,
+	}
+
+	if *scenarioFlag != "" {
+		co := scenario.CompileOpts{
+			Canary: *canary, CFI: *cfi, DiversitySeed: *diversity, Patched: *patched,
+		}
+		if explicit["arch"] {
+			co.Arch = arch
+		}
+		if explicit["kind"] {
+			co.Kind = exploit.Kind(*kindFlag)
+		}
+		rep, rerr := lab.RunScenario(*scenarioFlag, co)
+		if rep != nil {
+			fmt.Fprint(stdout, rep.Canonical())
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Fprintf(stdout, "all device outcomes within spec predicates\n")
+		run := &telemetry.RunInfo{Tool: "attack", RootSeed: *seed,
+			Devices: rep.TotalDevices(), Scenarios: len(rep.Scenarios)}
+		return tf.Finish(run, rep.StageAggregates(), nil)
 	}
 
 	kind := exploit.Kind(*kindFlag)

@@ -9,6 +9,14 @@
 //	campaign -preset matrix                  # arch × kind × paper-level grid
 //	campaign -preset sweep -arch arms -kind rop-memcpy -devices 5
 //	campaign -preset fleet -devices 8 -canonical   # byte-stable report
+//
+// The matrix preset is compiled from the embedded declarative scenario
+// for the selected -variant. Any scenario — embedded or a .scn file on
+// disk — runs the same way, with the report checked against the spec's
+// own success predicates:
+//
+//	campaign -scenario heap-adjacent
+//	campaign -scenario ./my-cve.scn -arch arms -devices 3
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 	"connlab/internal/victim"
@@ -52,7 +61,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	diversity := fs.Int64("diversity", 0, "software diversity seed (0 = off)")
 	patched := fs.Bool("patched", false, "deploy the patched (1.35) firmware fleet-wide")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	scenarioFlag := fs.String("scenario", "", "run a declarative scenario (embedded `name` or .scn file) instead of a preset")
 	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
+	gadgetCache := fs.Int("gadget-cache", 0, "gadget scan-cache LRU capacity (0 = default)")
 	canonical := fs.Bool("canonical", false, "print the byte-stable canonical report (no timings)")
 	jsonOut := fs.String("json", "", "write the full report (config included) as JSON to `file` (- for stdout)")
 	tf := telemetry.AddFlags(fs)
@@ -66,6 +77,11 @@ func run(args []string, stdout io.Writer) (err error) {
 		return err
 	}
 
+	// Flags left at their defaults act as "unset" for scenario filters.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	gadget.SetScanCacheCap(*gadgetCache)
 	arch := isa.Arch(*archFlag)
 	if arch != isa.ArchX86S && arch != isa.ArchARMS {
 		return fmt.Errorf("unknown arch %q", *archFlag)
@@ -84,38 +100,59 @@ func run(args []string, stdout io.Writer) (err error) {
 	kind := exploit.Kind(*kindFlag)
 
 	var scenarios []campaign.Scenario
-	switch *preset {
-	case "fleet":
-		scenarios = []campaign.Scenario{{
-			Arch: arch, Kind: kind, Protection: prot, Build: build,
-			Devices: *devices, PatchedEvery: *patchedEvery, Pineapple: true,
-		}}
-	case "sweep":
-		for _, p := range campaign.PaperLevels() {
-			p.CFI = p.CFI || *cfi
-			p.Canary = p.Canary || *canary
-			p.DiversitySeed = *diversity
-			scenarios = append(scenarios, campaign.Scenario{
-				Arch: arch, Kind: kind, Protection: p, Build: build,
+	var spec *scenario.Spec
+	if *scenarioFlag != "" {
+		spec, err = scenario.Resolve(*scenarioFlag)
+		if err != nil {
+			return err
+		}
+		co := scenario.CompileOpts{
+			PatchedEvery: *patchedEvery, Patched: *patched,
+			Canary: *canary, CFI: *cfi, DiversitySeed: *diversity,
+		}
+		if explicit["arch"] {
+			co.Arch = arch
+		}
+		if explicit["kind"] {
+			co.Kind = kind
+		}
+		if explicit["devices"] {
+			co.Devices = *devices
+		}
+		if scenarios, err = scenario.Compile(spec, co); err != nil {
+			return err
+		}
+	} else {
+		switch *preset {
+		case "fleet":
+			scenarios = []campaign.Scenario{{
+				Arch: arch, Kind: kind, Protection: prot, Build: build,
 				Devices: *devices, PatchedEvery: *patchedEvery, Pineapple: true,
-			})
-		}
-	case "matrix":
-		kinds := []exploit.Kind{
-			exploit.KindDoS, exploit.KindCodeInjection, exploit.KindRet2Libc,
-			exploit.KindRopExeclp, exploit.KindRopMemcpy,
-		}
-		for _, a := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+			}}
+		case "sweep":
 			for _, p := range campaign.PaperLevels() {
-				for _, k := range kinds {
-					scenarios = append(scenarios, campaign.Scenario{
-						Arch: a, Kind: k, Protection: p, Build: build,
-					})
-				}
+				p.CFI = p.CFI || *cfi
+				p.Canary = p.Canary || *canary
+				p.DiversitySeed = *diversity
+				scenarios = append(scenarios, campaign.Scenario{
+					Arch: arch, Kind: kind, Protection: p, Build: build,
+					Devices: *devices, PatchedEvery: *patchedEvery, Pineapple: true,
+				})
 			}
+		case "matrix":
+			// The paper matrix is compiled from the embedded declarative
+			// spec for the variant — the same cells the old hand-written
+			// enumeration produced, pinned byte-identical by the scenario
+			// package's golden test.
+			if spec, err = scenario.Load(*variant); err != nil {
+				return err
+			}
+			if scenarios, err = scenario.Compile(spec, scenario.CompileOpts{Patched: *patched}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown preset %q", *preset)
 		}
-	default:
-		return fmt.Errorf("unknown preset %q", *preset)
 	}
 
 	var snaps *snapshot.Store
@@ -135,6 +172,15 @@ func run(args []string, stdout io.Writer) (err error) {
 		} else {
 			fmt.Fprintln(stdout, rep)
 			fmt.Fprint(stdout, rep.Table())
+		}
+		// A -scenario run is checked against the spec's own success
+		// predicates: the spec is executable documentation.
+		if *scenarioFlag != "" && err == nil {
+			if verr := scenario.Verify(spec, rep); verr != nil {
+				err = verr
+			} else if !*canonical {
+				fmt.Fprintf(stdout, "scenario %s: all device outcomes within spec predicates\n", spec.Name)
+			}
 		}
 		if *jsonOut != "" {
 			if jerr := writeReportJSON(*jsonOut, rep, stdout); jerr != nil && err == nil {

@@ -121,3 +121,32 @@ func TestRunBadPreset(t *testing.T) {
 		t.Error("expected an error for an unknown preset")
 	}
 }
+
+// TestRunScenarioFlag: -scenario compiles a data-only spec, runs it,
+// and checks the report against the spec's predicates; filters narrow
+// the matrix only when set explicitly.
+func TestRunScenarioFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-scenario", "heap-adjacent", "-arch", "arms", "-kind", "dos"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "campaign: 3 scenarios, 3 devices") {
+		t.Errorf("filtered scenario run should cover the 3 protection rows:\n%s", s)
+	}
+	if !strings.Contains(s, "scenario heap-adjacent: all device outcomes within spec predicates") {
+		t.Errorf("missing predicate verdict:\n%s", s)
+	}
+	if strings.Contains(s, "x86s/") {
+		t.Errorf("-arch arms filter leaked x86s cells:\n%s", s)
+	}
+}
+
+// TestRunScenarioUnknown: an unknown scenario name is a clean error.
+func TestRunScenarioUnknown(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "no-such"}, &out); err == nil {
+		t.Error("expected an error for an unknown scenario")
+	}
+}

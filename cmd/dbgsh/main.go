@@ -27,6 +27,14 @@
 // compression ratios, verifying payload hashes, pruning stale versions:
 //
 //	dbgsh snap [-verify] [-prune] /path/to/snapdir
+//
+// A third subcommand inspects declarative scenario programs — listing
+// the embedded specs, validating a spec file, and dumping the compiled
+// build options, corruption geometry and protection matrix:
+//
+//	dbgsh scenario list
+//	dbgsh scenario validate my-cve.scn
+//	dbgsh scenario dump heap-adjacent
 package main
 
 import (
@@ -58,6 +66,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "snap" {
 		if err := snapCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dbgsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scenario" {
+		if err := scenarioCmd(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbgsh:", err)
 			os.Exit(1)
 		}

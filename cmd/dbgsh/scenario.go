@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"connlab/internal/scenario"
+)
+
+// scenarioCmd inspects declarative scenario programs: listing the
+// embedded specs, validating a spec file, and dumping what a spec
+// compiles to (victim build options, corruption geometry per
+// architecture, and the protection-matrix cells with their predicates).
+func scenarioCmd(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dbgsh scenario list | validate <file.scn> | dump <name|file.scn>")
+	}
+	switch args[0] {
+	case "list":
+		for _, name := range scenario.Names() {
+			s, err := scenario.Load(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n", name, s.Title)
+		}
+		return nil
+	case "validate":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dbgsh scenario validate <file.scn>")
+		}
+		s, err := scenario.LoadFile(args[1])
+		if err != nil {
+			return err
+		}
+		cells, err := scenario.Compile(s, scenario.CompileOpts{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: valid (%d campaign cells, hash %x)\n", s.Name, len(cells), s.Hash())
+		return nil
+	case "dump":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: dbgsh scenario dump <name|file.scn>")
+		}
+		s, err := scenario.Resolve(args[1])
+		if err != nil {
+			return err
+		}
+		return dumpScenario(s, stdout)
+	default:
+		return fmt.Errorf("unknown scenario subcommand %q (want list, validate, or dump)", args[0])
+	}
+}
+
+// dumpScenario renders the compiled view of a spec.
+func dumpScenario(s *scenario.Spec, stdout io.Writer) error {
+	fmt.Fprintf(stdout, "scenario %s (%s)\n", s.Name, s.Title)
+	if s.CVE != "" {
+		fmt.Fprintf(stdout, "  cve:       %s\n", s.CVE)
+	}
+	opts := s.BuildOpts()
+	fmt.Fprintf(stdout, "  build:     variant=%s site=%s frame=%s bound=%s discovery=%s\n",
+		opts.Variant, opts.Site, opts.Frame, s.Bound, s.Discovery)
+	fmt.Fprintf(stdout, "  buffer:    %d bytes\n", opts.BufSize())
+	for _, arch := range s.Arches {
+		fi := s.FrameInfo(arch)
+		fmt.Fprintf(stdout, "  %-9s ret/handler offset %d, null slots %v, declared reach %d\n",
+			arch+":", fi.RetOffset, fi.NullOffsets, fi.Reach)
+	}
+	cells, err := scenario.Compile(s, scenario.CompileOpts{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  matrix:    %d cells\n", len(cells))
+	for _, c := range cells {
+		row, _ := scenario.RowFor(c.Protection)
+		want, _ := s.Expected(c.Kind, c.Arch, row)
+		fmt.Fprintf(stdout, "    %-36s expect %v\n",
+			fmt.Sprintf("%s/%s/%s", c.Arch, c.Kind, c.Protection), want)
+	}
+	return nil
+}

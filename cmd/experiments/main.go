@@ -14,6 +14,7 @@ import (
 
 	"connlab/internal/core"
 	"connlab/internal/gadget"
+	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
 )
@@ -32,7 +33,9 @@ func run(args []string, stdout io.Writer) (err error) {
 	reconSeed := fs.Int64("recon-seed", 1001, "attacker replica seed")
 	targetSeed := fs.Int64("target-seed", 2002, "target machine seed")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
+	scenarioFlag := fs.String("scenario", "", "run a declarative scenario (embedded `name` or .scn file) instead of a paper experiment")
 	snapdir := fs.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
+	gadgetCache := fs.Int("gadget-cache", 0, "gadget scan-cache LRU capacity (0 = default)")
 	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,7 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 	}()
 
+	gadget.SetScanCacheCap(*gadgetCache)
 	lab := core.NewLab()
 	lab.ReconSeed = *reconSeed
 	lab.TargetSeed = *targetSeed
@@ -61,6 +65,18 @@ func run(args []string, stdout io.Writer) (err error) {
 		}
 		gadget.SetSnapshotStore(snaps)
 		lab.Snapshots = snaps
+	}
+
+	if *scenarioFlag != "" {
+		rep, rerr := lab.RunScenario(*scenarioFlag, scenario.CompileOpts{})
+		if rep != nil {
+			fmt.Fprint(stdout, rep.Canonical())
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Fprintf(stdout, "all device outcomes within spec predicates\n")
+		return nil
 	}
 
 	if *exp == "all" {

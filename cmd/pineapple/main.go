@@ -23,6 +23,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 )
 
@@ -45,9 +46,12 @@ func run() error {
 	lookups := flag.Int("lookups", 2, "attack-phase lookups per station (scale scenario only)")
 	victimEvery := flag.Int("victim-every", 0, "every k-th station is a full victim device (scale scenario only)")
 	verbose := flag.Bool("v", false, "print the network event log")
+	scenarioFlag := flag.String("scenario", "", "run a declarative scenario (embedded `name` or .scn file) through the rogue AP")
 	snapdir := flag.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
+	gadgetCache := flag.Int("gadget-cache", 0, "gadget scan-cache LRU capacity (0 = default)")
 	flag.Parse()
 
+	gadget.SetScanCacheCap(*gadgetCache)
 	lab := core.NewLab()
 	if *snapdir != "" {
 		snaps, err := snapshot.Open(*snapdir)
@@ -56,6 +60,20 @@ func run() error {
 		}
 		gadget.SetSnapshotStore(snaps)
 		lab.Snapshots = snaps
+	}
+	if *scenarioFlag != "" {
+		// Every compiled cell delivers through the per-device rogue-AP
+		// world instead of handing the packet straight to the daemon.
+		rep, rerr := lab.RunScenario(*scenarioFlag, scenario.CompileOpts{Pineapple: true})
+		if rep != nil {
+			fmt.Print(rep.Canonical())
+			fmt.Printf("lookups hijacked: %d\n", rep.Hijacked)
+		}
+		if rerr != nil {
+			return rerr
+		}
+		fmt.Println("all device outcomes within spec predicates")
+		return nil
 	}
 	if *stations > 0 {
 		rep, err := lab.RunPineappleScale(core.PineappleScaleConfig{

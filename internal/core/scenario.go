@@ -1,0 +1,28 @@
+package core
+
+import (
+	"connlab/internal/campaign"
+	"connlab/internal/scenario"
+)
+
+// RunScenario compiles a declarative scenario — an embedded name like
+// "connman" or "heap-adjacent", or a path to a .scn spec file — into
+// campaign cells, runs them through the lab's persistent engine, and
+// checks the report against the spec's own success predicates. The
+// report is returned even when verification fails, so callers can print
+// what actually happened alongside the violation.
+func (l *Lab) RunScenario(nameOrPath string, opts scenario.CompileOpts) (*campaign.Report, error) {
+	spec, err := scenario.Resolve(nameOrPath)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := scenario.Compile(spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := l.engine().Run(cells)
+	if err != nil {
+		return rep, err
+	}
+	return rep, scenario.Verify(spec, rep)
+}

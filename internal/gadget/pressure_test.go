@@ -1,0 +1,71 @@
+package gadget
+
+import (
+	"testing"
+
+	"connlab/internal/image"
+	"connlab/internal/isa"
+)
+
+// TestScanCacheEvictionPressure churns the scan cache far past its cap —
+// the shape of a diversified-build sweep, which is what the configurable
+// capacity exists for — and checks the invariants that matter under
+// pressure: the cache never exceeds its bound, a hot entry kept in the
+// recency front survives the entire churn without a rebuild, and every
+// cold section costs exactly one build however often it is evicted.
+func TestScanCacheEvictionPressure(t *testing.T) {
+	resetScanState(t)
+	const cap = 8
+	const distinct = 100
+	SetScanCacheCap(cap)
+
+	hot := synthSection(9999, 512)
+	hotIdx := sectionIndex(isa.ArchX86S, hot)
+
+	sections := make([]image.Section, distinct)
+	for i := range sections {
+		sections[i] = synthSection(int64(i), 512)
+	}
+	builds0, hits0 := ScanCacheStats()
+	for round := 0; round < 3; round++ {
+		for i := range sections {
+			sectionIndex(isa.ArchX86S, sections[i])
+			// Re-touch the hot section after every few insertions so it
+			// never ages to the back of the LRU list.
+			if i%(cap/2) == 0 {
+				if got := sectionIndex(isa.ArchX86S, hot); got != hotIdx {
+					t.Fatalf("round %d, insertion %d: hot section was evicted and rebuilt", round, i)
+				}
+			}
+			if n := ScanCacheLen(); n > cap {
+				t.Fatalf("cache holds %d entries, cap is %d", n, cap)
+			}
+		}
+	}
+	builds1, hits1 := ScanCacheStats()
+	// With 100 distinct sections cycling through an 8-entry cache, every
+	// pass rebuilds every cold section (they are always evicted before
+	// their next use); the hot section must account for all cache hits.
+	coldBuilds := builds1 - builds0
+	if want := uint64(3 * distinct); coldBuilds != want {
+		t.Errorf("cold builds = %d, want %d (every pass rebuilds every cold section)", coldBuilds, want)
+	}
+	if hits1 == hits0 {
+		t.Errorf("no cache hits recorded; the hot section's touches should all hit")
+	}
+
+	// Restoring the default cap stops the pressure: after one warming
+	// pass, a second full pass is all hits.
+	SetScanCacheCap(0)
+	for i := range sections {
+		sectionIndex(isa.ArchX86S, sections[i])
+	}
+	builds3, _ := ScanCacheStats()
+	for i := range sections {
+		sectionIndex(isa.ArchX86S, sections[i])
+	}
+	builds4, _ := ScanCacheStats()
+	if builds4 != builds3 {
+		t.Errorf("%d rebuilds with the default cap, want 0", builds4-builds3)
+	}
+}

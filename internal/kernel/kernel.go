@@ -30,6 +30,20 @@ const Page = 0x1000
 // StackSize is the size of the mapped stack region.
 const StackSize = 1 << 20
 
+// HeapSize is the size of the mapped scratch-heap region.
+const HeapSize = 1 << 20
+
+// HeapBaseFor returns the fixed base of the scratch heap for arch. The
+// heap is never slid by ASLR (matching 32-bit brk heaps of non-PIE
+// binaries), so codegen that bakes heap addresses — the victim's emulated
+// allocator arena — can rely on these constants.
+func HeapBaseFor(arch isa.Arch) uint32 {
+	if arch == isa.ArchARMS {
+		return 0x00C00000
+	}
+	return 0x09000000
+}
+
 // DefaultInstrBudget bounds one emulated call; exceeding it classifies the
 // run as hung (a DoS in its own right).
 const DefaultInstrBudget = 10_000_000
@@ -327,12 +341,11 @@ func Load(prog *image.Unit, libc *image.Unit, cfg Config) (*Process, error) {
 		return nil, fmt.Errorf("map stack: %w", err)
 	}
 
-	// Scratch heap for packet buffers and daemon state.
-	heapBase := uint32(0x09000000)
-	if prog.Arch == isa.ArchARMS {
-		heapBase = 0x00C00000
-	}
-	if _, err := m.Map("heap", heapBase, 1<<20, mem.PermRW); err != nil {
+	// Scratch heap for packet buffers and daemon state. Like the stack it
+	// is executable unless W⊕X is on: 32-bit Linux of the paper's era made
+	// brk/mmap data executable too, which is what heap-resident shellcode
+	// relies on.
+	if _, err := m.Map("heap", HeapBaseFor(prog.Arch), HeapSize, perm); err != nil {
 		return nil, fmt.Errorf("map heap: %w", err)
 	}
 

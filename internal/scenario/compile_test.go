@@ -1,0 +1,159 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"connlab/internal/campaign"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/kernel"
+	"connlab/internal/victim"
+)
+
+// legacyMatrix is the historical hand-written arch × level × kind
+// enumeration the matrix preset used before scenarios were data. The
+// compiled connman spec must reproduce it exactly — struct-for-struct —
+// so every downstream artifact (cache keys, labels, reports, packets)
+// is untouched by the refactor.
+func legacyMatrix(build victim.BuildOpts) []campaign.Scenario {
+	kinds := []exploit.Kind{
+		exploit.KindDoS, exploit.KindCodeInjection, exploit.KindRet2Libc,
+		exploit.KindRopExeclp, exploit.KindRopMemcpy,
+	}
+	var scenarios []campaign.Scenario
+	for _, a := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		for _, p := range campaign.PaperLevels() {
+			for _, k := range kinds {
+				scenarios = append(scenarios, campaign.Scenario{
+					Arch: a, Kind: k, Protection: p, Build: build,
+				})
+			}
+		}
+	}
+	return scenarios
+}
+
+// TestCompileMatchesLegacyMatrix: compiling the embedded paper specs
+// with zero overlay reproduces the legacy inline matrix for both victim
+// variants, patched and vulnerable.
+func TestCompileMatchesLegacyMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		variant victim.Variant
+		patched bool
+	}{
+		{"connman", victim.VariantConnman, false},
+		{"connman patched", victim.VariantConnman, true},
+		{"dnsmasq", victim.VariantDnsmasq, false},
+		{"dnsmasq patched", victim.VariantDnsmasq, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Load(tc.variant.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Compile(s, CompileOpts{Patched: tc.patched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := legacyMatrix(victim.BuildOpts{Variant: tc.variant, Patched: tc.patched})
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("compiled matrix diverges from the legacy enumeration:\ngot  %d cells %+v\nwant %d cells %+v",
+					len(got), got, len(want), want)
+			}
+		})
+	}
+}
+
+// TestPaperMatrixGolden: running the compiled connman spec through the
+// engine reproduces the pre-refactor canonical matrix report
+// byte-for-byte. This is the refactor's end-to-end equivalence pin:
+// same labels, same per-device outcomes, same counts, on both ISAs.
+func TestPaperMatrixGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 30-cell matrix run")
+	}
+	s, err := Load("connman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Compile(s, CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := campaign.New(campaign.Config{})
+	rep, err := eng.Run(cells)
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	got := []byte(rep.Canonical())
+	want, err := os.ReadFile("testdata/paper_matrix.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("canonical report diverges from testdata/paper_matrix.golden:\n%s", diffLines(want, got))
+	}
+	// The golden matrix IS the spec's expectation table: verify closes
+	// the loop in both directions.
+	if err := Verify(s, rep); err != nil {
+		t.Errorf("golden run violates the spec's own predicates: %v", err)
+	}
+}
+
+// TestCompiledPacketsMatchDirectBuild: the attack packets an engine
+// crafts for compiled cells are byte-identical to packets built
+// straight from the exploit layer with the same recon inputs — the
+// scenario path adds no transformation of its own.
+func TestCompiledPacketsMatchDirectBuild(t *testing.T) {
+	s, err := Load("connman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := campaign.New(campaign.Config{})
+	for _, arch := range []isa.Arch{isa.ArchX86S, isa.ArchARMS} {
+		kind := exploit.KindCodeInjection
+		cells, err := Compile(s, CompileOpts{Arch: arch, Kind: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := eng.Payload(cells[0]) // row none
+		if err != nil {
+			t.Fatalf("%s: engine payload: %v", arch, err)
+		}
+		tgt, err := exploit.Recon(arch, victim.BuildOpts{}, kernel.Config{Seed: campaign.DefaultReconSeed})
+		if err != nil {
+			t.Fatalf("%s: direct recon: %v", arch, err)
+		}
+		direct, err := exploit.Build(tgt, kind)
+		if err != nil {
+			t.Fatalf("%s: direct build: %v", arch, err)
+		}
+		if !bytes.Equal(ex.Stream, direct.Stream) {
+			t.Errorf("%s: compiled-path stream differs from direct exploit build", arch)
+		}
+	}
+}
+
+// diffLines renders a line diff for golden mismatches.
+func diffLines(want, got []byte) string {
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			out.WriteString("- " + string(wl) + "\n+ " + string(gl) + "\n")
+		}
+	}
+	return out.String()
+}

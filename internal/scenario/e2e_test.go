@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"connlab/internal/campaign"
+)
+
+// runSpec compiles a spec with the given overlay, runs it through a
+// fresh engine, and verifies the report against the spec's own
+// predicates — the complete data-only scenario lifecycle.
+func runSpec(t *testing.T, name string, opts CompileOpts) *campaign.Report {
+	t.Helper()
+	s, err := Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Compile(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := campaign.New(campaign.Config{})
+	rep, err := eng.Run(cells)
+	if err != nil {
+		t.Fatalf("engine run: %v", err)
+	}
+	if err := Verify(s, rep); err != nil {
+		t.Fatalf("report violates spec predicates: %v", err)
+	}
+	return rep
+}
+
+// TestOffByOneEndToEnd: the off-by-one frame-pointer scenario runs as
+// pure data through the campaign engine on both ISAs and all three
+// protection rows, landing inside its declared outcome envelope.
+func TestOffByOneEndToEnd(t *testing.T) {
+	rep := runSpec(t, "offbyone-fp", CompileOpts{})
+	if len(rep.Scenarios) != 6 {
+		t.Fatalf("compiled %d cells, want 6 (2 arches × 3 rows × dos)", len(rep.Scenarios))
+	}
+	// The non-ASLR rows are deterministic crashes; check them directly so
+	// a spec loosened to crash|no-effect everywhere could not hide a
+	// regression on the rows that must corrupt.
+	for _, sr := range rep.Scenarios {
+		if sr.Scenario.Protection.ASLR {
+			continue
+		}
+		if got := sr.Devices[0].Outcome; got != campaign.OutcomeCrash {
+			t.Errorf("%s: outcome %s, want deterministic CRASH without ASLR", sr.Label, got)
+		}
+	}
+}
+
+// TestHeapAdjacentEndToEnd: the heap adjacent-allocation scenario runs
+// as pure data on both ISAs; code injection yields a shell only where
+// the heap is executable, and the DoS row crashes everywhere.
+func TestHeapAdjacentEndToEnd(t *testing.T) {
+	rep := runSpec(t, "heap-adjacent", CompileOpts{})
+	if len(rep.Scenarios) != 12 {
+		t.Fatalf("compiled %d cells, want 12 (2 arches × 3 rows × 2 kinds)", len(rep.Scenarios))
+	}
+	shells := 0
+	for _, sr := range rep.Scenarios {
+		if sr.Devices[0].Outcome == campaign.OutcomeShell {
+			shells++
+			if sr.Scenario.Protection.WX {
+				t.Errorf("%s: shell through a non-executable heap", sr.Label)
+			}
+		}
+	}
+	if shells != 2 {
+		t.Errorf("%d shells, want 2 (code-injection on the unprotected row, both ISAs)", shells)
+	}
+}
+
+// TestVerifyRejectsWrongOutcome: Verify fails loudly when a report
+// disagrees with the spec, and exempts patched devices.
+func TestVerifyRejectsWrongOutcome(t *testing.T) {
+	s, err := Load("heap-adjacent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Compile(s, CompileOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &campaign.Report{Scenarios: []campaign.ScenarioResult{{
+		Scenario: cells[0], Label: "forged",
+		Devices: []campaign.DeviceResult{
+			{Name: "iot-00", Outcome: campaign.OutcomeNoEffect},
+			{Name: "iot-01", Outcome: campaign.OutcomeNoEffect, Patched: true},
+		},
+	}}}
+	err = Verify(s, rep)
+	if err == nil {
+		t.Fatal("Verify accepted a forged outcome")
+	}
+	if got := err.Error(); !strings.Contains(got, "iot-00") || strings.Contains(got, "iot-01") {
+		t.Errorf("Verify error should flag iot-00 only, got: %v", err)
+	}
+}

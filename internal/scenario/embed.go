@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+// specFS carries the lab's embedded scenario programs — the paper's two
+// victim variants plus the CVE-analog geometries, all pure data.
+//
+//go:embed specs/*.scn
+var specFS embed.FS
+
+// Names lists the embedded scenario names, sorted.
+func Names() []string {
+	entries, err := specFS.ReadDir("specs")
+	if err != nil {
+		// The embed is a compile-time constant directory; this cannot fail.
+		panic(fmt.Sprintf("scenario: embedded specs: %v", err))
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".scn"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Source returns the raw text of an embedded spec.
+func Source(name string) ([]byte, error) {
+	b, err := specFS.ReadFile(path.Join("specs", name+".scn"))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: no embedded scenario %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// Load parses an embedded spec by name.
+func Load(name string) (*Spec, error) {
+	src, err := Source(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("embedded %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// LoadFile parses a spec from disk.
+func LoadFile(p string) (*Spec, error) {
+	src, err := os.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p, err)
+	}
+	return s, nil
+}
+
+// Resolve loads a scenario by embedded name or, when the argument names
+// an existing file (or ends in .scn), from disk — the lookup rule every
+// -scenario CLI flag shares.
+func Resolve(nameOrPath string) (*Spec, error) {
+	if strings.HasSuffix(nameOrPath, ".scn") || strings.ContainsAny(nameOrPath, "/\\") {
+		return LoadFile(nameOrPath)
+	}
+	if _, err := os.Stat(nameOrPath); err == nil {
+		return LoadFile(nameOrPath)
+	}
+	return Load(nameOrPath)
+}

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioSpec: the parser must never panic on any input, and every
+// spec it accepts must round-trip through its canonical rendering —
+// parse(String(parse(src))) reproduces the same Spec and content hash.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, name := range Names() {
+		src, err := Source(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	f.Add([]byte("scenario x\narch x86s\nbuffer 1024\nrows none\nkind dos\nexpect * none=crash\n"))
+	f.Add([]byte("scenario y\nvariant dnsmasq\narch arms\nbuffer 512\nbound slack=0\nrows wx\nkind dos\nexpect arms wx=crash|blocked\n"))
+	f.Add([]byte("scenario z\n# comment\n\narch x86s arms\nbuffer 1024\nsite heap\nrows none wx+aslr\ndevices 7\nkind code-injection\nexpect * none=shell wx+aslr=crash\n"))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse([]byte(s.String()))
+		if err != nil {
+			t.Fatalf("accepted spec's canonical form rejected: %v\n%s", err, s.String())
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round-trip mismatch:\nfirst:  %+v\nsecond: %+v", s, again)
+		}
+		if s.Hash() != again.Hash() {
+			t.Fatalf("round-trip changed the content hash")
+		}
+	})
+}

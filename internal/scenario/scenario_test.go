@@ -1,0 +1,208 @@
+package scenario
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"connlab/internal/campaign"
+	"connlab/internal/exploit"
+	"connlab/internal/isa"
+	"connlab/internal/victim"
+)
+
+// TestEmbeddedSpecsParse: every shipped spec parses, validates, and
+// round-trips through its canonical rendering.
+func TestEmbeddedSpecsParse(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("embedded specs = %v, want at least the four shipped scenarios", names)
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			s, err := Load(name)
+			if err != nil {
+				t.Fatalf("Load: %v", err)
+			}
+			if s.Name != name {
+				t.Errorf("spec name %q does not match file name %q", s.Name, name)
+			}
+			again, err := Parse([]byte(s.String()))
+			if err != nil {
+				t.Fatalf("canonical form does not re-parse: %v\n%s", err, s.String())
+			}
+			if !reflect.DeepEqual(s, again) {
+				t.Errorf("round-trip mismatch:\nfirst:  %+v\nsecond: %+v", s, again)
+			}
+			if s.Hash() != again.Hash() {
+				t.Errorf("round-trip changed the content hash")
+			}
+		})
+	}
+}
+
+// TestParseErrors: the strict parser rejects malformed specs with
+// line-tagged errors rather than guessing.
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "missing scenario"},
+		{"scenario not first", "arch x86s\nscenario x\n", "first directive"},
+		{"unknown directive", "scenario x\nbogus 1\n", "unknown directive"},
+		{"duplicate directive", "scenario x\narch x86s\narch arms\n", "duplicate directive"},
+		{"bad arch", "scenario x\narch mips\n", "unknown arch"},
+		{"bad outcome", "scenario x\narch x86s\nbuffer 1024\nrows none\nkind dos\nexpect * none=explode\n", "unknown outcome"},
+		{"expect outside kind", "scenario x\narch x86s\nbuffer 1024\nrows none\nexpect * none=crash\n", "outside a kind"},
+		{"directive after kind", "scenario x\narch x86s\nbuffer 1024\nrows none\nkind dos\nexpect * none=crash\ndevices 3\n", "must precede"},
+		{"missing expectation", "scenario x\narch x86s arms\nbuffer 1024\nrows none wx\nkind dos\nexpect x86s none=crash wx=crash\n", "no expectation for arms"},
+		{"wrong buffer", "scenario x\narch x86s\nbuffer 512\nrows none\nkind dos\nexpect * none=crash\n", "does not match"},
+		{"discovery contradicts bound", "scenario x\narch x86s\nbuffer 1024\nbound slack=1\nframe fp\ndiscovery probe\nrows none\nkind dos\nexpect * none=crash\n", "contradicts bound"},
+		{"geometry invalid", "scenario x\narch x86s\nbuffer 1024\nsite heap\nframe fp\nrows none\nkind dos\nexpect * none=crash\n", "heap"},
+		{"slack out of range", "scenario x\narch x86s\nbuffer 1024\nbound slack=300\nrows none\nkind dos\nexpect * none=crash\n", "slack"},
+		{"duplicate expect cell", "scenario x\narch x86s\nbuffer 1024\nrows none\nkind dos\nexpect * none=crash\nexpect * none=crash\n", "duplicate expect"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpectedPrecedence: an arch-specific expect line beats a "*" line
+// for the same row.
+func TestExpectedPrecedence(t *testing.T) {
+	src := `scenario x
+arch x86s arms
+buffer 1024
+rows none wx
+kind dos
+expect * none=crash wx=crash
+expect arms none=no-effect wx=crash|blocked
+`
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Expected(exploit.KindDoS, isa.ArchARMS, RowNone)
+	if !ok || !reflect.DeepEqual(got, []campaign.Outcome{campaign.OutcomeNoEffect}) {
+		t.Errorf("arms/none = %v %v, want [NO-EFFECT]", got, ok)
+	}
+	got, ok = s.Expected(exploit.KindDoS, isa.ArchX86S, RowNone)
+	if !ok || !reflect.DeepEqual(got, []campaign.Outcome{campaign.OutcomeCrash}) {
+		t.Errorf("x86s/none = %v %v, want [CRASH]", got, ok)
+	}
+	got, ok = s.Expected(exploit.KindDoS, isa.ArchARMS, RowWX)
+	if !ok || len(got) != 2 {
+		t.Errorf("arms/wx = %v %v, want two alternatives", got, ok)
+	}
+	if _, ok := s.Expected(exploit.KindDoS, isa.ArchARMS, RowWXASLR); ok {
+		t.Errorf("row outside the spec resolved an expectation")
+	}
+}
+
+// TestSpecBuildOpts: the spec's geometry directives compile into the
+// victim build options field-for-field.
+func TestSpecBuildOpts(t *testing.T) {
+	ob, err := Load("offbyone-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := victim.BuildOpts{Frame: victim.FrameFP, Bounded: true, Slack: 1}
+	if got := ob.BuildOpts(); got != want {
+		t.Errorf("offbyone-fp BuildOpts = %+v, want %+v", got, want)
+	}
+	if ob.Discovery != DiscoveryDeclared {
+		t.Errorf("offbyone-fp discovery = %s, want declared", ob.Discovery)
+	}
+	ha, err := Load("heap-adjacent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = victim.BuildOpts{Site: victim.SiteHeap}
+	if got := ha.BuildOpts(); got != want {
+		t.Errorf("heap-adjacent BuildOpts = %+v, want %+v", got, want)
+	}
+	fi := ha.FrameInfo(isa.ArchX86S)
+	if fi.RetOffset != 1024 {
+		t.Errorf("heap-adjacent handler offset = %d, want 1024", fi.RetOffset)
+	}
+}
+
+// TestCompileOverlayValidation: overlays that contradict the spec's
+// geometry fail at compile time, not inside a worker.
+func TestCompileOverlayValidation(t *testing.T) {
+	ob, err := Load("offbyone-fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(ob, CompileOpts{Patched: true}); err == nil {
+		t.Errorf("bounded geometry accepted a patched overlay")
+	}
+	if _, err := Compile(ob, CompileOpts{Canary: true}); err == nil {
+		t.Errorf("fp frame accepted a canary overlay")
+	}
+	if _, err := Compile(ob, CompileOpts{Arch: isa.Arch("mips")}); err == nil {
+		t.Errorf("unknown arch filter accepted")
+	}
+	if _, err := Compile(ob, CompileOpts{Kind: exploit.KindRopMemcpy}); err == nil {
+		t.Errorf("kind outside the spec accepted")
+	}
+}
+
+// TestCompileFilters: arch/kind filters narrow the cell list while
+// preserving enumeration order.
+func TestCompileFilters(t *testing.T) {
+	s, err := Load("connman")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := Compile(s, CompileOpts{Arch: isa.ArchARMS, Kind: exploit.KindDoS, Devices: 3, Pineapple: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("filtered compile = %d cells, want 3 (one per row)", len(cells))
+	}
+	for i, c := range cells {
+		if c.Arch != isa.ArchARMS || c.Kind != exploit.KindDoS || c.Devices != 3 || !c.Pineapple {
+			t.Errorf("cell %d = %+v, want arms/dos devices=3 pineapple", i, c)
+		}
+	}
+	if !cells[2].Protection.WX || !cells[2].Protection.ASLR {
+		t.Errorf("rows out of order: last cell protection = %+v", cells[2].Protection)
+	}
+}
+
+// TestResolve: the shared CLI lookup rule prefers embedded names and
+// falls through to disk paths.
+func TestResolve(t *testing.T) {
+	if _, err := Resolve("connman"); err != nil {
+		t.Errorf("embedded name: %v", err)
+	}
+	s, err := Load("heap-adjacent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir() + "/custom.scn"
+	if err := os.WriteFile(dir, []byte(s.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := Resolve(dir)
+	if err != nil {
+		t.Fatalf("path lookup: %v", err)
+	}
+	if !reflect.DeepEqual(s, onDisk) {
+		t.Errorf("on-disk spec differs from its source")
+	}
+	if _, err := Resolve("no-such-scenario"); err == nil {
+		t.Errorf("unknown name resolved")
+	}
+}

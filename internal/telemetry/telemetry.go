@@ -109,6 +109,12 @@ const (
 	CtrSnapMiss
 	CtrSnapStoreBytes
 	CtrSnapVerifyFail
+	// Scenario compiler: declarative specs compiled into campaign
+	// scenario lists, and compilations served from the per-process cache.
+	// Topology diagnostics — compilation happens outside the per-device
+	// hot path and never changes verdicts.
+	CtrScenarioCompile
+	CtrScenarioCacheHit
 
 	numCounters
 )
@@ -132,6 +138,7 @@ var counterNames = [numCounters]string{
 	"dns_resolved", "dns_hijacked",
 	"gadget_scan_entries", "gadget_scan_evict",
 	"snap_hit", "snap_miss", "snap_store_bytes", "snap_verify_fail",
+	"scenario_compile", "scenario_cache_hit",
 }
 
 // Name returns the snapshot key of a counter.

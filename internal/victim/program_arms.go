@@ -2,12 +2,11 @@ package victim
 
 import (
 	"connlab/internal/abi"
-	"connlab/internal/image"
 	"connlab/internal/isa"
 	"connlab/internal/isa/arms"
 )
 
-// buildProgramARM assembles the arms connmansim unit.
+// fragmentsARM selects the arms fragment composition for opts.
 //
 // parse_rr stack frame (no canary), growing down from the caller:
 //
@@ -26,27 +25,61 @@ import (
 //	sp+0     name_len
 //
 // The frame is built by push {r4,r5,r6,r7,r11,lr}; sub sp, sp, #1040.
-func buildProgramARM(opts BuildOpts) *image.Unit {
-	u := image.NewUnit(isa.ArchARMS)
-	u.Import("memcpy", "memset", "strlen", "execlp", "exit", "write")
-
-	u.AddFuncARM("parse_response", buildParseResponseARM())
-	u.AddFuncARM("parse_rr", buildParseRRARM(opts))
-	u.AddFuncARM("get_name", buildGetNameARM(opts))
-	u.AddFuncARM("spawn_resolver", buildSpawnResolverARM())
-	u.AddFuncARM("log_error", buildLogErrorARM())
-	u.AddFuncARM("invoke_callback", buildInvokeCallbackARM())
-	u.AddFuncARM("restore_task_context", buildRestoreTaskContextARM())
-	u.AddFuncARM("__stack_chk_fail", buildStackChkFailARM())
-	return u
+// FrameFP builds swap in the fp-framed parse_rr (locals below the buffer,
+// saved fp adjoining it) plus the frame-pointer-sensitive parse_response;
+// SiteHeap builds swap parse_rr for the arena-allocating variant and add
+// the allocator fragments.
+func fragmentsARM(opts BuildOpts) []Fragment {
+	parseResponse := Fragment{Name: "parse_response", Role: "parser",
+		ARM: func(o BuildOpts) *arms.Asm { return buildParseResponseARM(o.Site == SiteHeap) }}
+	parseRR := Fragment{Name: "parse_rr", Role: "frame", ARM: buildParseRRARM}
+	switch {
+	case opts.Frame == FrameFP:
+		parseResponse = Fragment{Name: "parse_response", Role: "parser",
+			ARM: func(BuildOpts) *arms.Asm { return buildParseResponseFPARM() }}
+		parseRR = Fragment{Name: "parse_rr", Role: "frame", ARM: buildParseRRFPARM}
+	case opts.Site == SiteHeap:
+		parseRR = Fragment{Name: "parse_rr", Role: "frame", ARM: buildParseRRHeapARM}
+	}
+	fr := make([]Fragment, 0, 10)
+	fr = append(fr,
+		parseResponse,
+		parseRR,
+		Fragment{Name: "get_name", Role: "copy-loop", ARM: buildGetNameARM},
+		Fragment{Name: "spawn_resolver", Role: "support",
+			ARM: func(BuildOpts) *arms.Asm { return buildSpawnResolverARM() }},
+		Fragment{Name: "log_error", Role: "support",
+			ARM: func(BuildOpts) *arms.Asm { return buildLogErrorARM() }},
+		Fragment{Name: "invoke_callback", Role: "dispatcher",
+			ARM: func(BuildOpts) *arms.Asm { return buildInvokeCallbackARM() }},
+		Fragment{Name: "restore_task_context", Role: "support",
+			ARM: func(BuildOpts) *arms.Asm { return buildRestoreTaskContextARM() }},
+	)
+	if opts.Site == SiteHeap {
+		fr = append(fr,
+			Fragment{Name: "malloc", Role: "allocator",
+				ARM: func(BuildOpts) *arms.Asm { return buildMallocARM() }},
+			Fragment{Name: "cache_flush", Role: "dispatcher",
+				ARM: func(BuildOpts) *arms.Asm { return buildCacheFlushARM() }},
+		)
+	}
+	fr = append(fr, Fragment{Name: "__stack_chk_fail", Role: "support",
+		ARM: func(BuildOpts) *arms.Asm { return buildStackChkFailARM() }})
+	return fr
 }
 
 // buildParseResponseARM is the top-level parser: flag check, question
-// skip, parse_rr per answer.
-func buildParseResponseARM() *arms.Asm {
+// skip, parse_rr per answer. With arenaReset the prologue rewinds the
+// bump allocator's cursor, modeling a per-request scratch arena.
+func buildParseResponseARM(arenaReset bool) *arms.Asm {
 	a := arms.NewAsm()
 	a.Push(arms.R4, arms.R5, arms.R6, arms.LR)
 	a.MovR(arms.R6, arms.R0) // pkt
+	if arenaReset {
+		a.MovSym(arms.R3, "heap_cursor", 0)
+		a.MovImm32(arms.R2, heapArenaBase(isa.ArchARMS))
+		a.Str(arms.R2, arms.R3, 0)
+	}
 
 	// QR bit.
 	a.Ldrb(arms.R2, arms.R6, 2)
@@ -99,6 +132,81 @@ func buildParseResponseARM() *arms.Asm {
 	a.MovW(arms.R0, 0xFFFF)
 	a.MovT(arms.R0, 0xFFFF) // -1
 	a.Pop(arms.R4, arms.R5, arms.R6, arms.PC)
+	return a
+}
+
+// buildParseResponseFPARM is the frame-pointer-sensitive top-level
+// parser: it establishes an APCS frame pointer, caches a query-table
+// pointer in an fp-relative local, and reloads it through fp after every
+// parse_rr call. The fp-framed parse_rr restores this function's fp from
+// the slot adjoining the name buffer, so an off-by-one NUL clobber
+// rounds fp down up to 255 bytes and the reload dereferences whatever
+// the attacker left in the dead frame.
+func buildParseResponseFPARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.R5, arms.R6, arms.FP, arms.LR)
+	a.MovR(arms.FP, arms.SP)
+	a.SubI(arms.SP, arms.SP, 8) // [fp-8]: cached &query_table
+	a.MovSym(arms.R3, "query_table", 0)
+	a.Str(arms.R3, arms.FP, -8)
+	a.MovR(arms.R6, arms.R0) // pkt
+
+	// QR bit.
+	a.Ldrb(arms.R2, arms.R6, 2)
+	a.TstI(arms.R2, 0x80)
+	a.B(arms.CondEQ, "bad")
+
+	// ancount = pkt[6]<<8 | pkt[7].
+	a.Ldrb(arms.R4, arms.R6, 6)
+	a.LslI(arms.R4, arms.R4, 8)
+	a.Ldrb(arms.R3, arms.R6, 7)
+	a.OrrR(arms.R4, arms.R4, arms.R3)
+
+	// Skip question name from pkt+12.
+	a.AddI(arms.R5, arms.R6, 12)
+	a.Label("skipq")
+	a.Ldrb(arms.R2, arms.R5, 0)
+	a.CmpI(arms.R2, 0)
+	a.B(arms.CondEQ, "qdone")
+	a.AndI(arms.R3, arms.R2, 0xC0)
+	a.CmpI(arms.R3, 0xC0)
+	a.B(arms.CondEQ, "qptr")
+	a.AddI(arms.R5, arms.R5, 1)
+	a.AddR(arms.R5, arms.R5, arms.R2)
+	a.BAlways("skipq")
+	a.Label("qptr")
+	a.AddI(arms.R5, arms.R5, 2)
+	a.BAlways("qdone2")
+	a.Label("qdone")
+	a.AddI(arms.R5, arms.R5, 1)
+	a.Label("qdone2")
+	a.AddI(arms.R5, arms.R5, 4)
+
+	// Answer loop with the fp-sensitive touch after each record.
+	a.Label("aloop")
+	a.CmpI(arms.R4, 0)
+	a.B(arms.CondEQ, "ok")
+	a.MovR(arms.R0, arms.R6)
+	a.MovR(arms.R1, arms.R5)
+	a.BL("parse_rr")
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "bad")
+	a.MovR(arms.R5, arms.R0)
+	// Account the answer in the query table, addressed through fp.
+	a.Ldr(arms.R3, arms.FP, -8)
+	a.Ldr(arms.R2, arms.R3, 0)
+	a.SubI(arms.R4, arms.R4, 1)
+	a.BAlways("aloop")
+
+	a.Label("ok")
+	a.MovW(arms.R0, 0)
+	a.BAlways("ret")
+	a.Label("bad")
+	a.MovW(arms.R0, 0xFFFF)
+	a.MovT(arms.R0, 0xFFFF) // -1
+	a.Label("ret")
+	a.MovR(arms.SP, arms.FP)
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.FP, arms.PC)
 	return a
 }
 
@@ -205,9 +313,134 @@ func buildParseRRARM(opts BuildOpts) *arms.Asm {
 	return a
 }
 
+// buildParseRRFPARM is the fp-framed answer parser for off-by-one
+// scenarios: push {fp, lr}; the buffer sits at the top of the locals so
+// the saved fp adjoins it at offset bs. Frame layout: name_len at sp+0,
+// pkt at sp+8, p at sp+12, buffer at sp+16 .. sp+16+bs-1, saved fp at
+// sp+16+bs (= buffer offset bs), saved lr above it. There is no cache
+// slot — the one reachable word past the buffer is the frame pointer.
+func buildParseRRFPARM(opts BuildOpts) *arms.Asm {
+	bs := opts.BufSize()
+	frame := bs + 16
+
+	a := arms.NewAsm()
+	a.Push(arms.FP, arms.LR)
+	a.MovR(arms.FP, arms.SP)
+	a.SubI(arms.SP, arms.SP, frame)
+	a.MovW(arms.R3, 0)
+	a.Str(arms.R3, arms.SP, 0) // name_len = 0
+	a.Str(arms.R0, arms.SP, 8) // pkt (no callee-saved registers in use)
+	a.Str(arms.R1, arms.SP, 12)
+
+	// get_name(pkt, p, name, &name_len).
+	a.AddI(arms.R2, arms.SP, 16)
+	a.MovR(arms.R3, arms.SP)
+	a.BL("get_name")
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "fail")
+
+	// return p' + 10 + rdlen, rdlen = p'[8]<<8 | p'[9].
+	a.Ldrb(arms.R2, arms.R0, 8)
+	a.LslI(arms.R2, arms.R2, 8)
+	a.Ldrb(arms.R3, arms.R0, 9)
+	a.OrrR(arms.R2, arms.R2, arms.R3)
+	a.AddI(arms.R0, arms.R0, 10)
+	a.AddR(arms.R0, arms.R0, arms.R2)
+	a.BAlways("done")
+	a.Label("fail")
+	a.MovW(arms.R0, 0)
+	a.Label("done")
+	a.AddI(arms.SP, arms.SP, frame)
+	a.Pop(arms.FP, arms.PC)
+	return a
+}
+
+// buildParseRRHeapARM is the heap-site answer parser: name buffer and
+// adjacent callback record from the bump allocator, unchecked copy into
+// the buffer, then a dispatch through the record's handler slot.
+func buildParseRRHeapARM(opts BuildOpts) *arms.Asm {
+	bs := opts.BufSize()
+
+	a := arms.NewAsm()
+	a.Push(arms.R4, arms.R5, arms.R6, arms.R7, arms.LR)
+	a.SubI(arms.SP, arms.SP, 8) // sp+0: name_len, sp+4: pad
+	a.MovR(arms.R4, arms.R0)    // pkt
+	a.MovR(arms.R5, arms.R1)    // p
+
+	// name = malloc(bs); rec = malloc(16); rec->flush = cache_flush.
+	a.MovImm32(arms.R0, uint32(bs))
+	a.BL("malloc")
+	a.MovR(arms.R6, arms.R0) // r6 = name
+	a.MovW(arms.R0, heapRecordSize)
+	a.BL("malloc")
+	a.MovR(arms.R7, arms.R0) // r7 = rec
+	a.MovSym(arms.R3, "cache_flush", 0)
+	a.Str(arms.R3, arms.R7, 0)
+	a.MovW(arms.R3, 0)
+	a.Str(arms.R3, arms.SP, 0) // name_len = 0
+
+	// get_name(pkt, p, name, &name_len).
+	a.MovR(arms.R0, arms.R4)
+	a.MovR(arms.R1, arms.R5)
+	a.MovR(arms.R2, arms.R6)
+	a.MovR(arms.R3, arms.SP)
+	a.BL("get_name")
+	a.CmpI(arms.R0, 0)
+	a.B(arms.CondEQ, "fail")
+	a.MovR(arms.R5, arms.R0) // p after name
+
+	// rec->flush(name): release the record's cache entry.
+	a.Ldr(arms.R3, arms.R7, 0)
+	a.MovR(arms.R0, arms.R6)
+	a.BLX(arms.R3)
+
+	// return p + 10 + rdlen, rdlen = p[8]<<8 | p[9].
+	a.Ldrb(arms.R2, arms.R5, 8)
+	a.LslI(arms.R2, arms.R2, 8)
+	a.Ldrb(arms.R3, arms.R5, 9)
+	a.OrrR(arms.R2, arms.R2, arms.R3)
+	a.AddI(arms.R0, arms.R5, 10)
+	a.AddR(arms.R0, arms.R0, arms.R2)
+	a.BAlways("done")
+	a.Label("fail")
+	a.MovW(arms.R0, 0)
+	a.Label("done")
+	a.AddI(arms.SP, arms.SP, 8)
+	a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.PC)
+	return a
+}
+
+// buildMallocARM is the emulated allocator: a bump pointer over the heap
+// arena, 8-aligning each request.
+func buildMallocARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.AddI(arms.R0, arms.R0, 7)
+	a.LsrI(arms.R0, arms.R0, 3)
+	a.LslI(arms.R0, arms.R0, 3)
+	a.MovSym(arms.R3, "heap_cursor", 0)
+	a.Ldr(arms.R2, arms.R3, 0)
+	a.AddR(arms.R1, arms.R2, arms.R0)
+	a.Str(arms.R1, arms.R3, 0)
+	a.MovR(arms.R0, arms.R2)
+	a.BX(arms.LR)
+	return a
+}
+
+// buildCacheFlushARM is the benign callback the heap record points at.
+func buildCacheFlushARM() *arms.Asm {
+	a := arms.NewAsm()
+	a.MovSym(arms.R3, "dns_cache", 0)
+	a.Ldr(arms.R2, arms.R3, 0)
+	a.BX(arms.LR)
+	return a
+}
+
 // buildGetNameARM is the vulnerable (or patched) decompressor, the arms
-// twin of Listing 1.
+// twin of Listing 1. Bounded builds emit the 1.35 check widened by Slack
+// bytes (the off-by-one analog).
 func buildGetNameARM(opts BuildOpts) *arms.Asm {
+	checked, limit := opts.boundCheck()
+
 	a := arms.NewAsm()
 	a.Push(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.LR)
 	a.MovR(arms.R4, arms.R0) // pkt
@@ -224,12 +457,12 @@ func buildGetNameARM(opts BuildOpts) *arms.Asm {
 	a.CmpI(arms.R1, 0xC0)
 	a.B(arms.CondEQ, "pointer")
 
-	if opts.Patched {
+	if checked {
 		// 1.35 fix: bail out before the copy would overflow.
 		a.Ldr(arms.R1, arms.R7, 0)
 		a.AddR(arms.R1, arms.R1, arms.R0)
 		a.AddI(arms.R1, arms.R1, 2)
-		a.CmpI(arms.R1, opts.BufSize())
+		a.CmpI(arms.R1, limit)
 		a.B(arms.CondGT, "bounds")
 	}
 
@@ -278,7 +511,7 @@ func buildGetNameARM(opts BuildOpts) *arms.Asm {
 	a.Label("noend")
 	a.AddI(arms.R0, arms.R5, 1)
 	a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.PC)
-	if opts.Patched {
+	if checked {
 		a.Label("bounds")
 		a.MovW(arms.R0, 0)
 		a.Pop(arms.R4, arms.R5, arms.R6, arms.R7, arms.R8, arms.PC)

@@ -2,12 +2,11 @@ package victim
 
 import (
 	"connlab/internal/abi"
-	"connlab/internal/image"
 	"connlab/internal/isa"
 	"connlab/internal/isa/x86s"
 )
 
-// buildProgramX86 assembles the x86s connmansim unit.
+// fragmentsX86 selects the x86s fragment composition for opts.
 //
 // parse_rr stack frame (no canary):
 //
@@ -19,27 +18,57 @@ import (
 //
 // so the copy overruns name into saved ebp at offset 1024 and the return
 // address at offset 1028 (X86RetOffset). With canaries the guard word sits
-// between the buffer and saved ebp.
-func buildProgramX86(opts BuildOpts) *image.Unit {
-	u := image.NewUnit(isa.ArchX86S)
-	u.Import("memcpy", "memset", "strlen", "execlp", "exit", "write")
-
-	u.AddFuncX86("parse_response", buildParseResponseX86())
-	u.AddFuncX86("parse_rr", buildParseRRX86(opts))
-	u.AddFuncX86("get_name", buildGetNameX86(opts))
-	u.AddFuncX86("spawn_resolver", buildSpawnResolverX86())
-	u.AddFuncX86("log_error", buildLogErrorX86())
-	u.AddFuncX86("__stack_chk_fail", buildStackChkFailX86())
-	return u
+// between the buffer and saved ebp. FrameFP builds keep this parse_rr
+// frame — its saved ebp IS the clobber site — and swap in the
+// frame-pointer-sensitive parse_response. SiteHeap builds swap parse_rr
+// for the arena-allocating variant and add the allocator fragments.
+func fragmentsX86(opts BuildOpts) []Fragment {
+	parseResponse := Fragment{Name: "parse_response", Role: "parser",
+		X86: func(o BuildOpts) *x86s.Asm { return buildParseResponseX86(o.Site == SiteHeap) }}
+	if opts.Frame == FrameFP {
+		parseResponse = Fragment{Name: "parse_response", Role: "parser",
+			X86: func(BuildOpts) *x86s.Asm { return buildParseResponseFPX86() }}
+	}
+	parseRR := Fragment{Name: "parse_rr", Role: "frame", X86: buildParseRRX86}
+	if opts.Site == SiteHeap {
+		parseRR = Fragment{Name: "parse_rr", Role: "frame", X86: buildParseRRHeapX86}
+	}
+	fr := make([]Fragment, 0, 8)
+	fr = append(fr,
+		parseResponse,
+		parseRR,
+		Fragment{Name: "get_name", Role: "copy-loop", X86: buildGetNameX86},
+		Fragment{Name: "spawn_resolver", Role: "support",
+			X86: func(BuildOpts) *x86s.Asm { return buildSpawnResolverX86() }},
+		Fragment{Name: "log_error", Role: "support",
+			X86: func(BuildOpts) *x86s.Asm { return buildLogErrorX86() }},
+	)
+	if opts.Site == SiteHeap {
+		fr = append(fr,
+			Fragment{Name: "malloc", Role: "allocator",
+				X86: func(BuildOpts) *x86s.Asm { return buildMallocX86() }},
+			Fragment{Name: "cache_flush", Role: "dispatcher",
+				X86: func(BuildOpts) *x86s.Asm { return buildCacheFlushX86() }},
+		)
+	}
+	fr = append(fr, Fragment{Name: "__stack_chk_fail", Role: "support",
+		X86: func(BuildOpts) *x86s.Asm { return buildStackChkFailX86() }})
+	return fr
 }
 
 // buildParseResponseX86 emits the top-level response parser: header flag
-// check, question skip, then one parse_rr call per answer record.
-func buildParseResponseX86() *x86s.Asm {
+// check, question skip, then one parse_rr call per answer record. With
+// arenaReset the prologue rewinds the bump allocator's cursor, modeling a
+// per-request scratch arena.
+func buildParseResponseX86(arenaReset bool) *x86s.Asm {
 	a := x86s.NewAsm()
 	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
 	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
 	a.MovRM(x86s.ESI, x86s.EBP, 8) // pkt
+	if arenaReset {
+		a.MovRI(x86s.EAX, heapArenaBase(isa.ArchX86S))
+		a.MovMRAbsSym("heap_cursor", 0, x86s.EAX)
+	}
 
 	// QR bit: pkt[2] & 0x80 must be set (a response).
 	a.Movzx8M(x86s.EAX, x86s.ESI, 2)
@@ -95,6 +124,85 @@ func buildParseResponseX86() *x86s.Asm {
 	a.Label("bad")
 	a.MovRI(x86s.EAX, 0xFFFFFFFF)
 	a.Label("ret")
+	a.PopR(x86s.EBX).PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildParseResponseFPX86 is the frame-pointer-sensitive top-level
+// parser: it keeps a query-table pointer in an ebp-relative local and
+// reloads it through ebp after every parse_rr call. parse_rr's saved ebp
+// adjoins the name buffer, so an off-by-one NUL clobber of that slot
+// rounds this function's frame pointer down up to 255 bytes — into the
+// attacker-filled dead frame — and the reload dereferences attacker
+// bytes.
+func buildParseResponseFPX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
+	a.SubRI(x86s.ESP, 4) // [ebp-16]: cached &query_table
+	a.MovRISym(x86s.EAX, "query_table", 0)
+	a.MovMR(x86s.EBP, -16, x86s.EAX)
+	a.MovRM(x86s.ESI, x86s.EBP, 8) // pkt
+
+	// QR bit.
+	a.Movzx8M(x86s.EAX, x86s.ESI, 2)
+	a.AndRI(x86s.EAX, 0x80)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "bad")
+
+	// ancount = pkt[6]<<8 | pkt[7].
+	a.Movzx8M(x86s.EDI, x86s.ESI, 6)
+	a.ShlRI(x86s.EDI, 8)
+	a.Movzx8M(x86s.EAX, x86s.ESI, 7)
+	a.AddRR(x86s.EDI, x86s.EAX)
+
+	// Skip the question name starting at pkt+12.
+	a.Lea(x86s.ECX, x86s.ESI, 12)
+	a.Label("skipq")
+	a.Movzx8M(x86s.EAX, x86s.ECX, 0)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "qdone")
+	a.MovRR(x86s.EDX, x86s.EAX)
+	a.AndRI(x86s.EDX, 0xC0)
+	a.CmpRI(x86s.EDX, 0xC0)
+	a.Jcc(x86s.CondE, "qptr")
+	a.Lea(x86s.ECX, x86s.ECX, 1)
+	a.AddRR(x86s.ECX, x86s.EAX)
+	a.Jmp("skipq")
+	a.Label("qptr")
+	a.AddRI(x86s.ECX, 2)
+	a.Jmp("qdone2")
+	a.Label("qdone")
+	a.IncR(x86s.ECX)
+	a.Label("qdone2")
+	a.AddRI(x86s.ECX, 4)
+	a.MovRR(x86s.EBX, x86s.ECX)
+
+	// Answer loop with the fp-sensitive touch after each record.
+	a.Label("aloop")
+	a.TestRR(x86s.EDI, x86s.EDI)
+	a.Jcc(x86s.CondE, "ok")
+	a.PushR(x86s.EBX)
+	a.PushR(x86s.ESI)
+	a.CallSym("parse_rr")
+	a.AddRI(x86s.ESP, 8)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "bad")
+	a.MovRR(x86s.EBX, x86s.EAX)
+	// Account the answer in the query table, addressed through ebp.
+	a.MovRM(x86s.EDX, x86s.EBP, -16)
+	a.MovRM(x86s.EDX, x86s.EDX, 0)
+	a.DecR(x86s.EDI)
+	a.Jmp("aloop")
+
+	a.Label("ok")
+	a.XorRR(x86s.EAX, x86s.EAX)
+	a.Jmp("ret")
+	a.Label("bad")
+	a.MovRI(x86s.EAX, 0xFFFFFFFF)
+	a.Label("ret")
+	// ebp-relative epilogue, as -fno-omit-frame-pointer code has.
+	a.Lea(x86s.ESP, x86s.EBP, -12)
 	a.PopR(x86s.EBX).PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
 	return a
 }
@@ -186,11 +294,102 @@ func buildParseRRX86(opts BuildOpts) *x86s.Asm {
 	return a
 }
 
+// buildParseRRHeapX86 is the heap-site answer parser: the name buffer and
+// an adjacent callback record both come from the bump allocator, so the
+// unchecked copy runs out of the buffer straight into the record's
+// handler slot. The dispatcher then calls whatever pointer is there —
+// cache_flush when intact, the attacker's word after an overflow.
+func buildParseRRHeapX86(opts BuildOpts) *x86s.Asm {
+	bs := opts.BufSize()
+
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
+	a.SubRI(x86s.ESP, 4) // [ebp-16]: name_len
+
+	// name = malloc(bs); rec = malloc(16); rec->flush = cache_flush.
+	a.PushI(uint32(bs))
+	a.CallSym("malloc")
+	a.AddRI(x86s.ESP, 4)
+	a.MovRR(x86s.ESI, x86s.EAX) // esi = name
+	a.PushI(heapRecordSize)
+	a.CallSym("malloc")
+	a.AddRI(x86s.ESP, 4)
+	a.MovRR(x86s.EDI, x86s.EAX) // edi = rec
+	a.MovRISym(x86s.EAX, "cache_flush", 0)
+	a.MovMR(x86s.EDI, 0, x86s.EAX)
+	a.MovMI(x86s.EBP, -16, 0) // name_len = 0
+
+	// get_name(pkt, p, name, &name_len)
+	a.Lea(x86s.EAX, x86s.EBP, -16)
+	a.PushR(x86s.EAX)
+	a.PushR(x86s.ESI)
+	a.PushM(x86s.EBP, 12)
+	a.PushM(x86s.EBP, 8)
+	a.CallSym("get_name")
+	a.AddRI(x86s.ESP, 16)
+	a.TestRR(x86s.EAX, x86s.EAX)
+	a.Jcc(x86s.CondE, "fail")
+	a.MovRR(x86s.EBX, x86s.EAX) // p after name
+
+	// rec->flush(name): release the record's cache entry.
+	a.MovRM(x86s.EDX, x86s.EDI, 0)
+	a.PushR(x86s.ESI)
+	a.CallR(x86s.EDX)
+	a.AddRI(x86s.ESP, 4)
+
+	// return p + 10 + rdlen, rdlen = p[8]<<8 | p[9].
+	a.Movzx8M(x86s.EDX, x86s.EBX, 8)
+	a.ShlRI(x86s.EDX, 8)
+	a.Movzx8M(x86s.EAX, x86s.EBX, 9)
+	a.AddRR(x86s.EDX, x86s.EAX)
+	a.Lea(x86s.EAX, x86s.EBX, 10)
+	a.AddRR(x86s.EAX, x86s.EDX)
+	a.Jmp("done")
+	a.Label("fail")
+	a.XorRR(x86s.EAX, x86s.EAX)
+	a.Label("done")
+	a.AddRI(x86s.ESP, 4)
+	a.PopR(x86s.EBX).PopR(x86s.EDI).PopR(x86s.ESI).PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildMallocX86 is the emulated allocator: a bump pointer over the heap
+// arena, 8-aligning each request. No headers, no free — exactly the
+// adjacency the heap overflow scenario needs.
+func buildMallocX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.MovRM(x86s.ECX, x86s.EBP, 8) // size
+	a.AddRI(x86s.ECX, 7)
+	a.ShrRI(x86s.ECX, 3)
+	a.ShlRI(x86s.ECX, 3)
+	a.MovRMAbsSym(x86s.EAX, "heap_cursor", 0)
+	a.MovRR(x86s.EDX, x86s.EAX)
+	a.AddRR(x86s.EDX, x86s.ECX)
+	a.MovMRAbsSym("heap_cursor", 0, x86s.EDX)
+	a.PopR(x86s.EBP).Ret()
+	return a
+}
+
+// buildCacheFlushX86 is the benign callback the heap record points at: it
+// reads the cache head and returns.
+func buildCacheFlushX86() *x86s.Asm {
+	a := x86s.NewAsm()
+	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
+	a.MovRMAbsSym(x86s.EAX, "dns_cache", 0)
+	a.PopR(x86s.EBP).Ret()
+	return a
+}
+
 // buildGetNameX86 emits the DNS name decompressor. The unpatched variant
 // reproduces paper Listing 1: the length byte and then label_len+1 bytes
 // are copied into the caller's buffer with no bound check. The patched
-// variant adds the 1.35 check and bails out with 0.
+// variant adds the 1.35 check and bails out with 0; Bounded builds emit
+// the same check widened by Slack bytes (the off-by-one analog).
 func buildGetNameX86(opts BuildOpts) *x86s.Asm {
+	checked, limit := opts.boundCheck()
+
 	a := x86s.NewAsm()
 	a.PushR(x86s.EBP).MovRR(x86s.EBP, x86s.ESP)
 	a.PushR(x86s.ESI).PushR(x86s.EDI).PushR(x86s.EBX)
@@ -208,13 +407,13 @@ func buildGetNameX86(opts BuildOpts) *x86s.Asm {
 	a.CmpRI(x86s.ECX, 0xC0)
 	a.Jcc(x86s.CondE, "pointer")
 
-	if opts.Patched {
+	if checked {
 		// 1.35 fix: if (name_len + label_len + 2 > sizeof(name)) return 0;
 		a.MovRM(x86s.EDX, x86s.EBP, 20)
 		a.MovRM(x86s.ECX, x86s.EDX, 0)
 		a.AddRR(x86s.ECX, x86s.EAX)
 		a.AddRI(x86s.ECX, 2)
-		a.CmpRI(x86s.ECX, opts.BufSize())
+		a.CmpRI(x86s.ECX, limit)
 		a.Jcc(x86s.CondG, "bounds")
 	}
 
@@ -272,7 +471,7 @@ func buildGetNameX86(opts BuildOpts) *x86s.Asm {
 	a.Jcc(x86s.CondNE, "out")    // return the saved end after a pointer
 	a.Lea(x86s.EAX, x86s.ESI, 1) // otherwise p past the terminator
 	a.Jmp("out")
-	if opts.Patched {
+	if checked {
 		a.Label("bounds")
 		a.XorRR(x86s.EAX, x86s.EAX)
 		a.Jmp("out")

@@ -79,37 +79,120 @@ func (v Variant) String() string {
 	return "connman"
 }
 
-// RetOffsetFor returns the ground-truth buffer-to-return-address distance
-// for a build, for cross-checking what the debugger discovers.
+// Site selects where the vulnerable name buffer lives.
+type Site uint8
+
+// Buffer sites.
+const (
+	// SiteStack is the classic stack buffer of the paper's Listing 1.
+	SiteStack Site = iota
+	// SiteHeap places the buffer in a bump-allocated heap arena, with an
+	// adjacent callback record the overflow clobbers (adjacent-allocation
+	// overflow analog, CVE-2017-14491 style).
+	SiteHeap
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	if s == SiteHeap {
+		return "heap"
+	}
+	return "stack"
+}
+
+// FrameKind selects the parse path's frame discipline.
+type FrameKind uint8
+
+// Frame disciplines.
+const (
+	// FrameDefault is the register-save frame of the original builds.
+	FrameDefault FrameKind = iota
+	// FrameFP compiles the parse path with a frame-pointer-sensitive
+	// caller (and, on arms, an fp-framed parse_rr whose saved frame
+	// pointer adjoins the buffer): the single NUL byte an off-by-one
+	// overflow plants in the saved frame pointer pivots the caller's
+	// locals into the dead callee frame.
+	FrameFP
+)
+
+// String implements fmt.Stringer.
+func (f FrameKind) String() string {
+	if f == FrameFP {
+		return "fp"
+	}
+	return "default"
+}
+
+// RetOffsetFor returns the ground-truth buffer-to-hijack-slot distance
+// for a build, for cross-checking what the debugger discovers. It is a
+// thin wrapper over FrameModel.
 func RetOffsetFor(arch isa.Arch, o BuildOpts) int {
+	return FrameModel(arch, o).RetOffset
+}
+
+// NullOffsetsFor returns the ground-truth must-be-NULL buffer offsets,
+// a thin wrapper over FrameModel.
+func NullOffsetsFor(arch isa.Arch, o BuildOpts) []int {
+	return FrameModel(arch, o).NullOffsets
+}
+
+// FrameInfo is the compiled ground truth of a build's corruption site —
+// what the scenario compiler hands exploit builders in place of the old
+// per-build offset constants.
+type FrameInfo struct {
+	// RetOffset is the buffer-to-hijack-slot distance: the saved return
+	// address for default stack frames, the saved frame pointer for
+	// FrameFP builds, or the adjacent allocation's callback slot for
+	// SiteHeap builds.
+	RetOffset int
+	// NullOffsets are buffer offsets that must hold NULL words for the
+	// victim to survive to the hijack point.
+	NullOffsets []int
+	// Reach is how many buffer-relative bytes a bounded copy can write
+	// (the deepest reachable offset is Reach-1); 0 means unbounded.
+	Reach int
+}
+
+// FrameModel computes the corruption geometry of a build. It is the
+// single source of frame ground truth: the legacy constants, the scenario
+// validator, and declared-discovery reconnaissance all read it.
+func FrameModel(arch isa.Arch, o BuildOpts) FrameInfo {
 	bs := int(o.BufSize())
-	if arch == isa.ArchARMS {
+	var fi FrameInfo
+	if o.Bounded && !o.Patched {
+		// The bound check admits name_len+label_len+2 <= BufSize+Slack,
+		// so a completing copy's terminator lands at BufSize+Slack-1.
+		fi.Reach = bs + int(o.Slack)
+	}
+	switch {
+	case o.Site == SiteHeap:
+		// The bump allocator 8-aligns requests, so the adjacent callback
+		// record starts at the aligned buffer size.
+		fi.RetOffset = (bs + 7) &^ 7
+	case o.Frame == FrameFP:
+		// The saved frame pointer adjoins the buffer on both ISAs.
+		fi.RetOffset = bs
+	case arch == isa.ArchARMS:
 		frame := bs + 16
+		fi.NullOffsets = []int{bs}
 		if o.Variant == VariantDnsmasq {
 			frame = bs + 24
+			fi.NullOffsets = []int{bs, bs + 4}
 		}
-		return frame + 12 // saved r4,r5,r6,r7,r11 then lr
+		fi.RetOffset = frame + 12 // saved r4,r5,r6,r7,r11 then lr
+	default:
+		fi.RetOffset = bs + 4 // saved ebp, then eip
+		if o.Canary {
+			fi.RetOffset += 4
+		}
 	}
-	off := bs + 4
-	if o.Canary {
-		off += 4
-	}
-	return off
+	return fi
 }
 
-// NullOffsetsFor returns the ground-truth must-be-NULL buffer offsets.
-func NullOffsetsFor(arch isa.Arch, o BuildOpts) []int {
-	if arch != isa.ArchARMS {
-		return nil
-	}
-	bs := int(o.BufSize())
-	if o.Variant == VariantDnsmasq {
-		return []int{bs, bs + 4}
-	}
-	return []int{bs}
-}
-
-// BuildOpts selects the victim variant.
+// BuildOpts selects the victim variant and its corruption geometry. The
+// zero value (plus a Variant) reproduces the original builds byte for
+// byte; the geometry fields are what scenario specs compile into. The
+// struct stays comparable — campaign cache keys embed it.
 type BuildOpts struct {
 	// Variant picks the vulnerable application (Connman analog default).
 	Variant Variant
@@ -117,6 +200,49 @@ type BuildOpts struct {
 	Patched bool
 	// Canary adds stack-protector prologues/epilogues to parse_rr.
 	Canary bool
+	// Site picks where the name buffer lives (stack default).
+	Site Site
+	// Frame picks the frame discipline (register saves default).
+	Frame FrameKind
+	// Bounded emits the 1.35-style bound check even on unpatched builds,
+	// widened by Slack bytes — Slack=1 is the off-by-one analog.
+	Bounded bool
+	// Slack is the extra reach the Bounded check forgives.
+	Slack uint8
+}
+
+// Validate rejects geometry combinations the codegen fragments do not
+// support. BuildProgram calls it; the scenario validator surfaces the
+// same errors at spec-compile time.
+func (o BuildOpts) Validate() error {
+	if o.Site == SiteHeap && o.Frame != FrameDefault {
+		return fmt.Errorf("victim: heap-site builds use the default frame")
+	}
+	if o.Site == SiteHeap && o.Canary {
+		return fmt.Errorf("victim: heap-site builds have no stack canary to guard")
+	}
+	if o.Frame == FrameFP && o.Canary {
+		return fmt.Errorf("victim: fp-framed builds place the saved frame pointer where the canary would sit")
+	}
+	if o.Bounded && o.Patched {
+		return fmt.Errorf("victim: Bounded and Patched both select the bound check; use one")
+	}
+	if o.Slack > 0 && !o.Bounded {
+		return fmt.Errorf("victim: Slack without Bounded has no effect")
+	}
+	return nil
+}
+
+// boundCheck reports whether get_name carries the 1.35-style bound check
+// and the limit it compares against.
+func (o BuildOpts) boundCheck() (bool, int32) {
+	if o.Patched {
+		return true, o.BufSize()
+	}
+	if o.Bounded {
+		return true, o.BufSize() + int32(o.Slack)
+	}
+	return false, 0
 }
 
 // BufSize returns the variant's stack name-buffer size.
@@ -138,8 +264,12 @@ func (o BuildOpts) Version() string {
 	return "1.34"
 }
 
-// BuildProgram assembles the connmansim program unit for an architecture.
+// BuildProgram assembles the connmansim program unit for an architecture
+// by composing the fragment set Fragments selects for opts.
 func BuildProgram(arch isa.Arch, opts BuildOpts) (*image.Unit, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	var u *image.Unit
 	switch arch {
 	case isa.ArchX86S:

@@ -33,6 +33,16 @@ go test -run '^$' -fuzz FuzzBlockStep -fuzztime 5s ./internal/isa/arms
 # The wire-format zone trie against its map oracle: random wire names
 # in, byte-identical hit/miss decisions out.
 go test -run '^$' -fuzz FuzzZoneTrie -fuzztime 5s ./internal/dnsserver
+# The scenario spec parser: never panics, and every accepted spec
+# round-trips through its canonical rendering.
+go test -run '^$' -fuzz FuzzScenarioSpec -fuzztime 5s ./internal/scenario
+# Every embedded scenario must validate and compile, and the matrix
+# preset — compiled from the connman spec — must reproduce the seed
+# golden canonical report byte-for-byte.
+for s in $(go run ./cmd/dbgsh scenario list | awk '{print $1}'); do
+    go run ./cmd/dbgsh scenario dump "$s" > /dev/null
+done
+go run ./cmd/campaign -preset matrix -canonical | cmp - internal/scenario/testdata/paper_matrix.golden
 # The LZSS codec and the snapshot-entry decoder: round-trips at folded
 # parameter pairs, and arbitrary bytes must never panic or hand back an
 # unverified payload. Minimization is capped to one attempt: interesting

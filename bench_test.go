@@ -252,6 +252,36 @@ func BenchmarkE10_MitigationsTelemetry(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotTake measures the read side the live observability
+// surface leans on: TakeSnapshot merges every shard's counters and
+// histograms and copies the span and event tails. The state is
+// populated the way a campaign leaves it — counters spread over many
+// handles, histogram samples across the bucket range, full span and
+// event rings.
+func BenchmarkSnapshotTake(b *testing.B) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	for i := 0; i < 64; i++ {
+		h := telemetry.Handle()
+		h.Add(telemetry.CtrEmuRuns, uint64(i))
+		h.Add(telemetry.CtrEmuInstr, uint64(i)*1000)
+		h.Observe(telemetry.HistEmuRunInstr, uint64(1)<<(uint(i)%20))
+		h.Observe(telemetry.HistNetEpochBatch, uint64(i))
+	}
+	for i := 0; i < 512; i++ {
+		telemetry.RecordSpan(telemetry.Span{Scenario: "bench", Device: "iot",
+			Stage: "deliver", Worker: i % 8, Start: int64(i), Dur: 10, Attempt: uint64(i)})
+		telemetry.LogEvent(telemetry.EvInfo, "campaign", "shell", "iot", uint64(i), 1, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := telemetry.TakeSnapshot()
+		if snap.Counters[telemetry.CtrEmuRuns.Name()] == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
 // --- campaign engine benchmarks ---
 
 // campaignBenchScenario is the fleet workload both campaign benchmarks

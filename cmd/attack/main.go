@@ -18,6 +18,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/obs"
 	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
@@ -62,6 +63,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err := tf.Start(); err != nil {
 		return err
 	}
+	srv, err := obs.StartFlags(tf, "attack", func() *telemetry.RunInfo {
+		return &telemetry.RunInfo{Tool: "attack", RootSeed: *seed, Devices: 1, Scenarios: 1}
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	arch := isa.Arch(*archFlag)
 	if arch != isa.ArchX86S && arch != isa.ArchARMS {

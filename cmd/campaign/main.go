@@ -29,6 +29,7 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/obs"
 	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
@@ -76,6 +77,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err := tf.Start(); err != nil {
 		return err
 	}
+	srv, err := obs.StartFlags(tf, "campaign", func() *telemetry.RunInfo {
+		return &telemetry.RunInfo{Tool: "campaign", RootSeed: *rootSeed, ReconSeed: *reconSeed}
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 
 	// Flags left at their defaults act as "unset" for scenario filters.
 	explicit := map[string]bool{}

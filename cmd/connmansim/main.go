@@ -21,6 +21,8 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/isa"
 	"connlab/internal/kernel"
+	"connlab/internal/obs"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -31,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("connmansim", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	archFlag := fs.String("arch", "x86s", "architecture: x86s or arms")
@@ -40,9 +42,27 @@ func run(args []string, stdout io.Writer) error {
 	wx := fs.Bool("wx", false, "enable W⊕X")
 	aslr := fs.Bool("aslr", false, "enable ASLR")
 	seed := fs.Int64("seed", 1, "machine seed")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Telemetry must be live before the daemon is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
+		return err
+	}
+	srv, err := obs.StartFlags(tf, "connmansim", nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer func() {
+		run := &telemetry.RunInfo{Tool: "connmansim", RootSeed: *seed, Devices: 1, Scenarios: 1}
+		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	arch := isa.Arch(*archFlag)
 	opts := victim.BuildOpts{Patched: *patched}

@@ -18,9 +18,11 @@
 //	q                    quit
 //
 // A non-interactive subcommand inspects telemetry snapshots written by
-// the other tools' -metrics flag:
+// the other tools' -metrics flag, or tails a live -listen/labd
+// observability server, printing counter deltas between polls:
 //
 //	dbgsh telemetry metrics.json
+//	dbgsh telemetry -watch 127.0.0.1:8089 [-interval 1s] [-n 10]
 //
 // A second subcommand inspects a recon snapshot store written by the
 // other tools' -snapdir flag — listing entries with sizes and
@@ -41,9 +43,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"flag"
 
@@ -58,7 +64,7 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "telemetry" {
-		if err := telemetryCmd(os.Args[2:]); err != nil {
+		if err := telemetryCmd(os.Args[2:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "dbgsh:", err)
 			os.Exit(1)
 		}
@@ -84,20 +90,94 @@ func main() {
 	}
 }
 
-// telemetryCmd renders a -metrics snapshot file for terminal inspection.
-func telemetryCmd(args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: dbgsh telemetry <snapshot.json>")
+// telemetryCmd renders a -metrics snapshot file for terminal
+// inspection, or (with -watch) tails a live observability server.
+func telemetryCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbgsh telemetry", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	watch := fs.String("watch", "", "poll a live -listen/labd server at `addr` instead of reading a file")
+	interval := fs.Duration("interval", time.Second, "poll period with -watch")
+	polls := fs.Int("n", 0, "stop after `count` polls with -watch (0 = until interrupted)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	b, err := os.ReadFile(args[0])
+	if *watch != "" {
+		return watchTelemetry(*watch, *interval, *polls, stdout)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dbgsh telemetry <snapshot.json> | dbgsh telemetry -watch <addr>")
+	}
+	b, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	var snap telemetry.Snapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
-		return fmt.Errorf("parse %s: %w", args[0], err)
+		return fmt.Errorf("parse %s: %w", fs.Arg(0), err)
 	}
-	fmt.Print(telemetry.FormatSnapshot(snap))
+	fmt.Fprint(stdout, telemetry.FormatSnapshot(snap))
+	return nil
+}
+
+// fetchSnapshot pulls one /snapshot document from a live server.
+func fetchSnapshot(url string) (telemetry.Snapshot, error) {
+	var snap telemetry.Snapshot
+	resp, err := http.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("parse %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// watchTelemetry polls a live observability server and prints the
+// counters that moved between consecutive polls — a `watch`-style ops
+// view of a running campaign.
+func watchTelemetry(addr string, interval time.Duration, polls int, stdout io.Writer) error {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	var prev telemetry.Snapshot
+	for i := 0; polls == 0 || i < polls; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := fetchSnapshot(base + "/snapshot")
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			tool := "?"
+			if snap.Run != nil {
+				tool = snap.Run.Tool
+			}
+			fmt.Fprintf(stdout, "watching %s (tool %s, schema v%d): %d counters, %d spans, %d events\n",
+				addr, tool, snap.SchemaVersion, len(snap.Counters), snap.SpanCount, snap.EventCount)
+			prev = snap
+			continue
+		}
+		names := make([]string, 0, len(snap.Counters))
+		for name, v := range snap.Counters {
+			if v != prev.Counters[name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "[%d] spans +%d events +%d\n",
+			i, snap.SpanCount-prev.SpanCount, snap.EventCount-prev.EventCount)
+		for _, name := range names {
+			fmt.Fprintf(stdout, "  %-28s +%-10d (%d)\n",
+				name, snap.Counters[name]-prev.Counters[name], snap.Counters[name])
+		}
+		prev = snap
+	}
 	return nil
 }
 

@@ -20,6 +20,8 @@ import (
 	"connlab/internal/isa"
 	"connlab/internal/kernel"
 	"connlab/internal/netsim"
+	"connlab/internal/obs"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -30,12 +32,30 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	archFlag := flag.String("arch", "x86s", "victim architecture: x86s or arms")
 	kindFlag := flag.String("kind", "code-injection", "exploit kind")
 	wx := flag.Bool("wx", false, "enable W⊕X on the device")
 	aslr := flag.Bool("aslr", false, "enable ASLR on the device")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Telemetry must be live before the network is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
+		return err
+	}
+	srv, err := obs.StartFlags(tf, "dnsmitm", nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer func() {
+		run := &telemetry.RunInfo{Tool: "dnsmitm", Devices: 1, Scenarios: 1}
+		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	arch := isa.Arch(*archFlag)
 	cfg := kernel.Config{WX: *wx, ASLR: *aslr, Seed: 2002}

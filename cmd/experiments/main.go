@@ -14,6 +14,7 @@ import (
 
 	"connlab/internal/core"
 	"connlab/internal/gadget"
+	"connlab/internal/obs"
 	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
 	"connlab/internal/telemetry"
@@ -46,6 +47,13 @@ func run(args []string, stdout io.Writer) (err error) {
 	if err := tf.Start(); err != nil {
 		return err
 	}
+	srv, err := obs.StartFlags(tf, "experiments", func() *telemetry.RunInfo {
+		return &telemetry.RunInfo{Tool: "experiments", RootSeed: *targetSeed, ReconSeed: *reconSeed}
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
 	defer func() {
 		run := &telemetry.RunInfo{Tool: "experiments"}
 		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {

@@ -18,6 +18,8 @@ import (
 	"connlab/internal/gadget"
 	"connlab/internal/image"
 	"connlab/internal/isa"
+	"connlab/internal/obs"
+	"connlab/internal/telemetry"
 	"connlab/internal/victim"
 )
 
@@ -28,15 +30,33 @@ func main() {
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdout io.Writer) (err error) {
 	fs := flag.NewFlagSet("gadgetfind", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	archFlag := fs.String("arch", "x86s", "victim architecture: x86s or arms")
 	memstr := fs.String("memstr", "", "search for each character of this string")
 	variant := fs.String("variant", "connman", "victim variant: connman or dnsmasq")
+	tf := telemetry.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// Telemetry must be live before the image is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
+		return err
+	}
+	srv, err := obs.StartFlags(tf, "gadgetfind", nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer func() {
+		run := &telemetry.RunInfo{Tool: "gadgetfind"}
+		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	arch := isa.Arch(*archFlag)
 	opts := victim.BuildOpts{}

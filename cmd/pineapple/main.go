@@ -23,8 +23,10 @@ import (
 	"connlab/internal/exploit"
 	"connlab/internal/gadget"
 	"connlab/internal/isa"
+	"connlab/internal/obs"
 	"connlab/internal/scenario"
 	"connlab/internal/snapshot"
+	"connlab/internal/telemetry"
 )
 
 func main() {
@@ -34,7 +36,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	archFlag := flag.String("arch", "arms", "victim architecture: x86s or arms")
 	kindFlag := flag.String("kind", "rop-memcpy", "exploit kind")
 	wx := flag.Bool("wx", true, "enable W⊕X on the device")
@@ -49,7 +51,25 @@ func run() error {
 	scenarioFlag := flag.String("scenario", "", "run a declarative scenario (embedded `name` or .scn file) through the rogue AP")
 	snapdir := flag.String("snapdir", "", "recon snapshot store `dir` (content-addressed, verified on load; empty = off)")
 	gadgetCache := flag.Int("gadget-cache", 0, "gadget scan-cache LRU capacity (0 = default)")
+	tf := telemetry.AddFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Telemetry must be live before the lab is built: instrumented
+	// components take their metric handles at construction.
+	if err := tf.Start(); err != nil {
+		return err
+	}
+	srv, err := obs.StartFlags(tf, "pineapple", nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	defer func() {
+		run := &telemetry.RunInfo{Tool: "pineapple", Devices: 1, Scenarios: 1}
+		if ferr := tf.Finish(run, nil, nil); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	gadget.SetScanCacheCap(*gadgetCache)
 	lab := core.NewLab()

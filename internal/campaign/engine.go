@@ -371,13 +371,15 @@ func (e *Engine) timeStage(ns *atomic.Int64) func() {
 type stageRecorder struct {
 	scenario, device string
 	worker           int
+	attempt          uint64
 	tel              bool
 	t0               time.Time
 	span0            int64
 }
 
-func newStageRecorder(scenario, device string, worker int) stageRecorder {
-	return stageRecorder{scenario: scenario, device: device, worker: worker, tel: telemetry.Enabled()}
+func newStageRecorder(scenario, device string, worker int, attempt uint64) stageRecorder {
+	return stageRecorder{scenario: scenario, device: device, worker: worker,
+		attempt: attempt, tel: telemetry.Enabled()}
 }
 
 // begin marks the start of a stage.
@@ -398,6 +400,7 @@ func (sr *stageRecorder) end(r *DeviceResult, stage int, instr uint64) {
 		telemetry.RecordSpan(telemetry.Span{
 			Scenario: sr.scenario, Device: sr.device, Stage: StageNames[stage],
 			Worker: sr.worker, Start: sr.span0, Dur: d, Instr: instr,
+			Attempt: sr.attempt,
 		})
 	}
 }
@@ -445,6 +448,8 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 		}
 	}
 
+	telemetry.LogEvent(telemetry.EvInfo, "campaign", "run start", "",
+		0, uint64(len(scenarios)), uint64(len(work)))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < e.Workers(); w++ {
@@ -477,6 +482,8 @@ func (e *Engine) Run(scenarios []Scenario) (*Report, error) {
 		sr.aggregateStages()
 		rep.add(sr)
 	}
+	telemetry.LogEvent(telemetry.EvInfo, "campaign", "run done", "",
+		0, uint64(len(work)), uint64(time.Since(start)))
 	rep.Wall = time.Since(start)
 	rep.Stages = StageTimings{
 		Recon:       time.Duration(e.nsRecon.Load()),
@@ -525,13 +532,25 @@ func (e *Engine) Payload(s Scenario) (*exploit.Exploit, error) {
 // a flight recorder whose events come back in the result.
 func (e *Engine) runDevice(s Scenario, si, di, worker int) (r DeviceResult) {
 	seed := e.deviceSeed(s, si, di)
+	// The splitmix64-derived device seed doubles as the attempt ID that
+	// correlates this trial's spans, events and kernel accounting across
+	// every layer — campaign worker, exploit stages, emulated kernel,
+	// netsim shards.
+	attempt := uint64(seed)
 	patched := s.PatchedEvery > 0 && di%s.PatchedEvery == 0
 	r = DeviceResult{
 		Name:    fmt.Sprintf("iot-%02d", di),
 		Seed:    seed,
 		Patched: patched,
 	}
-	sc := newStageRecorder(s.label(), r.Name, worker)
+	sc := newStageRecorder(s.label(), r.Name, worker, attempt)
+	// One verdict event per device, landed as the trial closes whatever
+	// path it exits through; the outcome is a static string and the
+	// conversion does not allocate.
+	defer func() {
+		telemetry.LogEvent(telemetry.EvInfo, "campaign", string(r.Outcome), r.Name,
+			attempt, uint64(r.Hijacked), r.Run.Instructions)
+	}()
 
 	sc.begin()
 	tgt, err := e.recon(s)
@@ -565,6 +584,7 @@ func (e *Engine) runDevice(s Scenario, si, di, worker int) (r DeviceResult) {
 		return r
 	}
 	defer e.releaseDaemon(s.Arch, opts, cfg, d)
+	d.Process().SetAttempt(attempt)
 	if ss != nil {
 		ss.Arm(d.Process())
 	}
@@ -583,7 +603,7 @@ func (e *Engine) runDevice(s Scenario, si, di, worker int) (r DeviceResult) {
 	defer e.timeStage(&e.nsAttack)()
 	if s.Pineapple {
 		sc.begin()
-		hijacked, err := pineappleDeliver(d, ex)
+		hijacked, err := pineappleDeliver(d, ex, attempt)
 		if err != nil {
 			sc.end(&r, StageDeliver, 0)
 			r.Outcome = OutcomeError

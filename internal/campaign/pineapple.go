@@ -30,9 +30,11 @@ var (
 // associates to the strongest AP carrying its trusted SSID (the rogue
 // clone), resolves a name through the DHCP-assigned resolver (the
 // attacker's MITM), and receives the exploit as the answer. It returns
-// how many lookups the MITM answered.
-func pineappleDeliver(d *victim.Daemon, ex *exploit.Exploit) (int, error) {
+// how many lookups the MITM answered. attempt tags the world's epoch
+// spans with the campaign attempt ID.
+func pineappleDeliver(d *victim.Daemon, ex *exploit.Exploit, attempt uint64) (int, error) {
 	world := netsim.New()
+	world.SetAttempt(attempt)
 	world.AddAP(&netsim.AccessPoint{
 		Name: "home-router", SSID: campaignSSID, Signal: 50,
 		PoolBase: campaignLegitPool, Gateway: campaignLegitGW, DNS: campaignResolverIP,

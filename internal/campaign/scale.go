@@ -199,6 +199,9 @@ func (e *Engine) RunPineappleScale(cfg ScaleConfig) (*ScaleReport, error) {
 
 	world := netsim.NewSharded(cfg.Shards)
 	world.Verbose = cfg.Verbose
+	// The shared world serves the whole population; its epoch spans are
+	// tagged with the engine's root seed rather than any one device.
+	world.SetAttempt(uint64(e.cfg.RootSeed))
 	world.AddAP(&netsim.AccessPoint{
 		Name: "home-router", SSID: campaignSSID, Signal: 50,
 		PoolBase: scaleLegitPool, Gateway: campaignLegitGW, DNS: campaignResolverIP,

@@ -225,6 +225,11 @@ type Process struct {
 	// lastBlock remembers the CPU's monotonic block-translation totals at
 	// the previous flush, mirroring lastDCMisses.
 	lastBlock isa.BlockStats
+	// attempt tags this process's telemetry (run accounting, fault
+	// events) with the campaign attempt ID — the per-device splitmix64
+	// seed — so kernel-level evidence correlates with the stage spans of
+	// the attempt that drove it. Zero outside campaigns.
+	attempt uint64
 
 	// guardAddr/canary record the seeded stack-protector guard (guardAddr
 	// 0 when the program declares none), letting a same-seed Recycle
@@ -469,6 +474,12 @@ func (p *Process) Arch() isa.Arch { return p.arch }
 
 // CPU returns the process CPU (primarily for the debugger).
 func (p *Process) CPU() isa.CPU { return p.cpu }
+
+// SetAttempt tags subsequent run accounting and fault events with the
+// campaign attempt ID (the per-device splitmix64 seed). The campaign
+// engine calls it when it binds a daemon to a device; recycled daemons
+// are re-tagged for each new device.
+func (p *Process) SetAttempt(id uint64) { p.attempt = id }
 
 // Mem returns the process address space.
 func (p *Process) Mem() *mem.Memory { return p.m }

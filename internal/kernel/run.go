@@ -112,8 +112,16 @@ func (p *Process) accountRun(res RunResult) {
 	t.Inc(telemetry.CtrEmuRuns)
 	t.Add(telemetry.CtrEmuInstr, res.Instructions)
 	t.Observe(telemetry.HistEmuRunInstr, res.Instructions)
+	// Per-run events are debug-level (filtered at the default threshold);
+	// faults warrant a warn-level entry carrying the faulting PC. Both
+	// carry the attempt ID so the obs stream correlates kernel evidence
+	// with the campaign trial that produced it.
+	telemetry.LogEvent(telemetry.EvDebug, "kernel", "run", string(p.arch),
+		p.attempt, res.Instructions, uint64(res.Status))
 	if res.Status == StatusFault || res.Status == StatusCFI {
 		t.Inc(telemetry.CtrEmuFaults)
+		telemetry.LogEvent(telemetry.EvWarn, "kernel", "run fault", string(p.arch),
+			p.attempt, uint64(res.PC), res.Instructions)
 	}
 	misses := p.cpu.DecodeCacheMisses()
 	hitCtr, missCtr := telemetry.CtrX86DecodeHit, telemetry.CtrX86DecodeMiss

@@ -238,6 +238,12 @@ type Network struct {
 	// tel is the network's telemetry shard (nil while disabled), taken at
 	// construction like every instrumented component.
 	tel *telemetry.Shard
+
+	// attempt tags this world's epoch spans with the campaign attempt ID
+	// that drove it (the per-device splitmix64 seed; zero for shared or
+	// standalone worlds), correlating netsim lanes with campaign stage
+	// spans in the exported trace.
+	attempt uint64
 }
 
 // New returns an empty single-shard network: the exact deterministic
@@ -266,6 +272,11 @@ func NewSharded(nShards int) *Network {
 
 // Shards reports the shard count the network was built with.
 func (n *Network) Shards() int { return len(n.shards) }
+
+// SetAttempt tags subsequent epoch spans with the campaign attempt ID
+// (the per-device splitmix64 seed) so netsim trace lanes correlate with
+// the campaign stage spans of the attempt that drove the traffic.
+func (n *Network) SetAttempt(id uint64) { n.attempt = id }
 
 // Epochs reports how many delivery generations Run has completed. The
 // count depends only on the traffic pattern — one epoch per BFS
@@ -473,10 +484,24 @@ func (n *Network) runSeq(maxSteps int) int {
 	steps := 0
 	gen := n.Pending()
 	genSize := gen
+	spanOn := telemetry.Enabled()
+	var s0 int64
+	if spanOn {
+		s0 = telemetry.SpanNow()
+	}
 	for steps < maxSteps && n.Step() {
 		steps++
 		gen--
 		if gen == 0 {
+			if spanOn {
+				now := telemetry.SpanNow()
+				telemetry.RecordSpan(telemetry.Span{
+					Track: telemetry.TrackNetsim, Scenario: "netsim", Stage: "epoch",
+					Worker: 0, Attempt: n.attempt,
+					Start: s0, Dur: now - s0, Instr: uint64(genSize),
+				})
+				s0 = now
+			}
 			n.noteEpoch(genSize)
 			gen = n.Pending()
 			genSize = gen

@@ -89,8 +89,7 @@ func (sh *shard) putBuf(b []byte) {
 // shard's own goroutine; everything it touches — its hosts' socket
 // maps, its outbox, its pool, the rank-indexed event slots — is either
 // owned by the shard or written at disjoint indexes.
-func (sh *shard) pump(n *Network, wg *sync.WaitGroup) {
-	defer wg.Done()
+func (sh *shard) pump(n *Network) {
 	for _, t := range sh.inbox {
 		sh.curRank = t.rank
 		dg := t.dg
@@ -183,7 +182,11 @@ func (n *Network) runOneEpoch(m int) {
 	}
 
 	// Pump every shard that has work; idle shards are the epoch's
-	// stalls — load-imbalance time the barrier cannot hide.
+	// stalls — load-imbalance time the barrier cannot hide. With
+	// telemetry on, each pump is timed into a netsim-track span (one
+	// trace lane per shard), recorded before the barrier releases so a
+	// snapshot taken after Run sees every epoch.
+	spanOn := telemetry.Enabled()
 	var wg sync.WaitGroup
 	n.inEpoch = true
 	for _, sh := range n.shards {
@@ -192,7 +195,21 @@ func (n *Network) runOneEpoch(m int) {
 			continue
 		}
 		wg.Add(1)
-		go sh.pump(n, &wg)
+		go func(sh *shard) {
+			defer wg.Done()
+			var s0 int64
+			if spanOn {
+				s0 = telemetry.SpanNow()
+			}
+			sh.pump(n)
+			if spanOn {
+				telemetry.RecordSpan(telemetry.Span{
+					Track: telemetry.TrackNetsim, Scenario: "netsim", Stage: "epoch",
+					Worker: sh.id, Attempt: n.attempt,
+					Start: s0, Dur: telemetry.SpanNow() - s0, Instr: uint64(len(sh.inbox)),
+				})
+			}
+		}(sh)
 	}
 	wg.Wait()
 	n.inEpoch = false

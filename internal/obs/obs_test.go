@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"connlab/internal/telemetry"
+)
+
+// seedTelemetry enables a fresh state and records a known mix of
+// counters, histogram samples, spans and events.
+func seedTelemetry(t *testing.T) {
+	t.Helper()
+	t.Cleanup(telemetry.Disable)
+	telemetry.Enable()
+	h := telemetry.Handle()
+	h.Add(telemetry.CtrEmuRuns, 4)
+	h.Add(telemetry.CtrEmuInstr, 1234)
+	for _, v := range []uint64{0, 5, 300, 70000} {
+		h.Observe(telemetry.HistEmuRunInstr, v)
+	}
+	telemetry.RecordSpan(telemetry.Span{Scenario: "s", Device: "d", Stage: "deliver",
+		Worker: 1, Start: 10, Dur: 20, Instr: 1234, Attempt: 7})
+	telemetry.RecordSpan(telemetry.Span{Scenario: "netsim", Stage: "epoch",
+		Worker: 3, Start: 15, Dur: 5, Instr: 2, Attempt: 7, Track: telemetry.TrackNetsim})
+	telemetry.LogEvent(telemetry.EvInfo, "campaign", "shell", "iot-00", 7, 1, 1234)
+	telemetry.LogEvent(telemetry.EvWarn, "kernel", "run fault", "x86s", 7, 0x8048000, 99)
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := &Server{
+		opts: Options{Tool: "test", PollInterval: 5 * time.Millisecond,
+			SampleInterval: time.Hour},
+		done: make(chan struct{}),
+	}
+	s.sampleNow()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { close(s.done); ts.Close() })
+	return s, ts
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	body := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE connlab_emu_runs counter",
+		"connlab_emu_runs 4",
+		"connlab_emu_instructions 1234",
+		"# TYPE connlab_emu_run_instructions histogram",
+		`connlab_emu_run_instructions_bucket{le="0"} 1`,
+		`connlab_emu_run_instructions_bucket{le="+Inf"} 4`,
+		"connlab_emu_run_instructions_sum 70305",
+		"connlab_emu_run_instructions_count 4",
+		"connlab_spans 2",
+		"connlab_events 2",
+		`connlab_run_info{tool="test"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// No rates until the sampler has two periods.
+	if strings.Contains(body, "_per_second") {
+		t.Error("/metrics exposes rates with a single sample")
+	}
+}
+
+func TestMetricsRates(t *testing.T) {
+	seedTelemetry(t)
+	s, ts := newTestServer(t)
+	telemetry.Add(telemetry.CtrEmuRuns, 100)
+	time.Sleep(2 * time.Millisecond)
+	s.sampleNow() // second sample → rates available
+	body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "# TYPE connlab_emu_runs_per_second gauge") {
+		t.Fatalf("/metrics missing rate gauge after two samples:\n%.400s", body)
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "connlab_emu_runs_per_second ") {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("rate is zero despite counter movement: %q", line)
+			}
+			return
+		}
+	}
+	t.Error("rate line not found")
+}
+
+func TestSnapshotEndpoint(t *testing.T) {
+	seedTelemetry(t)
+	s, ts := newTestServer(t)
+	s.opts.Run = func() *telemetry.RunInfo {
+		return &telemetry.RunInfo{Tool: "test", Workers: 8}
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/snapshot")), &snap); err != nil {
+		t.Fatalf("/snapshot is not JSON: %v", err)
+	}
+	if snap.SchemaVersion != telemetry.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", snap.SchemaVersion, telemetry.SchemaVersion)
+	}
+	if snap.Counters["emu_runs"] != 4 || snap.EventCount != 2 || snap.SpanCount != 2 {
+		t.Errorf("snapshot content wrong: runs=%d events=%d spans=%d",
+			snap.Counters["emu_runs"], snap.EventCount, snap.SpanCount)
+	}
+	if snap.Run == nil || snap.Run.Workers != 8 {
+		t.Errorf("run metadata not stamped: %+v", snap.Run)
+	}
+	if len(snap.Events) != 2 || snap.Events[1].Msg != "run fault" {
+		t.Errorf("snapshot events tail wrong: %+v", snap.Events)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(get(t, ts.URL+"/trace")), &events); err != nil {
+		t.Fatalf("/trace is not a trace_event array: %v", err)
+	}
+	var pids = map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			pids[ev["pid"].(float64)] = true
+		}
+	}
+	if !pids[1] || !pids[3] {
+		t.Errorf("trace lanes missing: stage pid1=%v netsim pid3=%v", pids[1], pids[3])
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	if body := get(t, ts.URL+"/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page does not list endpoints:\n%s", body)
+	}
+	if body := get(t, ts.URL+"/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	seedTelemetry(t)
+	s, err := Start("127.0.0.1:0", Options{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" || strings.HasSuffix(s.Addr(), ":0") {
+		t.Errorf("ephemeral port not resolved: %q", s.Addr())
+	}
+	body := get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(body, "connlab_emu_runs 4") {
+		t.Error("live server /metrics wrong")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+func TestStartFlagsOff(t *testing.T) {
+	var tf telemetry.Flags
+	s, err := StartFlags(&tf, "test", nil)
+	if err != nil || s != nil {
+		t.Fatalf("StartFlags with empty -listen: %v %v", s, err)
+	}
+	// Nil receivers must be safe: CLIs defer Close unconditionally.
+	if s.Addr() != "" || s.Close() != nil {
+		t.Error("nil server methods not inert")
+	}
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"connlab/internal/telemetry"
+)
+
+// Prometheus text exposition (format version 0.0.4) over a telemetry
+// snapshot. Counter and histogram names arrive already in
+// [a-z0-9_] form, so metric names are "connlab_" + name with no
+// further sanitization. Rates are gauges derived by diffing the
+// sampler's two most recent snapshots — no per-metric state, no
+// decay windows; the scrape interval belongs to the scraper and the
+// rate window to the sampler.
+
+// writeProm renders snap, with per-second rate gauges diffed against
+// prev over dt seconds (dt <= 0 suppresses rates — not enough samples
+// yet). Output is sorted by metric name so scrapes are diffable.
+func writeProm(w io.Writer, snap telemetry.Snapshot, prev telemetry.Snapshot, dt float64) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v := snap.Counters[name]
+		fmt.Fprintf(w, "# TYPE connlab_%s counter\n", name)
+		fmt.Fprintf(w, "connlab_%s %d\n", name, v)
+		if dt > 0 {
+			rate := float64(v-prev.Counters[name]) / dt
+			if v < prev.Counters[name] { // telemetry re-Enabled mid-run
+				rate = 0
+			}
+			fmt.Fprintf(w, "# TYPE connlab_%s_per_second gauge\n", name)
+			fmt.Fprintf(w, "connlab_%s_per_second %g\n", name, rate)
+		}
+	}
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name := range snap.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE connlab_%s histogram\n", name)
+		var cum uint64
+		for b, c := range h.Buckets {
+			cum += c
+			if c == 0 && b > 0 {
+				continue // sparse exposition; cumulative stays exact
+			}
+			fmt.Fprintf(w, "connlab_%s_bucket{le=\"%d\"} %d\n", name, bucketUpper(b), cum)
+		}
+		fmt.Fprintf(w, "connlab_%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(w, "connlab_%s_sum %d\n", name, h.Sum)
+		fmt.Fprintf(w, "connlab_%s_count %d\n", name, h.Count)
+		// Percentiles as separate gauges (not quantile labels — those
+		// belong to summaries, and strict parsers reject them on a
+		// histogram family).
+		for _, p := range [...]struct {
+			suffix string
+			v      uint64
+		}{{"p50", h.P50}, {"p95", h.P95}, {"p99", h.P99}} {
+			fmt.Fprintf(w, "# TYPE connlab_%s_%s gauge\n", name, p.suffix)
+			fmt.Fprintf(w, "connlab_%s_%s %d\n", name, p.suffix, p.v)
+		}
+	}
+
+	fmt.Fprintf(w, "# TYPE connlab_spans counter\nconnlab_spans %d\n", snap.SpanCount)
+	fmt.Fprintf(w, "# TYPE connlab_events counter\nconnlab_events %d\n", snap.EventCount)
+	if r := snap.Run; r != nil {
+		fmt.Fprintf(w, "# TYPE connlab_run_info gauge\n")
+		fmt.Fprintf(w, "connlab_run_info{tool=%q,workers=\"%d\",scenarios=\"%d\",devices=\"%d\"} 1\n",
+			r.Tool, r.Workers, r.Scenarios, r.Devices)
+	}
+}
+
+// bucketUpper is the inclusive upper bound of log₂ bucket b: bucket 0
+// holds only zeros, bucket b>0 holds [2^(b-1), 2^b).
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	return 1<<uint(b) - 1
+}

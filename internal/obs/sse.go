@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"connlab/internal/telemetry"
+)
+
+// Server-Sent Events streaming of the event log and the span ring. Both
+// rings expose a Since(cursor) poll primitive; the handlers tail them
+// at the configured poll interval and frame each record as
+//
+//	event: <kind>
+//	id: <cursor>
+//	data: <one JSON object>
+//	<blank line>
+//
+// so a dropped client resumes with Last-Event-ID (or ?since=N) without
+// replaying what it already saw. ?once=1 drains the current backlog and
+// returns instead of tailing — the curl-and-pipe-to-jq mode.
+
+// writeSSEFrame writes one framed record. id is the resume cursor
+// after this record.
+func writeSSEFrame(w http.ResponseWriter, kind string, id uint64, record any) error {
+	b, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", kind, id, b)
+	return err
+}
+
+// sseSetup negotiates the stream: headers, flusher, resume cursor.
+func sseSetup(w http.ResponseWriter, r *http.Request) (http.Flusher, uint64, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return nil, 0, false
+	}
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since cursor", http.StatusBadRequest)
+			return nil, 0, false
+		}
+		since = n
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			since = n
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	return fl, since, true
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, cursor, ok := sseSetup(w, r)
+	if !ok {
+		return
+	}
+	min := telemetry.EvDebug
+	if v := r.URL.Query().Get("level"); v != "" {
+		l, ok := telemetry.ParseEventLevel(v)
+		if !ok {
+			http.Error(w, "bad level (debug|info|warn)", http.StatusBadRequest)
+			return
+		}
+		min = l
+	}
+	once := r.URL.Query().Get("once") != ""
+	for {
+		evs, next := telemetry.EventsSince(cursor)
+		for _, e := range evs {
+			if e.Level < min {
+				continue
+			}
+			if err := writeSSEFrame(w, "event", e.Seq, e); err != nil {
+				return
+			}
+		}
+		cursor = next
+		fl.Flush()
+		if once {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-time.After(s.opts.PollInterval):
+		}
+	}
+}
+
+// spanFrame pairs a span with its resume cursor: spans have no
+// embedded sequence number, so the frame carries it.
+type spanFrame struct {
+	Seq uint64 `json:"seq"`
+	telemetry.Span
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	fl, cursor, ok := sseSetup(w, r)
+	if !ok {
+		return
+	}
+	once := r.URL.Query().Get("once") != ""
+	for {
+		spans, next := telemetry.SpansSince(cursor)
+		for i, sp := range spans {
+			seq := next - uint64(len(spans)) + uint64(i) + 1
+			if err := writeSSEFrame(w, "span", seq, spanFrame{Seq: seq, Span: sp}); err != nil {
+				return
+			}
+		}
+		cursor = next
+		fl.Flush()
+		if once {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			return
+		case <-time.After(s.opts.PollInterval):
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"connlab/internal/telemetry"
+)
+
+// sseFrame is one parsed frame from a stream body.
+type sseFrame struct {
+	event string
+	id    uint64
+	data  string
+}
+
+// parseSSE splits a complete (once-mode) stream body into frames,
+// failing the test on any framing violation.
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for _, block := range strings.Split(strings.TrimSuffix(body, "\n\n"), "\n\n") {
+		if block == "" {
+			continue
+		}
+		var f sseFrame
+		for _, line := range strings.Split(block, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "id: "):
+				id, err := strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+				if err != nil {
+					t.Fatalf("bad id line %q: %v", line, err)
+				}
+				f.id = id
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			default:
+				t.Fatalf("unexpected SSE line %q in block %q", line, block)
+			}
+		}
+		if f.event == "" || f.data == "" || f.id == 0 {
+			t.Fatalf("incomplete frame %+v from block %q", f, block)
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+func TestEventStreamFraming(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	frames := parseSSE(t, get(t, ts.URL+"/events?once=1"))
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2", len(frames))
+	}
+	var ev telemetry.Event
+	if err := json.Unmarshal([]byte(frames[1].data), &ev); err != nil {
+		t.Fatalf("frame data is not an Event: %v", err)
+	}
+	if frames[1].event != "event" || frames[1].id != ev.Seq || ev.Seq != 2 {
+		t.Errorf("frame id/seq mismatch: frame=%+v event=%+v", frames[1], ev)
+	}
+	if ev.Level != telemetry.EvWarn || ev.Msg != "run fault" || ev.Attempt != 7 {
+		t.Errorf("event payload lost in framing: %+v", ev)
+	}
+}
+
+func TestEventStreamLevelFilterAndResume(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	frames := parseSSE(t, get(t, ts.URL+"/events?once=1&level=warn"))
+	if len(frames) != 1 || !strings.Contains(frames[0].data, "run fault") {
+		t.Errorf("level=warn filter: %+v", frames)
+	}
+	frames = parseSSE(t, get(t, ts.URL+"/events?once=1&since=1"))
+	if len(frames) != 1 || frames[0].id != 2 {
+		t.Errorf("since=1 resume: %+v", frames)
+	}
+	if got := parseSSE(t, get(t, ts.URL+"/events?once=1&since=2")); len(got) != 0 {
+		t.Errorf("since=tip returned %d frames, want 0", len(got))
+	}
+	resp, err := http.Get(ts.URL + "/events?once=1&level=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad level got status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSpanStreamFraming(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	frames := parseSSE(t, get(t, ts.URL+"/spans?once=1"))
+	if len(frames) != 2 {
+		t.Fatalf("got %d span frames, want 2", len(frames))
+	}
+	var fr struct {
+		Seq uint64 `json:"seq"`
+		telemetry.Span
+	}
+	if err := json.Unmarshal([]byte(frames[1].data), &fr); err != nil {
+		t.Fatalf("span frame data: %v", err)
+	}
+	if fr.Seq != 2 || frames[1].id != 2 {
+		t.Errorf("span cursor wrong: %+v", fr)
+	}
+	if fr.Track != telemetry.TrackNetsim || fr.Attempt != 7 || fr.Stage != "epoch" {
+		t.Errorf("span payload lost: %+v", fr.Span)
+	}
+}
+
+// TestEventStreamLive: a tailing client receives an event logged after
+// it connected — the streaming path, not just the once-mode drain.
+func TestEventStreamLive(t *testing.T) {
+	seedTelemetry(t)
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/events?since=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	telemetry.LogEvent(telemetry.EvInfo, "campaign", "late arrival", "", 42, 0, 0)
+	type read struct {
+		line string
+		err  error
+	}
+	ch := make(chan read, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			ch <- read{line: sc.Text()}
+		}
+		ch <- read{err: sc.Err()}
+	}()
+	deadline := time.After(5 * time.Second)
+	var got []string
+	for len(got) < 3 {
+		select {
+		case r := <-ch:
+			if r.err != nil {
+				t.Fatalf("stream read: %v", r.err)
+			}
+			if r.line != "" {
+				got = append(got, r.line)
+			}
+		case <-deadline:
+			t.Fatalf("no frame within deadline; got %q", got)
+		}
+	}
+	if got[0] != "event: event" || got[1] != "id: 3" || !strings.Contains(got[2], "late arrival") {
+		t.Errorf("live frame wrong: %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTakeSnapshotConcurrent: snapshots taken while workers are
+// mutating counters, histograms, spans and events must be internally
+// sane and monotonic — each field never steps backwards between
+// consecutive snapshots and never overshoots the true total. Runs under
+// -race in scripts/check.sh; this is the contract the obs server's
+// periodic sampler leans on.
+func TestTakeSnapshotConcurrent(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	const workers = 4
+	const perWorker = 20000
+	const eventEvery = 64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := Handle()
+			for i := 0; i < perWorker; i++ {
+				h.Inc(CtrEmuRuns)
+				h.Observe(HistEmuRunInstr, uint64(i&1023))
+				if i%eventEvery == 0 {
+					LogEvent(EvInfo, "campaign", "verdict", "", uint64(i), 1, 0)
+					RecordSpan(Span{Stage: "verdict", Worker: w, Attempt: uint64(i)})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var lastRuns, lastCount, lastSum, lastEvents uint64
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		snap := TakeSnapshot()
+		runs := snap.Counters[CtrEmuRuns.Name()]
+		h := snap.Histograms[HistEmuRunInstr.Name()]
+		if runs < lastRuns || h.Count < lastCount || h.Sum < lastSum || snap.EventCount < lastEvents {
+			t.Fatalf("snapshot stepped backwards: runs %d<%d count %d<%d sum %d<%d events %d<%d",
+				runs, lastRuns, h.Count, lastCount, h.Sum, lastSum, snap.EventCount, lastEvents)
+		}
+		if runs > workers*perWorker {
+			t.Fatalf("counter overshot: %d > %d", runs, workers*perWorker)
+		}
+		lastRuns, lastCount, lastSum, lastEvents = runs, h.Count, h.Sum, snap.EventCount
+	}
+
+	final := TakeSnapshot()
+	if got := final.Counters[CtrEmuRuns.Name()]; got != workers*perWorker {
+		t.Errorf("final emu_runs = %d, want %d", got, workers*perWorker)
+	}
+	h := final.Histograms[HistEmuRunInstr.Name()]
+	if h.Count != workers*perWorker {
+		t.Errorf("final histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	var bucketSum uint64
+	for _, b := range h.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != h.Count {
+		t.Errorf("final bucket sum %d != count %d", bucketSum, h.Count)
+	}
+	wantEvents := uint64(workers * ((perWorker + eventEvery - 1) / eventEvery))
+	if final.EventCount != wantEvents {
+		t.Errorf("final event count = %d, want %d", final.EventCount, wantEvents)
+	}
+}

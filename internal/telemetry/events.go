@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// EventLevel orders structured events by severity. The log keeps events
+// at or above the active threshold (EvInfo by default); everything else
+// is dropped at the call site after one atomic load and one compare.
+type EventLevel uint8
+
+const (
+	EvDebug EventLevel = iota
+	EvInfo
+	EvWarn
+
+	numEventLevels
+)
+
+var eventLevelNames = [numEventLevels]string{"debug", "info", "warn"}
+
+// String returns the lowercase level name.
+func (l EventLevel) String() string {
+	if l < numEventLevels {
+		return eventLevelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// ParseEventLevel maps a level name back to its EventLevel.
+func ParseEventLevel(s string) (EventLevel, bool) {
+	for i, name := range eventLevelNames {
+		if s == name {
+			return EventLevel(i), true
+		}
+	}
+	return 0, false
+}
+
+// MarshalJSON renders the level as its name so snapshots and SSE frames
+// stay readable without a decoder table.
+func (l EventLevel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(l.String())
+}
+
+// UnmarshalJSON accepts either the level name or the raw integer (the
+// schema-v1 era never serialized levels, so only the name form is ever
+// written; the integer form keeps hand-edited fixtures working).
+func (l *EventLevel) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if v, ok := ParseEventLevel(s); ok {
+			*l = v
+			return nil
+		}
+		return fmt.Errorf("telemetry: unknown event level %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*l = EventLevel(n)
+	return nil
+}
+
+// Event is one structured log entry. Every field is a scalar or a
+// static string chosen by the call site, so recording an event performs
+// no allocation and no formatting — rendering happens at export time.
+// Seq is a monotonic per-enablement sequence number (1-based) that
+// consumers use as a resume cursor; TS is nanoseconds on the span
+// timeline, so events and stage spans interleave correctly.
+type Event struct {
+	Seq     uint64     `json:"seq"`
+	TS      int64      `json:"ts_ns"`
+	Level   EventLevel `json:"level"`
+	Cat     string     `json:"cat"`
+	Msg     string     `json:"msg"`
+	Scope   string     `json:"scope,omitempty"`
+	Attempt uint64     `json:"attempt,omitempty"`
+	V0      uint64     `json:"v0,omitempty"`
+	V1      uint64     `json:"v1,omitempty"`
+}
+
+// eventRingCap bounds the event ring: a fleet campaign emits a handful
+// of info events per device, so thousands of devices stay resident.
+const eventRingCap = 8192
+
+// eventRing is a mutex-guarded bounded ring of events, the EventLog
+// behind LogEvent. Same shape and same contract as spanRing: bounded,
+// oldest-evicted, cheap enough that a plain mutex wins.
+type eventRing struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64
+}
+
+func (er *eventRing) init(n int) { er.ring = make([]Event, n) }
+
+func (er *eventRing) record(e Event) uint64 {
+	er.mu.Lock()
+	er.next++
+	e.Seq = er.next
+	er.ring[(er.next-1)%uint64(len(er.ring))] = e
+	er.mu.Unlock()
+	return e.Seq
+}
+
+// since copies out events with Seq > after, oldest-first, and returns
+// the newest sequence number seen (== after when nothing new).
+func (er *eventRing) since(after uint64) ([]Event, uint64) {
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	if er.next <= after {
+		return nil, er.next
+	}
+	n := uint64(len(er.ring))
+	start := after
+	if er.next > n && er.next-n > start {
+		start = er.next - n // older entries were evicted
+	}
+	out := make([]Event, 0, er.next-start)
+	for seq := start + 1; seq <= er.next; seq++ {
+		out = append(out, er.ring[(seq-1)%n])
+	}
+	return out, er.next
+}
+
+func (er *eventRing) count() uint64 {
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	return er.next
+}
+
+// evMin is the active level threshold, stored on the state so Enable
+// resets it along with everything else. Loaded once per LogEvent.
+//
+// SetEventLevel adjusts the threshold of the live state; it is a no-op
+// while telemetry is disabled.
+func SetEventLevel(l EventLevel) {
+	if s := cur.Load(); s != nil {
+		s.evMin.Store(uint32(l))
+	}
+}
+
+// EventLevelNow returns the active threshold (EvInfo when disabled).
+func EventLevelNow() EventLevel {
+	if s := cur.Load(); s != nil {
+		return EventLevel(s.evMin.Load())
+	}
+	return EvInfo
+}
+
+// LogEvent records one structured event when telemetry is enabled and
+// the level clears the threshold. The disabled path is one predicted
+// branch — the same contract as the counters — and the enabled path
+// never allocates: cat/msg/scope must be static strings or strings the
+// caller already holds, and the numeric slots carry the payload.
+func LogEvent(level EventLevel, cat, msg, scope string, attempt, v0, v1 uint64) {
+	s := cur.Load()
+	if s == nil {
+		return
+	}
+	if uint32(level) < s.evMin.Load() {
+		return
+	}
+	s.events.record(Event{
+		TS:      SpanNow(),
+		Level:   level,
+		Cat:     cat,
+		Msg:     msg,
+		Scope:   scope,
+		Attempt: attempt,
+		V0:      v0,
+		V1:      v1,
+	})
+}
+
+// Events returns every retained event oldest-first (nil when disabled
+// or empty).
+func Events() []Event {
+	ev, _ := EventsSince(0)
+	return ev
+}
+
+// EventsSince returns events with Seq > after plus the newest sequence
+// number, the poll cursor for the SSE stream. When telemetry is
+// disabled it returns (nil, after) so pollers idle harmlessly.
+func EventsSince(after uint64) ([]Event, uint64) {
+	s := cur.Load()
+	if s == nil {
+		return nil, after
+	}
+	return s.events.since(after)
+}
+
+// EventCount returns the total number of events recorded into the
+// current state (including any evicted from the ring).
+func EventCount() uint64 {
+	s := cur.Load()
+	if s == nil {
+		return 0
+	}
+	return s.events.count()
+}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEventLogBasics(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	LogEvent(EvInfo, "campaign", "run start", "", 0, 3, 12)
+	LogEvent(EvDebug, "kernel", "run", "dev00", 7, 100, 0) // below default threshold
+	LogEvent(EvWarn, "kernel", "run fault", "dev01", 9, 0x8048000, 55)
+
+	ev := Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2 (debug filtered at default EvInfo): %+v", len(ev), ev)
+	}
+	if ev[0].Seq != 1 || ev[1].Seq != 2 {
+		t.Errorf("sequence numbers %d,%d, want 1,2", ev[0].Seq, ev[1].Seq)
+	}
+	if ev[0].Msg != "run start" || ev[1].Msg != "run fault" {
+		t.Errorf("messages %q,%q", ev[0].Msg, ev[1].Msg)
+	}
+	if ev[1].Level != EvWarn || ev[1].Attempt != 9 || ev[1].V0 != 0x8048000 || ev[1].V1 != 55 {
+		t.Errorf("payload fields lost: %+v", ev[1])
+	}
+	if EventCount() != 2 {
+		t.Errorf("EventCount = %d, want 2", EventCount())
+	}
+}
+
+func TestEventLevelThreshold(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	SetEventLevel(EvDebug)
+	LogEvent(EvDebug, "kernel", "run", "", 0, 0, 0)
+	if len(Events()) != 1 {
+		t.Fatalf("debug event dropped with threshold EvDebug")
+	}
+	SetEventLevel(EvWarn)
+	LogEvent(EvInfo, "campaign", "verdict", "", 0, 0, 0)
+	if len(Events()) != 1 {
+		t.Fatalf("info event recorded above threshold EvWarn")
+	}
+	// Enable resets the threshold back to the default.
+	Enable()
+	if EventLevelNow() != EvInfo {
+		t.Errorf("threshold after Enable = %v, want info", EventLevelNow())
+	}
+}
+
+func TestEventsSinceCursor(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	for i := 0; i < 5; i++ {
+		LogEvent(EvInfo, "campaign", "verdict", "", uint64(i), 0, 0)
+	}
+	ev, cursor := EventsSince(0)
+	if len(ev) != 5 || cursor != 5 {
+		t.Fatalf("since(0) = %d events, cursor %d; want 5, 5", len(ev), cursor)
+	}
+	ev, cursor = EventsSince(cursor)
+	if len(ev) != 0 || cursor != 5 {
+		t.Fatalf("since(5) = %d events, cursor %d; want 0, 5", len(ev), cursor)
+	}
+	LogEvent(EvInfo, "campaign", "verdict", "", 99, 0, 0)
+	ev, cursor = EventsSince(cursor)
+	if len(ev) != 1 || cursor != 6 || ev[0].Attempt != 99 {
+		t.Fatalf("incremental poll got %+v cursor %d", ev, cursor)
+	}
+}
+
+func TestEventRingEviction(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	total := eventRingCap + 100
+	for i := 0; i < total; i++ {
+		LogEvent(EvInfo, "campaign", "verdict", "", uint64(i), 0, 0)
+	}
+	ev, cursor := EventsSince(0)
+	if len(ev) != eventRingCap {
+		t.Fatalf("ring holds %d events, want %d", len(ev), eventRingCap)
+	}
+	if cursor != uint64(total) || EventCount() != uint64(total) {
+		t.Errorf("cursor %d count %d, want %d", cursor, EventCount(), total)
+	}
+	// Oldest retained event is total-cap+1; sequence stays contiguous.
+	if ev[0].Seq != uint64(total-eventRingCap+1) || ev[len(ev)-1].Seq != uint64(total) {
+		t.Errorf("retained seq range [%d, %d], want [%d, %d]",
+			ev[0].Seq, ev[len(ev)-1].Seq, total-eventRingCap+1, total)
+	}
+	// A cursor that fell behind the eviction window resumes at the
+	// oldest retained event instead of failing.
+	ev, _ = EventsSince(1)
+	if len(ev) != eventRingCap {
+		t.Errorf("stale cursor poll returned %d events, want %d", len(ev), eventRingCap)
+	}
+}
+
+func TestLogEventDisabledInert(t *testing.T) {
+	Disable()
+	allocs := testing.AllocsPerRun(100, func() {
+		LogEvent(EvWarn, "kernel", "run fault", "dev", 1, 2, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("LogEvent while disabled: %v allocs/op, want 0", allocs)
+	}
+	if ev := Events(); ev != nil {
+		t.Errorf("Events while disabled = %+v, want nil", ev)
+	}
+	if _, cursor := EventsSince(7); cursor != 7 {
+		t.Errorf("EventsSince cursor moved while disabled")
+	}
+	SetEventLevel(EvDebug) // must not panic on nil state
+}
+
+func TestLogEventEnabledZeroAlloc(t *testing.T) {
+	t.Cleanup(Disable)
+	Enable()
+	allocs := testing.AllocsPerRun(100, func() {
+		LogEvent(EvInfo, "campaign", "verdict", "dev", 1, 2, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("LogEvent while enabled: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestEventLevelJSON(t *testing.T) {
+	for l := EvDebug; l < numEventLevels; l++ {
+		b, err := json.Marshal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventLevel
+		if err := json.Unmarshal(b, &back); err != nil || back != l {
+			t.Errorf("level %v round-trip via %s failed: %v %v", l, b, back, err)
+		}
+	}
+	var back EventLevel
+	if err := json.Unmarshal([]byte(`"nope"`), &back); err == nil {
+		t.Error("unknown level name decoded without error")
+	}
+	if err := json.Unmarshal([]byte(`2`), &back); err != nil || back != EvWarn {
+		t.Errorf("integer level form: %v %v", back, err)
+	}
+}

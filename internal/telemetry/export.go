@@ -10,8 +10,17 @@ import (
 )
 
 // SchemaVersion pins the snapshot JSON schema; the golden-file test in
-// this package fails on any unannounced shape change.
-const SchemaVersion = 1
+// this package fails on any unannounced shape change. v2 adds the
+// structured event log (event_count + a bounded tail of events), raw
+// log₂ bucket counts on every histogram, and attempt/track fields on
+// spans. v1 snapshots decode cleanly into the v2 struct (new fields
+// zero) — pinned by the back-compat test against the preserved v1
+// golden.
+const SchemaVersion = 2
+
+// snapshotEventTail bounds how many trailing events a snapshot embeds;
+// the full ring stays available over the obs server's /events stream.
+const snapshotEventTail = 256
 
 // Pct is a percentile triple over a deterministic value axis
 // (instruction counts, queue depths). Values are exact order statistics,
@@ -22,10 +31,14 @@ type Pct struct {
 	P99 uint64 `json:"p99"`
 }
 
-// HistSnapshot is one merged histogram.
+// HistSnapshot is one merged histogram. Buckets are the raw log₂
+// bucket counts (bucket 0 = zero values, bucket b>0 = [2^(b-1), 2^b)),
+// a fixed-size array so HistSnapshot stays comparable — the campaign
+// determinism tests compare them with == across worker counts.
 type HistSnapshot struct {
-	Count uint64 `json:"count"`
-	Sum   uint64 `json:"sum"`
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Buckets [histBuckets]uint64 `json:"buckets"`
 	Pct
 }
 
@@ -62,6 +75,8 @@ type Snapshot struct {
 	Histograms    map[string]HistSnapshot `json:"histograms"`
 	Scenarios     []ScenarioStages        `json:"scenarios,omitempty"`
 	SpanCount     int                     `json:"span_count"`
+	EventCount    uint64                  `json:"event_count"`
+	Events        []Event                 `json:"events,omitempty"`
 	TraceEvents   int                     `json:"trace_events,omitempty"`
 }
 
@@ -94,19 +109,24 @@ func TakeSnapshot() Snapshot {
 	}
 	for h := Hist(0); h < numHists; h++ {
 		var hs HistSnapshot
-		var buckets [histBuckets]uint64
 		for i := range st.shards {
 			hg := &st.shards[i].hists[h]
 			hs.Count += hg.samples.Load()
 			hs.Sum += hg.sum.Load()
 			for b := 0; b < histBuckets; b++ {
-				buckets[b] += hg.count[b].Load()
+				hs.Buckets[b] += hg.count[b].Load()
 			}
 		}
-		hs.Pct = bucketPercentiles(buckets, hs.Count)
+		hs.Pct = bucketPercentiles(hs.Buckets, hs.Count)
 		snap.Histograms[h.Name()] = hs
 	}
 	snap.SpanCount = len(st.spans.snapshot())
+	snap.EventCount = st.events.count()
+	after := uint64(0)
+	if snap.EventCount > snapshotEventTail {
+		after = snap.EventCount - snapshotEventTail
+	}
+	snap.Events, _ = st.events.since(after)
 	return snap
 }
 
@@ -204,16 +224,22 @@ type traceEvent struct {
 }
 
 // WriteChromeTrace renders stage spans and control-transfer events as a
-// Chrome trace_event JSON array. Spans become duration ("X") events on
-// pid 1 with one row per worker; control events become instant ("i")
-// events on pid 2 with the emulated instruction count as the timestamp,
-// so the gadget chain reads left to right in execution order.
+// Chrome trace_event JSON array. Campaign stage spans become duration
+// ("X") events on pid 1 with one lane per worker; netsim epoch spans
+// (Track == TrackNetsim) land on pid 3 with one lane per shard; control
+// events become instant ("i") events on pid 2 with the emulated
+// instruction count as the timestamp, so the gadget chain reads left to
+// right in execution order. Spans carry their attempt ID (the per-device
+// splitmix64 seed, rendered in hex to survive JSON number precision) so
+// one attempt's stage and epoch slices correlate across lanes.
 func WriteChromeTrace(w io.Writer, spans []Span, ctl []ControlEvent) error {
 	events := make([]traceEvent, 0, len(spans)+len(ctl)+2)
 	events = append(events,
 		traceEvent{Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "campaign stages"}},
 		traceEvent{Name: "process_name", Ph: "M", Pid: 2, Args: map[string]any{"name": "hijack flight recorder"}},
 	)
+	workers := make(map[int]bool)
+	shards := make(map[int]bool)
 	for _, s := range spans {
 		ev := traceEvent{
 			Name: s.Stage,
@@ -222,12 +248,34 @@ func WriteChromeTrace(w io.Writer, spans []Span, ctl []ControlEvent) error {
 			Dur:  float64(s.Dur) / 1e3,
 			Pid:  1,
 			Tid:  s.Worker,
-			Args: map[string]any{"scenario": s.Scenario, "device": s.Device},
 		}
-		if s.Instr > 0 {
-			ev.Args["instructions"] = s.Instr
+		if s.Track == TrackNetsim {
+			ev.Pid = 3
+			shards[s.Worker] = true
+			ev.Args = map[string]any{"batch": s.Instr}
+		} else {
+			workers[s.Worker] = true
+			ev.Args = map[string]any{"scenario": s.Scenario, "device": s.Device}
+			if s.Instr > 0 {
+				ev.Args["instructions"] = s.Instr
+			}
+		}
+		if s.Attempt != 0 {
+			ev.Args["attempt"] = fmt.Sprintf("%#016x", s.Attempt)
 		}
 		events = append(events, ev)
+	}
+	if len(shards) > 0 {
+		events = append(events, traceEvent{Name: "process_name", Ph: "M", Pid: 3,
+			Args: map[string]any{"name": "netsim shards"}})
+	}
+	for _, tid := range sortedKeys(workers) {
+		events = append(events, traceEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", tid)}})
+	}
+	for _, tid := range sortedKeys(shards) {
+		events = append(events, traceEvent{Name: "thread_name", Ph: "M", Pid: 3, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("shard %d", tid)}})
 	}
 	for _, c := range ctl {
 		events = append(events, traceEvent{
@@ -242,6 +290,17 @@ func WriteChromeTrace(w io.Writer, spans []Span, ctl []ControlEvent) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// sortedKeys returns the keys of a lane set in ascending order so the
+// metadata block is deterministic.
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // WriteChromeTraceFile writes a Chrome trace to path ("-" for stdout).
@@ -297,6 +356,14 @@ func FormatSnapshot(snap Snapshot) string {
 		}
 	}
 	fmt.Fprintf(&b, "spans recorded: %d\n", snap.SpanCount)
+	if snap.EventCount > 0 {
+		fmt.Fprintf(&b, "events recorded: %d (snapshot carries last %d)\n",
+			snap.EventCount, len(snap.Events))
+		for _, e := range snap.Events {
+			fmt.Fprintf(&b, "  [%12d] %-5s %-10s %-16s scope=%s attempt=%#x v0=%d v1=%d\n",
+				e.TS, e.Level, e.Cat, e.Msg, e.Scope, e.Attempt, e.V0, e.V1)
+		}
+	}
 	if snap.TraceEvents > 0 {
 		fmt.Fprintf(&b, "flight-recorder events: %d\n", snap.TraceEvents)
 	}

@@ -9,6 +9,7 @@ type Flags struct {
 	Metrics      string
 	Trace        string
 	TraceEvents  int
+	Listen       string
 	CPUProfile   string
 	MemProfile   string
 	BlockProfile string
@@ -24,6 +25,7 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Metrics, "metrics", "", "write a telemetry snapshot (counters, histograms, stage percentiles) as JSON to `file` (- for stdout)")
 	fs.StringVar(&f.Trace, "trace", "", "arm the hijack flight recorder and write a Chrome trace_event `file` (open in chrome://tracing)")
 	fs.IntVar(&f.TraceEvents, "trace-events", DefaultTraceEvents, "flight-recorder ring capacity in control-transfer events")
+	fs.StringVar(&f.Listen, "listen", "", "serve the live observability surface (/metrics, /snapshot, /events, /spans, /trace, pprof) on `addr` while the tool runs (e.g. 127.0.0.1:8089; :0 picks a port)")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to `file`")
 	fs.StringVar(&f.BlockProfile, "blockprofile", "", "write a goroutine blocking profile to `file`")
@@ -32,13 +34,13 @@ func AddFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Active reports whether any telemetry output was requested.
-func (f *Flags) Active() bool { return f.Metrics != "" || f.Trace != "" }
+func (f *Flags) Active() bool { return f.Metrics != "" || f.Trace != "" || f.Listen != "" }
 
 // Start enables telemetry/tracing per the parsed flags and arms the
 // requested pprof profiles. Call before constructing the engines to be
 // instrumented; pair with Finish.
 func (f *Flags) Start() error {
-	if f.Metrics != "" {
+	if f.Metrics != "" || f.Listen != "" {
 		Enable()
 	}
 	if f.Trace != "" {

@@ -1,0 +1,74 @@
+package telemetry
+
+import "testing"
+
+// TestPercentilesGuards: the percentile helpers must return clean zeros
+// on empty input and the sample itself on single-sample input — never
+// NaN, never an out-of-range index, never garbage — because scenario
+// stage aggregates run them over rings that may have seen 0 or 1
+// attempts (a one-device fleet, an all-patched matrix row).
+func TestPercentilesGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		want    Pct
+	}{
+		{"empty", nil, Pct{}},
+		{"empty non-nil", []uint64{}, Pct{}},
+		{"single zero", []uint64{0}, Pct{}},
+		{"single value", []uint64{1234}, Pct{P50: 1234, P95: 1234, P99: 1234}},
+		{"two values", []uint64{10, 20}, Pct{P50: 10, P95: 20, P99: 20}},
+		{"uniform", []uint64{7, 7, 7, 7}, Pct{P50: 7, P95: 7, P99: 7}},
+	}
+	for _, tc := range cases {
+		if got := Percentiles(tc.samples); got != tc.want {
+			t.Errorf("Percentiles(%s) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestPercentilesNsGuards(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []int64
+		want    Pct
+	}{
+		{"empty", nil, Pct{}},
+		{"single", []int64{500}, Pct{P50: 500, P95: 500, P99: 500}},
+		// Negative durations (clock steps, span bugs) clamp to zero
+		// rather than wrapping to huge uint64 values.
+		{"negative clamps", []int64{-50}, Pct{}},
+		{"mixed sign", []int64{-1, 100}, Pct{P50: 0, P95: 100, P99: 100}},
+	}
+	for _, tc := range cases {
+		if got := PercentilesNs(tc.samples); got != tc.want {
+			t.Errorf("PercentilesNs(%s) = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestBucketPercentilesGuards(t *testing.T) {
+	var empty [histBuckets]uint64
+	if got := bucketPercentiles(empty, 0); got != (Pct{}) {
+		t.Errorf("bucketPercentiles(empty) = %+v, want zeros", got)
+	}
+	// A single zero-valued sample lands in bucket 0 and reports 0.
+	var zeroSample [histBuckets]uint64
+	zeroSample[0] = 1
+	if got := bucketPercentiles(zeroSample, 1); got != (Pct{}) {
+		t.Errorf("bucketPercentiles(single zero) = %+v, want zeros", got)
+	}
+	// A single sample in bucket b reports that bucket's upper bound for
+	// every percentile.
+	var one [histBuckets]uint64
+	one[10] = 1 // values in [512, 1024)
+	want := Pct{P50: 1023, P95: 1023, P99: 1023}
+	if got := bucketPercentiles(one, 1); got != want {
+		t.Errorf("bucketPercentiles(single) = %+v, want %+v", got, want)
+	}
+	// Total larger than the bucket sum (torn concurrent reads) must not
+	// index out of range; it saturates at the top bucket bound.
+	if got := bucketPercentiles(one, 100); got.P99 != 1<<uint(histBuckets)-1 {
+		t.Errorf("bucketPercentiles(torn total) p99 = %d, want top-bucket saturation", got.P99)
+	}
+}

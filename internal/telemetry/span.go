@@ -9,6 +9,11 @@ import (
 // records recon → payload → delivery → emulated parse → verdict per
 // device. Start is nanoseconds since the process-wide span epoch (the
 // first Enable), so spans from different workers share a timeline.
+// Attempt is the splitmix64-derived per-device seed, threaded from the
+// campaign worker through the exploit stages, the kernel and the netsim
+// shards so one attempt's spans correlate across layers. Track names
+// the producing subsystem ("" = campaign stage, TrackNetsim = netsim
+// epoch) and selects the trace lane group on export.
 type Span struct {
 	Scenario string `json:"scenario"`
 	Device   string `json:"device"`
@@ -17,7 +22,14 @@ type Span struct {
 	Start    int64  `json:"start_ns"`
 	Dur      int64  `json:"dur_ns"`
 	Instr    uint64 `json:"instr,omitempty"` // emulated instructions, parse stage only
+	Attempt  uint64 `json:"attempt,omitempty"`
+	Track    string `json:"track,omitempty"`
 }
+
+// TrackNetsim marks spans recorded by the network simulator: one span
+// per delivery epoch, Worker carrying the shard id (0 when sequential)
+// and Instr the epoch's batch size.
+const TrackNetsim = "netsim"
 
 // spanRingCap bounds the span ring: a 64-device × 12-scenario sweep at
 // five stages per attempt fits four times over.
@@ -75,6 +87,28 @@ func (sr *spanRing) snapshot() []Span {
 	return out
 }
 
+// since copies out spans recorded after the cursor (a count previously
+// returned by since; 0 = from the beginning), oldest-first, and returns
+// the new cursor. Spans evicted from the ring before the poll are lost,
+// which is the ring's contract.
+func (sr *spanRing) since(after uint64) ([]Span, uint64) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if sr.next <= after {
+		return nil, sr.next
+	}
+	n := uint64(len(sr.ring))
+	start := after
+	if sr.next > n && sr.next-n > start {
+		start = sr.next - n
+	}
+	out := make([]Span, 0, sr.next-start)
+	for i := start; i < sr.next; i++ {
+		out = append(out, sr.ring[i%n])
+	}
+	return out, sr.next
+}
+
 // RecordSpan stores one stage span when telemetry is enabled.
 func RecordSpan(s Span) {
 	st := cur.Load()
@@ -92,4 +126,15 @@ func Spans() []Span {
 		return nil
 	}
 	return st.spans.snapshot()
+}
+
+// SpansSince returns spans recorded after the cursor plus the new
+// cursor — the poll primitive behind the obs server's /spans SSE
+// stream. Disabled telemetry returns (nil, after) so pollers idle.
+func SpansSince(after uint64) ([]Span, uint64) {
+	st := cur.Load()
+	if st == nil {
+		return nil, after
+	}
+	return st.spans.since(after)
 }

@@ -13,7 +13,13 @@
 //     identical for any worker count.
 //   - Spans: per-attempt stage timings (recon → payload → delivery →
 //     verdict) recorded by the campaign engine into a bounded ring,
-//     exported as a Chrome trace_event timeline.
+//     exported as a Chrome trace_event timeline. Spans carry the
+//     splitmix64 per-device seed as an attempt ID, so every layer's
+//     spans for one attempt correlate across the trace.
+//   - Events: a leveled, fixed-ring structured log (EventLog) fed by
+//     LogEvent — scalar-only payloads, zero allocation when recording,
+//     one predicted branch when telemetry is off. The obs server
+//     streams it over SSE; snapshots carry the tail.
 //   - Flight recorder: an opt-in per-CPU ring of control-transfer events
 //     (ret, pop-pc, bl/blx, int 0x80 / svc) that captures the exact
 //     gadget-chain walk of a successful hijack. The emulator hot path
@@ -224,13 +230,15 @@ func bucketOf(v uint64) int {
 	return b
 }
 
-// state is one enablement epoch: counters, histograms, the span ring and
-// the flight-recorder configuration.
+// state is one enablement epoch: counters, histograms, the span ring,
+// the event log and the flight-recorder configuration.
 type state struct {
 	shards   [numShards]Shard
 	next     atomic.Uint32
 	spans    spanRing
-	traceCap atomic.Int64 // >0: flight recorder armed, ring capacity
+	events   eventRing
+	evMin    atomic.Uint32 // EventLevel threshold for LogEvent
+	traceCap atomic.Int64  // >0: flight recorder armed, ring capacity
 }
 
 // cur is the active state; nil means disabled (the default).
@@ -248,6 +256,8 @@ func Enable() {
 func newState() *state {
 	s := &state{}
 	s.spans.init(spanRingCap)
+	s.events.init(eventRingCap)
+	s.evMin.Store(uint32(EvInfo))
 	return s
 }
 

@@ -1,8 +1,8 @@
 #!/bin/sh
 # Micro-benchmark harness: runs the root-package benchmarks (Step and
 # block-dispatch loops, Recon, gadget scan, campaign fleet, netsim pump,
-# zone lookup, telemetry-on variants) and records ns/op and allocs/op
-# per benchmark in BENCH_8.json, the machine-readable companion to the
+# zone lookup, telemetry-on variants, snapshot merge) and records ns/op and allocs/op
+# per benchmark in BENCH_10.json, the machine-readable companion to the
 # Performance table in EXPERIMENTS.md.
 #
 # Each benchmark runs in its own process: the heavyweight campaign
@@ -26,7 +26,7 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 COUNT="${COUNT:-3}"
-OUT="${OUT:-BENCH_8.json}"
+OUT="${OUT:-BENCH_10.json}"
 COMPARE="${COMPARE:-1}"
 TMP="$(mktemp)"
 BIN="$(mktemp)"

@@ -62,6 +62,45 @@ cmp "$SNAPDIR/base.txt" "$SNAPDIR/cold.txt"
 cmp "$SNAPDIR/cold.txt" "$SNAPDIR/warm.txt"
 go run ./cmd/dbgsh snap -verify "$SNAPDIR/store"
 rm -rf "$SNAPDIR"
+# Live observability surface: labd must serve /metrics and /snapshot
+# (schema v2) while a campaign loop runs on an ephemeral port, and the
+# off-by-default contract must hold — a campaign's canonical transcript
+# is byte-identical whether or not -listen is set.
+OBSDIR="$(mktemp -d)"
+go build -o "$OBSDIR/labd" ./cmd/labd
+"$OBSDIR/labd" -listen 127.0.0.1:0 -devices 4 -workers 2 -repeat 0 \
+    -max-runtime 120s > "$OBSDIR/labd.out" &
+LABD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's,^labd: serving http://,,p' "$OBSDIR/labd.out")"
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ]
+# Retry the first scrape briefly: the campaign loop may still be warming.
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/metrics" > "$OBSDIR/metrics.txt" 2>/dev/null \
+        && grep -q '^connlab_emu_runs [1-9]' "$OBSDIR/metrics.txt"; then
+        break
+    fi
+    sleep 0.1
+done
+grep -q '^# TYPE connlab_emu_runs counter$' "$OBSDIR/metrics.txt"
+grep -q '^connlab_emu_runs [1-9]' "$OBSDIR/metrics.txt"
+curl -sf "http://$ADDR/snapshot" > "$OBSDIR/snapshot.json"
+grep -q '"schema_version": 2' "$OBSDIR/snapshot.json"
+curl -sf "http://$ADDR/events?once=1" > /dev/null
+curl -sf "http://$ADDR/trace" > /dev/null
+go run ./cmd/dbgsh telemetry -watch "$ADDR" -interval 0.2s -n 2 > "$OBSDIR/watch.txt"
+grep -q "^watching $ADDR" "$OBSDIR/watch.txt"
+kill "$LABD_PID" 2>/dev/null || true
+wait "$LABD_PID" 2>/dev/null || true
+go run ./cmd/campaign -preset fleet -devices 4 -canonical > "$OBSDIR/plain.txt"
+go run ./cmd/campaign -preset fleet -devices 4 -canonical -listen 127.0.0.1:0 \
+    > "$OBSDIR/listen.txt" 2> /dev/null
+cmp "$OBSDIR/plain.txt" "$OBSDIR/listen.txt"
+rm -rf "$OBSDIR"
 # One iteration of every micro-benchmark: catches benchmarks that no
 # longer compile or fail at runtime without paying for a timed run.
 go test -run '^$' -bench . -benchtime 1x .
